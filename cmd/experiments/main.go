@@ -1,0 +1,138 @@
+// Command experiments regenerates the tables and figures of the WEFR
+// paper's evaluation on a simulated fleet.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (slow at full scale)
+//	experiments -exp table6         # just Exp#1
+//	experiments -exp fig1,table5    # a subset
+//	experiments -drives 8000        # scale the fleet up
+//	experiments -fast               # reduced settings for a quick pass
+//
+// Experiment IDs: table1 table2 table3 table4 table5 table6 table7
+// table8 fig1 fig2 (aliases exp1=table6, exp2=fig2, exp3=table7,
+// exp4=table8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids (see doc comment)")
+		drives = flag.Int("drives", 0, "fleet size override (0 = config default)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		fast   = flag.Bool("fast", false, "use the reduced test-scale configuration")
+		rounds = flag.Int("rounds", 5, "averaging rounds for table8 (paper: 20)")
+		trees  = flag.Int("trees", 0, "prediction forest size override (paper: 100)")
+		depth  = flag.Int("depth", 0, "prediction forest depth override (paper: 13)")
+		phases = flag.Int("phases", 0, "testing phase count (0 = all three)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *fast {
+		cfg = experiments.TestConfig()
+	}
+	cfg.Seed = *seed
+	if *drives > 0 {
+		cfg.TotalDrives = *drives
+	}
+	if *trees > 0 {
+		cfg.Forest.NumTrees = *trees
+	}
+	if *depth > 0 {
+		cfg.Forest.MaxDepth = *depth
+	}
+	cfg.PhaseCount = *phases
+
+	if err := run(cfg, *exp, *rounds); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, expList string, rounds int) error {
+	ids, err := parseIDs(expList)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("building fleet (%d drives, seed %d)...\n\n", cfg.TotalDrives, cfg.Seed)
+	h, err := experiments.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	runners := map[string]func() (string, error){
+		"table1":   func() (string, error) { return h.Table1().Render(), nil },
+		"table2":   func() (string, error) { return h.Table2().Render(), nil },
+		"table3":   func() (string, error) { r, err := h.Table3(); return render(r, err) },
+		"table4":   func() (string, error) { r, err := h.Table4(); return render(r, err) },
+		"table5":   func() (string, error) { r, err := h.Table5(); return render(r, err) },
+		"fig1":     func() (string, error) { r, err := h.Fig1(); return render(r, err) },
+		"table6":   func() (string, error) { r, err := h.Exp1(); return render(r, err) },
+		"fig2":     func() (string, error) { r, err := h.Exp2(); return render(r, err) },
+		"table7":   func() (string, error) { r, err := h.Exp3(); return render(r, err) },
+		"table8":   func() (string, error) { r, err := h.Exp4(rounds); return render(r, err) },
+		"ablation": func() (string, error) { r, err := h.Ablation(); return render(r, err) },
+	}
+	for _, id := range ids {
+		f, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		out, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+// renderable is any experiment result with a text rendering.
+type renderable interface{ Render() string }
+
+func render(r renderable, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// order is the canonical experiment sequence for -exp all.
+var order = []string{
+	"table1", "table2", "table3", "table4", "fig1", "table5",
+	"table6", "fig2", "table7", "table8", "ablation",
+}
+
+var aliases = map[string]string{
+	"exp1": "table6", "exp2": "fig2", "exp3": "table7", "exp4": "table8",
+}
+
+func parseIDs(list string) ([]string, error) {
+	if list == "all" {
+		return order, nil
+	}
+	var out []string
+	for _, raw := range strings.Split(list, ",") {
+		id := strings.TrimSpace(strings.ToLower(raw))
+		if alias, ok := aliases[id]; ok {
+			id = alias
+		}
+		if id == "" {
+			continue
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments in %q", list)
+	}
+	return out, nil
+}

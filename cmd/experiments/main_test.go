@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseIDs(t *testing.T) {
+	got, err := parseIDs("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(order) {
+		t.Errorf("all = %v", got)
+	}
+	got, err = parseIDs("table6, fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "table6" || got[1] != "fig1" {
+		t.Errorf("subset = %v", got)
+	}
+	// Aliases resolve.
+	got, err = parseIDs("exp1,EXP4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "table6" || got[1] != "table8" {
+		t.Errorf("aliases = %v", got)
+	}
+	if _, err := parseIDs(",,"); err == nil {
+		t.Error("empty list should fail")
+	}
+}
+
+func TestOrderCoversAllRunners(t *testing.T) {
+	// Every canonical id must be distinct.
+	seen := map[string]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	for alias, target := range aliases {
+		if !seen[target] {
+			t.Errorf("alias %q points to unknown id %q", alias, target)
+		}
+	}
+}

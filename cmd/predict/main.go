@@ -1,0 +1,142 @@
+// Command predict runs the full offline failure-prediction pipeline
+// for one drive model over the paper's three testing phases: feature
+// selection (WEFR by default), statistical feature generation, Random
+// Forest training, validation-calibrated alarm thresholds, and
+// drive-level first-alarm evaluation.
+//
+// Usage:
+//
+//	predict -model MC1 -selector wefr
+//	predict -model MB1 -selector spearman -percent 0.3
+//	predict -model MA1 -selector none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/gbdt"
+	"repro/internal/pipeline"
+	"repro/internal/selection"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "MC1", "drive model")
+		selName  = flag.String("selector", "wefr", "wefr | wefr-noupdate | none | pearson | spearman | jindex | rf | xgb")
+		percent  = flag.Float64("percent", 0.3, "kept fraction for single-approach selectors")
+		drives   = flag.Int("drives", 4000, "synthetic fleet size")
+		seed     = flag.Int64("seed", 1, "seed")
+		afrScale = flag.Float64("afr-scale", 3, "failure densifier")
+		trees    = flag.Int("trees", 100, "prediction forest size")
+		depth    = flag.Int("depth", 13, "prediction forest depth")
+		useGBDT  = flag.Bool("gbdt", false, "use the gradient-boosted predictor instead of Random Forest")
+	)
+	flag.Parse()
+
+	if err := run(*model, *selName, *percent, *drives, *seed, *afrScale, *trees, *depth, *useGBDT); err != nil {
+		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, selName string, percent float64, drives int, seed int64, afrScale float64, trees, depth int, useGBDT bool) error {
+	model, err := smart.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	sel, err := selectorByName(selName, percent, seed)
+	if err != nil {
+		return err
+	}
+
+	fleet, err := simulate.New(simulate.Config{TotalDrives: drives, Seed: seed, AFRScale: afrScale})
+	if err != nil {
+		return err
+	}
+	src := dataset.NewCachedSource(dataset.FleetSource{Fleet: fleet})
+
+	cfg := pipeline.Config{
+		Forest: forest.Config{NumTrees: trees, MaxDepth: depth, Seed: seed},
+		Seed:   seed,
+	}
+	if useGBDT {
+		cfg.Predictor = pipeline.PredictorGBDT
+		cfg.GBDT = gbdt.Config{NumRounds: trees, MaxDepth: min(depth, 6), Eta: 0.3, Lambda: 1}
+	}
+	phases := pipeline.StandardPhases(src.Days())
+	fmt.Printf("model %v, selector %s, %d drives, %d phases\n\n", model, sel.Name(), drives, len(phases))
+
+	results, total, err := pipeline.Run(src, model, sel, phases, cfg)
+	if err != nil {
+		return err
+	}
+
+	var rows [][]string
+	for i, r := range results {
+		auc := "n/a"
+		if v, err := pipeline.AUC(r.Outcomes); err == nil {
+			auc = fmt.Sprintf("%.3f", v)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("phase %d", i+1),
+			fmt.Sprintf("%d", len(r.Selection.All)),
+			fmt.Sprintf("%.2f", r.Thresholds[0]),
+			fmt.Sprintf("%d", r.Confusion.TP),
+			fmt.Sprintf("%d", r.Confusion.FP),
+			fmt.Sprintf("%d", r.Confusion.FN),
+			textplot.Percent(r.Confusion.Precision()),
+			textplot.Percent(r.Confusion.Recall()),
+			textplot.Percent(r.Confusion.F05()),
+			auc,
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"Phase", "Feats", "Thresh", "TP", "FP", "FN", "P", "R", "F0.5", "AUC"}, rows))
+	fmt.Printf("\nOverall: %s\n", total)
+
+	last := results[len(results)-1]
+	fmt.Printf("\nSelected features (last phase): %v\n", last.Selection.All)
+	if last.Selection.Split != nil {
+		fmt.Printf("Wear split at MWI_N %.0f\n  low:  %v\n  high: %v\n",
+			last.Selection.Split.ThresholdMWI, last.Selection.Split.Low, last.Selection.Split.High)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func selectorByName(name string, percent float64, seed int64) (pipeline.Selector, error) {
+	switch strings.ToLower(name) {
+	case "wefr":
+		return pipeline.WEFR{}, nil
+	case "wefr-noupdate":
+		return pipeline.WEFR{NoUpdate: true}, nil
+	case "none":
+		return pipeline.NoSelection{}, nil
+	case "pearson":
+		return pipeline.SingleRanker{Ranker: selection.Pearson{}, Percent: percent}, nil
+	case "spearman":
+		return pipeline.SingleRanker{Ranker: selection.Spearman{}, Percent: percent}, nil
+	case "jindex":
+		return pipeline.SingleRanker{Ranker: selection.JIndex{}, Percent: percent}, nil
+	case "rf":
+		return pipeline.SingleRanker{Ranker: selection.RandomForest{Seed: seed}, Percent: percent}, nil
+	case "xgb":
+		return pipeline.SingleRanker{Ranker: selection.XGBoost{}, Percent: percent}, nil
+	default:
+		return nil, fmt.Errorf("unknown selector %q", name)
+	}
+}

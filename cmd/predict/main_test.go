@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestSelectorByName(t *testing.T) {
+	cases := map[string]string{
+		"wefr":          "WEFR",
+		"WEFR":          "WEFR",
+		"wefr-noupdate": "WEFR (No update)",
+		"none":          "No feature selection",
+		"pearson":       "Pearson",
+		"spearman":      "Spearman",
+		"jindex":        "J-index",
+		"rf":            "Random Forest",
+		"xgb":           "XGBoost",
+	}
+	for in, want := range cases {
+		sel, err := selectorByName(in, 0.3, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if sel.Name() != want {
+			t.Errorf("selectorByName(%q).Name() = %q, want %q", in, sel.Name(), want)
+		}
+	}
+	if _, err := selectorByName("bogus", 0.3, 1); err == nil {
+		t.Error("bogus selector should fail")
+	}
+}
+
+func TestSelectorByNamePercent(t *testing.T) {
+	sel, err := selectorByName("pearson", 0.42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := sel.(pipeline.SingleRanker)
+	if !ok {
+		t.Fatalf("selector type %T", sel)
+	}
+	if sr.Percent != 0.42 {
+		t.Errorf("percent = %v", sr.Percent)
+	}
+}

@@ -1,0 +1,113 @@
+// Command ssdgen generates a synthetic SSD fleet and writes its daily
+// SMART logs and failure tickets as CSV files in the layout of the
+// released Alibaba ssd_smart_logs dataset (one log file per drive
+// model, one shared tickets file).
+//
+// Usage:
+//
+//	ssdgen -drives 4000 -days 730 -seed 1 -out ./data
+//
+// produces ./data/smart_<MODEL>.csv for each model plus
+// ./data/tickets.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+)
+
+func main() {
+	var (
+		drives   = flag.Int("drives", 4000, "total fleet size across all six models")
+		days     = flag.Int("days", simulate.DefaultDays, "dataset span in days")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		afrScale = flag.Float64("afr-scale", 1, "multiplier on each model's target AFR")
+		out      = flag.String("out", ".", "output directory")
+		models   = flag.String("models", "", "comma-separated model subset (e.g. MC1,MC2); empty = all")
+	)
+	flag.Parse()
+
+	if err := run(*drives, *days, *seed, *afrScale, *out, *models); err != nil {
+		fmt.Fprintf(os.Stderr, "ssdgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(drives, days int, seed int64, afrScale float64, out, modelList string) error {
+	modelIDs, err := parseModels(modelList)
+	if err != nil {
+		return err
+	}
+	fleet, err := simulate.New(simulate.Config{
+		TotalDrives: drives,
+		Days:        days,
+		Seed:        seed,
+		AFRScale:    afrScale,
+		Models:      modelIDs,
+	})
+	if err != nil {
+		return err
+	}
+	src := dataset.FleetSource{Fleet: fleet}
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	for _, m := range fleet.Models() {
+		path := filepath.Join(out, fmt.Sprintf("smart_%s.csv", m))
+		if err := writeFile(path, func(f *os.File) error {
+			return dataset.WriteModelCSV(f, src, m)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d drives, %d failures)\n", path, len(fleet.DrivesOf(m)), len(fleet.Failures(m)))
+	}
+	ticketPath := filepath.Join(out, "tickets.csv")
+	if err := writeFile(ticketPath, func(f *os.File) error {
+		return dataset.WriteTicketsCSV(f, src, fleet.Models())
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", ticketPath)
+	return nil
+}
+
+func parseModels(list string) ([]smart.ModelID, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []smart.ModelID
+	start := 0
+	for i := 0; i <= len(list); i++ {
+		if i == len(list) || list[i] == ',' {
+			m, err := smart.ParseModel(list[start:i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+			start = i + 1
+		}
+	}
+	return out, nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/smart"
+)
+
+func TestParseModels(t *testing.T) {
+	got, err := parseModels("MC1,MA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != smart.MC1 || got[1] != smart.MA2 {
+		t.Errorf("parseModels = %v", got)
+	}
+	if got, err := parseModels(""); err != nil || got != nil {
+		t.Errorf("empty list = (%v, %v)", got, err)
+	}
+	if _, err := parseModels("MC1,BOGUS"); err == nil {
+		t.Error("bogus model should fail")
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(300, 120, 1, 2, dir, "MB2"); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "smart_MB2.csv")
+	info, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty SMART log file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tickets.csv")); err != nil {
+		t.Fatal(err)
+	}
+	// No other model files written for a restricted fleet.
+	if _, err := os.Stat(filepath.Join(dir, "smart_MC1.csv")); !os.IsNotExist(err) {
+		t.Error("unexpected MC1 file")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run(-1, 120, 1, 1, t.TempDir(), ""); err == nil {
+		t.Error("negative drives should fail")
+	}
+	if err := run(100, 120, 1, 1, t.TempDir(), "XX"); err == nil {
+		t.Error("bad model list should fail")
+	}
+}

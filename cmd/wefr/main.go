@@ -1,0 +1,137 @@
+// Command wefr runs Wear-out-updating Ensemble Feature Ranking over a
+// dataset and prints the selected learning features: the per-approach
+// rankings, the outlier-removal decision, the automatically determined
+// feature count, and — when the survival curve has a significant change
+// point — the per-wear-group selections.
+//
+// The dataset is either a synthetic fleet (default) or CSV files
+// written by ssdgen / adapted from the released Alibaba dataset:
+//
+//	wefr -model MC1 -drives 4000 -seed 1
+//	wefr -model MC1 -smart data/smart_MC1.csv -tickets data/tickets.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+	"repro/internal/survival"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "MC1", "drive model to select features for")
+		drives   = flag.Int("drives", 4000, "synthetic fleet size (ignored with -smart)")
+		seed     = flag.Int64("seed", 1, "seed for the synthetic fleet and rankers")
+		afrScale = flag.Float64("afr-scale", 3, "synthetic failure densifier (ignored with -smart)")
+		smartCSV = flag.String("smart", "", "SMART log CSV (ssdgen layout); empty = simulate")
+		tickets  = flag.String("tickets", "", "failure tickets CSV (required with -smart)")
+		negEvery = flag.Int("neg-every", 15, "negative drive-day sampling stride")
+		noUpdate = flag.Bool("no-update", false, "skip the wear-out-updating step")
+	)
+	flag.Parse()
+
+	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate); err != nil {
+		fmt.Fprintf(os.Stderr, "wefr: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool) error {
+	model, err := smart.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+
+	var src dataset.Source
+	if smartCSV != "" {
+		logs, err := loadCSV(smartCSV, ticketCSV)
+		if err != nil {
+			return err
+		}
+		if logs.Model() != model {
+			return fmt.Errorf("CSV contains model %v, requested %v", logs.Model(), model)
+		}
+		src = logs
+	} else {
+		fleet, err := simulate.New(simulate.Config{TotalDrives: drives, Seed: seed, AFRScale: afrScale})
+		if err != nil {
+			return err
+		}
+		src = dataset.FleetSource{Fleet: fleet}
+	}
+
+	fr, err := dataset.Frame(src, dataset.FrameOpts{Model: model, NegEvery: negEvery})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %v: %d samples (%d positive), %d learning features\n\n",
+		model, fr.NumRows(), fr.Positives(), fr.NumFeatures())
+
+	curve := survival.Curve{}
+	if !noUpdate {
+		curve, err = survival.Compute(src, model, 0)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := core.Select(fr, curve, core.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	printSelection("Global selection (all SSDs)", res.Global)
+	if res.Split == nil {
+		fmt.Println("No significant survival change point: single feature set.")
+		return nil
+	}
+	fmt.Printf("Survival change point at MWI_N = %.0f (z = %.1f)\n\n", res.Split.ThresholdMWI, res.Split.Z)
+	printSelection(fmt.Sprintf("Low wear group (MWI_N < %.0f)", res.Split.ThresholdMWI), res.Split.Low)
+	printSelection(fmt.Sprintf("High wear group (MWI_N >= %.0f)", res.Split.ThresholdMWI), res.Split.High)
+	return nil
+}
+
+func loadCSV(smartCSV, ticketCSV string) (*dataset.Logs, error) {
+	f, err := os.Open(smartCSV)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	logs, err := dataset.ReadModelCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	if ticketCSV != "" {
+		tf, err := os.Open(ticketCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		tickets, err := dataset.ReadTicketsCSV(tf)
+		if err != nil {
+			return nil, err
+		}
+		logs.ApplyTickets(tickets)
+	}
+	return logs, nil
+}
+
+func printSelection(title string, sel core.Selection) {
+	fmt.Println(title)
+	var rows [][]string
+	for _, rep := range sel.Rankers {
+		status := "kept"
+		if rep.Outlier {
+			status = "discarded (outlier)"
+		}
+		rows = append(rows, []string{rep.Name, fmt.Sprintf("%.1f", rep.MeanDistance), status})
+	}
+	fmt.Print(textplot.Table([]string{"Approach", "Mean Kendall distance", "Status"}, rows))
+	fmt.Printf("Selected %d features: %v\n\n", sel.Count, sel.Features)
+}

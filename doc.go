@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "General Feature
+// Selection for Failure Prediction in Large-scale SSD Deployment"
+// (Xu, Han, Lee, Liu, He, Liu — DSN 2021): WEFR, Wear-out-updating
+// Ensemble Feature Ranking, together with every substrate it needs —
+// the statistics, the tree learners (Random Forest and an
+// XGBoost-style GBDT), the data-complexity measures, a Bayesian
+// change-point detector, the offline failure-prediction pipeline, and
+// a parametric simulator of the six-drive-model production fleet the
+// paper evaluates on.
+//
+// The root package holds the benchmark harness (bench_test.go), one
+// benchmark per table and figure of the paper's evaluation. The
+// implementation lives under internal/ (see DESIGN.md for the map);
+// runnable entry points are cmd/experiments, cmd/wefr, cmd/predict,
+// cmd/ssdgen, and the examples/ directory.
+package repro

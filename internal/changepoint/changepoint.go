@@ -1,0 +1,292 @@
+// Package changepoint implements Bayesian online change-point detection
+// (Adams & MacKay 2007, in the spirit of Fearnhead's exact recursions
+// cited by the WEFR paper) for one-dimensional sequences, with the
+// z-score significance rule the paper applies on top: a point is a
+// significant change when its change probability is at least 2.5
+// standard deviations above the mean of all change probabilities
+// (confidence 98.76%), and the most significant change point is the one
+// with the largest z-score.
+//
+// The observation model is Gaussian with unknown mean and variance
+// under a conjugate Normal-Inverse-Gamma prior, giving a Student-t
+// posterior predictive with closed-form updates — no sampling, fully
+// deterministic.
+package changepoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the detector.
+var (
+	// ErrTooShort indicates a sequence with fewer than 3 observations,
+	// for which change detection is meaningless.
+	ErrTooShort = errors.New("changepoint: sequence too short")
+)
+
+// DefaultZThreshold is the paper's significance threshold in standard
+// deviations (±2.5, 98.76% confidence).
+const DefaultZThreshold = 2.5
+
+// Config parameterizes the detector. The zero value selects sensible
+// defaults via withDefaults.
+type Config struct {
+	// Hazard is the prior probability that any step is a change point;
+	// 0 means 1/50.
+	Hazard float64
+	// Mu0 is the prior mean (default 0; sequences are standardized
+	// internally, so the default is appropriate).
+	Mu0 float64
+	// Kappa0 is the prior pseudo-count for the mean; 0 means 1.
+	Kappa0 float64
+	// Alpha0 is the prior shape for the variance; 0 means 1.
+	Alpha0 float64
+	// Beta0 is the prior scale for the variance; 0 means 1.
+	Beta0 float64
+	// Standardize controls whether the sequence is z-normalized before
+	// detection so the default prior fits any scale. Enabled by
+	// DefaultConfig.
+	Standardize bool
+}
+
+// DefaultConfig returns the detector settings used throughout the
+// repository: hazard 1/50, unit NIG prior over standardized data.
+func DefaultConfig() Config {
+	return Config{Hazard: 1.0 / 50, Kappa0: 1, Alpha0: 1, Beta0: 1, Standardize: true}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hazard <= 0 || c.Hazard >= 1 {
+		c.Hazard = 1.0 / 50
+	}
+	if c.Kappa0 <= 0 {
+		c.Kappa0 = 1
+	}
+	if c.Alpha0 <= 0 {
+		c.Alpha0 = 1
+	}
+	if c.Beta0 <= 0 {
+		c.Beta0 = 1
+	}
+	return c
+}
+
+// ChangeProbabilities runs the online detector over xs and returns, for
+// each position t >= 1, the posterior probability that a change
+// occurred at t (the run-length-zero mass after observing xs[t]).
+// Position 0 has probability 0 by construction.
+func ChangeProbabilities(xs []float64, cfg Config) ([]float64, error) {
+	if len(xs) < 3 {
+		return nil, fmt.Errorf("%w: %d observations", ErrTooShort, len(xs))
+	}
+	cfg = cfg.withDefaults()
+
+	data := xs
+	if cfg.Standardize {
+		data = standardize(xs)
+	}
+
+	n := len(data)
+	// Run-length posterior; index r is the probability the current run
+	// has length r.
+	r := make([]float64, 1, n+1)
+	r[0] = 1
+
+	// Sufficient statistics per run length hypothesis.
+	mu := []float64{cfg.Mu0}
+	kappa := []float64{cfg.Kappa0}
+	alpha := []float64{cfg.Alpha0}
+	beta := []float64{cfg.Beta0}
+
+	probs := make([]float64, n)
+	h := cfg.Hazard
+
+	for t := 0; t < n; t++ {
+		x := data[t]
+		// Predictive probability of x under each run hypothesis.
+		pred := make([]float64, len(r))
+		for i := range r {
+			scale := beta[i] * (kappa[i] + 1) / (alpha[i] * kappa[i])
+			pred[i] = studentTPDF(x, mu[i], scale, 2*alpha[i])
+		}
+		// Predictive of x under a brand-new run, which has seen no data
+		// and therefore uses the prior. Using the old-run predictive
+		// here would make the run-0 posterior identically equal to the
+		// hazard and the detector blind.
+		priorScale := cfg.Beta0 * (cfg.Kappa0 + 1) / (cfg.Alpha0 * cfg.Kappa0)
+		predPrior := studentTPDF(x, cfg.Mu0, priorScale, 2*cfg.Alpha0)
+
+		// Growth (run continues) and change (run resets) masses.
+		grown := make([]float64, len(r)+1)
+		var cp float64
+		for i := range r {
+			grown[i+1] = r[i] * pred[i] * (1 - h)
+			cp += r[i] * predPrior * h
+		}
+		grown[0] = cp
+
+		// Normalize; guard against total numerical underflow.
+		var total float64
+		for _, v := range grown {
+			total += v
+		}
+		if total <= 0 || math.IsNaN(total) {
+			// Restart the filter from the prior at this point.
+			grown = make([]float64, 1)
+			grown[0] = 1
+			mu = []float64{cfg.Mu0}
+			kappa = []float64{cfg.Kappa0}
+			alpha = []float64{cfg.Alpha0}
+			beta = []float64{cfg.Beta0}
+			r = grown
+			probs[t] = 0
+			continue
+		}
+		for i := range grown {
+			grown[i] /= total
+		}
+
+		if t > 0 {
+			probs[t] = grown[0]
+		}
+
+		// Posterior updates: hypothesis i (run length i at time t+1)
+		// extends old hypothesis i-1 with x; hypothesis 0 is the prior.
+		nmu := make([]float64, len(grown))
+		nkappa := make([]float64, len(grown))
+		nalpha := make([]float64, len(grown))
+		nbeta := make([]float64, len(grown))
+		nmu[0] = cfg.Mu0
+		nkappa[0] = cfg.Kappa0
+		nalpha[0] = cfg.Alpha0
+		nbeta[0] = cfg.Beta0
+		for i := 1; i < len(grown); i++ {
+			j := i - 1
+			nmu[i] = (kappa[j]*mu[j] + x) / (kappa[j] + 1)
+			nkappa[i] = kappa[j] + 1
+			nalpha[i] = alpha[j] + 0.5
+			nbeta[i] = beta[j] + kappa[j]*(x-mu[j])*(x-mu[j])/(2*(kappa[j]+1))
+		}
+		r = grown
+		mu, kappa, alpha, beta = nmu, nkappa, nalpha, nbeta
+	}
+	return probs, nil
+}
+
+// standardize returns the z-normalized copy of xs; a constant sequence
+// is returned as all zeros.
+func standardize(xs []float64) []float64 {
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var variance float64
+	for _, v := range xs {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	out := make([]float64, len(xs))
+	if variance == 0 {
+		return out
+	}
+	sd := math.Sqrt(variance)
+	for i, v := range xs {
+		out[i] = (v - mean) / sd
+	}
+	return out
+}
+
+// studentTPDF is the density of a location-scale Student-t distribution
+// with the given degrees of freedom.
+func studentTPDF(x, loc, scale, df float64) float64 {
+	if scale <= 0 || df <= 0 {
+		return 0
+	}
+	z := (x - loc) / math.Sqrt(scale)
+	lg1, _ := math.Lgamma((df + 1) / 2)
+	lg2, _ := math.Lgamma(df / 2)
+	logPDF := lg1 - lg2 -
+		0.5*math.Log(df*math.Pi*scale) -
+		(df+1)/2*math.Log(1+z*z/df)
+	return math.Exp(logPDF)
+}
+
+// Point is one detected change point.
+type Point struct {
+	// Index is the position in the input sequence.
+	Index int
+	// Prob is the posterior change probability at Index.
+	Prob float64
+	// Z is the z-score of Prob relative to all change probabilities.
+	Z float64
+}
+
+// Detect runs the detector and returns every point whose change
+// probability is at least zThreshold standard deviations above the
+// mean change probability (pass DefaultZThreshold for the paper's
+// ±2.5). Points are returned in sequence order.
+func Detect(xs []float64, cfg Config, zThreshold float64) ([]Point, error) {
+	if len(xs) < 3 {
+		return nil, fmt.Errorf("%w: %d observations", ErrTooShort, len(xs))
+	}
+	constant := true
+	for _, v := range xs[1:] {
+		if v != xs[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		// A constant sequence has no changes; the filter's posterior
+		// tightening would otherwise register spurious drift.
+		return nil, nil
+	}
+	probs, err := ChangeProbabilities(xs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mean := 0.0
+	for _, p := range probs {
+		mean += p
+	}
+	mean /= float64(len(probs))
+	variance := 0.0
+	for _, p := range probs {
+		d := p - mean
+		variance += d * d
+	}
+	variance /= float64(len(probs))
+	if variance == 0 {
+		return nil, nil // flat probabilities: no significant change
+	}
+	sd := math.Sqrt(variance)
+
+	var out []Point
+	for i, p := range probs {
+		z := (p - mean) / sd
+		if z >= zThreshold {
+			out = append(out, Point{Index: i, Prob: p, Z: z})
+		}
+	}
+	return out, nil
+}
+
+// MostSignificant returns the point with the largest z-score, matching
+// the paper's rule of keeping a single most-significant change. The
+// boolean is false when points is empty.
+func MostSignificant(points []Point) (Point, bool) {
+	if len(points) == 0 {
+		return Point{}, false
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Z > best.Z {
+			best = p
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,193 @@
+package changepoint
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stepSequence builds a noisy sequence with a mean shift at shiftAt.
+func stepSequence(n, shiftAt int, lo, hi, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		base := lo
+		if i >= shiftAt {
+			base = hi
+		}
+		xs[i] = base + rng.NormFloat64()*noise
+	}
+	return xs
+}
+
+func TestChangeProbabilitiesShape(t *testing.T) {
+	xs := stepSequence(60, 30, 0, 5, 0.3, 1)
+	probs, err := ChangeProbabilities(xs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != len(xs) {
+		t.Fatalf("probs len = %d, want %d", len(probs), len(xs))
+	}
+	if probs[0] != 0 {
+		t.Errorf("probs[0] = %v, want 0", probs[0])
+	}
+	for i, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probs[%d] = %v out of [0,1]", i, p)
+		}
+	}
+}
+
+func TestDetectsSingleShift(t *testing.T) {
+	xs := stepSequence(80, 40, 0, 6, 0.4, 2)
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := MostSignificant(points)
+	if !ok {
+		t.Fatal("no change point found for an obvious shift")
+	}
+	if best.Index < 38 || best.Index > 43 {
+		t.Errorf("change index = %d, want near 40", best.Index)
+	}
+	if best.Z < DefaultZThreshold {
+		t.Errorf("z = %v, want >= threshold", best.Z)
+	}
+}
+
+func TestNoChangeOnStationaryNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 0.1
+	}
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary noise may occasionally produce a stray significant
+	// point, but an obvious mean shift should not be reported.
+	if len(points) > 3 {
+		t.Errorf("stationary noise produced %d significant points", len(points))
+	}
+}
+
+func TestConstantSequenceNoChange(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 4.2
+	}
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Errorf("constant sequence produced %d points", len(points))
+	}
+}
+
+func TestTooShort(t *testing.T) {
+	if _, err := ChangeProbabilities([]float64{1, 2}, DefaultConfig()); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short error = %v", err)
+	}
+	if _, err := Detect([]float64{1}, DefaultConfig(), 2.5); !errors.Is(err, ErrTooShort) {
+		t.Errorf("Detect short error = %v", err)
+	}
+}
+
+func TestTwoShiftsMostSignificant(t *testing.T) {
+	// A big shift at 30 and a small one at 60: the most significant
+	// point should land at the big one.
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 90)
+	for i := range xs {
+		base := 0.0
+		if i >= 30 {
+			base = 8
+		}
+		if i >= 60 {
+			base = 8.8
+		}
+		xs[i] = base + rng.NormFloat64()*0.3
+	}
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := MostSignificant(points)
+	if !ok {
+		t.Fatal("no change point found")
+	}
+	if best.Index < 28 || best.Index > 33 {
+		t.Errorf("most significant index = %d, want near 30", best.Index)
+	}
+}
+
+func TestMostSignificantEmpty(t *testing.T) {
+	if _, ok := MostSignificant(nil); ok {
+		t.Error("MostSignificant(nil) should report not-found")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	xs := stepSequence(70, 35, 1, 4, 0.5, 5)
+	a, err := ChangeProbabilities(xs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChangeProbabilities(xs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("detector should be deterministic")
+		}
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	out := standardize([]float64{2, 4, 6})
+	if math.Abs(out[0]+out[2]) > 1e-12 || out[1] != 0 {
+		t.Errorf("standardize = %v", out)
+	}
+	flat := standardize([]float64{3, 3, 3})
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("standardize(constant) = %v", flat)
+		}
+	}
+}
+
+func TestStudentTPDF(t *testing.T) {
+	// df -> infinity approaches the standard normal density at 0
+	// (~0.39894); at df=1 (Cauchy), density at 0 is 1/pi.
+	if got := studentTPDF(0, 0, 1, 1); math.Abs(got-1/math.Pi) > 1e-9 {
+		t.Errorf("t(df=1) at 0 = %v, want %v", got, 1/math.Pi)
+	}
+	if got := studentTPDF(0, 0, 1, 1e6); math.Abs(got-0.3989) > 1e-3 {
+		t.Errorf("t(df=1e6) at 0 = %v, want ~0.3989", got)
+	}
+	// Symmetry.
+	if studentTPDF(1.3, 0, 1, 5) != studentTPDF(-1.3, 0, 1, 5) {
+		t.Error("t pdf should be symmetric")
+	}
+	// Degenerate parameters.
+	if studentTPDF(0, 0, 0, 5) != 0 || studentTPDF(0, 0, 1, 0) != 0 {
+		t.Error("degenerate t pdf should be 0")
+	}
+}
+
+func TestHazardExtremesFallBack(t *testing.T) {
+	xs := stepSequence(50, 25, 0, 5, 0.3, 6)
+	for _, h := range []float64{-1, 0, 1, 2} {
+		cfg := DefaultConfig()
+		cfg.Hazard = h
+		if _, err := ChangeProbabilities(xs, cfg); err != nil {
+			t.Errorf("hazard %v: %v", h, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestChangeProbabilitiesBoundedProperty: for arbitrary finite
+// sequences, every change probability is a valid probability and the
+// output length matches the input.
+func TestChangeProbabilitiesBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(120)
+		xs := make([]float64, n)
+		scale := math.Exp(rng.NormFloat64() * 3)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * scale
+			if rng.Float64() < 0.1 {
+				xs[i] += scale * 10 // occasional level shifts
+			}
+		}
+		probs, err := ChangeProbabilities(xs, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		if len(probs) != n {
+			return false
+		}
+		for _, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectScaleInvariance: standardization makes detection invariant
+// to affine scaling of the sequence.
+func TestDetectScaleInvariance(t *testing.T) {
+	xs := stepSequence(60, 30, 0, 4, 0.3, 41)
+	scaled := make([]float64, len(xs))
+	for i, v := range xs {
+		scaled[i] = v*1e6 + 777
+	}
+	a, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Detect(scaled, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("detection count changed under scaling: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			t.Errorf("point %d index %d vs %d", i, a[i].Index, b[i].Index)
+		}
+	}
+}

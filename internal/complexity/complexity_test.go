@@ -1,0 +1,306 @@
+package complexity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// separated builds a feature where classes are offset by gap (gap 0 =
+// indistinguishable, large gap = trivially separable).
+func separated(n int, gap float64, seed int64) (x []float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]float64, n)
+	y = make([]int, n)
+	for i := range x {
+		if i%2 == 0 {
+			y[i] = 1
+			x[i] = gap + rng.NormFloat64()
+		} else {
+			x[i] = rng.NormFloat64()
+		}
+	}
+	return x, y
+}
+
+func TestFisherRatio(t *testing.T) {
+	// Exact small case: class0 = {0, 2} (mean 1, var 1),
+	// class1 = {4, 6} (mean 5, var 1). F1 = 16/2 = 8.
+	x := []float64{0, 2, 4, 6}
+	y := []int{0, 0, 1, 1}
+	got, err := FisherRatio(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-8) > 1e-12 {
+		t.Errorf("FisherRatio = %v, want 8", got)
+	}
+}
+
+func TestFisherRatioDegenerate(t *testing.T) {
+	// Identical constant values in both classes: ratio 0.
+	got, err := FisherRatio([]float64{5, 5, 5, 5}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("constant feature F1 = %v, want 0", got)
+	}
+	// Distinct constants: perfect separation -> InverseCap.
+	got, err = FisherRatio([]float64{1, 1, 9, 9}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != InverseCap {
+		t.Errorf("perfectly separated constants F1 = %v, want cap", got)
+	}
+}
+
+func TestFisherRatioOrdering(t *testing.T) {
+	// Larger class gap must produce larger F1.
+	xWeak, yWeak := separated(400, 0.5, 1)
+	xStrong, yStrong := separated(400, 4, 1)
+	weak, err := FisherRatio(xWeak, yWeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := FisherRatio(xStrong, yStrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong <= weak {
+		t.Errorf("F1(strong)=%v should exceed F1(weak)=%v", strong, weak)
+	}
+}
+
+func TestOverlapVolume(t *testing.T) {
+	tests := []struct {
+		name string
+		x    []float64
+		y    []int
+		want float64
+	}{
+		// class0 range [0,10], class1 range [5,15]: overlap 5, union 15.
+		{"partial", []float64{0, 10, 5, 15}, []int{0, 0, 1, 1}, 1.0 / 3},
+		// Disjoint ranges: no overlap.
+		{"disjoint", []float64{0, 1, 5, 6}, []int{0, 0, 1, 1}, 0},
+		// Identical ranges: full overlap.
+		{"identical", []float64{0, 10, 0, 10}, []int{0, 0, 1, 1}, 1},
+		// Coincident points.
+		{"points", []float64{3, 3, 3, 3}, []int{0, 0, 1, 1}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := OverlapVolume(tt.x, tt.y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("OverlapVolume = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFeatureEfficiency(t *testing.T) {
+	// class0 = {0,1,2,3}, class1 = {2,3,4,5}: overlap [2,3] contains
+	// 4 of 8 samples -> efficiency 0.5.
+	x := []float64{0, 1, 2, 3, 2, 3, 4, 5}
+	y := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	got, err := FeatureEfficiency(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FeatureEfficiency = %v, want 0.5", got)
+	}
+	// Disjoint: efficiency 1.
+	got, err = FeatureEfficiency([]float64{0, 1, 5, 6}, []int{0, 0, 1, 1})
+	if err != nil || got != 1 {
+		t.Errorf("disjoint efficiency = (%v, %v), want (1, nil)", got, err)
+	}
+	// Total overlap of identical constants: efficiency 0.
+	got, err = FeatureEfficiency([]float64{2, 2, 2, 2}, []int{0, 0, 1, 1})
+	if err != nil || got != 0 {
+		t.Errorf("constant efficiency = (%v, %v), want (0, nil)", got, err)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	type fn func([]float64, []int) (float64, error)
+	for name, f := range map[string]fn{
+		"F1": FisherRatio, "F2": OverlapVolume, "F3": FeatureEfficiency, "F": Ensemble,
+	} {
+		if _, err := f(nil, nil); !errors.Is(err, ErrEmptyInput) {
+			t.Errorf("%s(empty) error = %v", name, err)
+		}
+		if _, err := f([]float64{1}, []int{0, 1}); !errors.Is(err, ErrLengthMismatch) {
+			t.Errorf("%s(mismatch) error = %v", name, err)
+		}
+		if _, err := f([]float64{1, 2}, []int{1, 1}); !errors.Is(err, ErrSingleClass) {
+			t.Errorf("%s(single class) error = %v", name, err)
+		}
+	}
+}
+
+func TestEnsembleOrdering(t *testing.T) {
+	// The ensemble must rate a strongly separating feature simpler
+	// (lower F) than noise.
+	xGood, yv := separated(600, 5, 2)
+	xNoise := make([]float64, len(xGood))
+	rng := rand.New(rand.NewSource(3))
+	for i := range xNoise {
+		xNoise[i] = rng.NormFloat64()
+	}
+	good, err := Ensemble(xGood, yv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := Ensemble(xNoise, yv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good >= noise {
+		t.Errorf("Ensemble(good)=%v should be below Ensemble(noise)=%v", good, noise)
+	}
+}
+
+func TestEnsembleBounded(t *testing.T) {
+	// With the inverse cap, F <= (cap + 1 + cap)/3.
+	x, y := separated(100, 0, 4)
+	f, err := Ensemble(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > (2*InverseCap+1)/3 {
+		t.Errorf("Ensemble exceeded cap bound: %v", f)
+	}
+	if f < 0 {
+		t.Errorf("Ensemble negative: %v", f)
+	}
+}
+
+func TestAutoCutoffStopsAtTrivialBoundary(t *testing.T) {
+	// 20 features: first 10 simple (F ~ 0.4), last 10 trivial (F ~ 60,
+	// the blow-up an uninformative feature produces via 1/F1).
+	fs := make([]float64, 20)
+	for i := range fs {
+		if i < 10 {
+			fs[i] = 0.4
+		} else {
+			fs[i] = 60
+		}
+	}
+	n, err := AutoCutoff(fs, DefaultCutoffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 8 || n > 12 {
+		t.Errorf("cutoff = %d, want near the 10-feature boundary", n)
+	}
+}
+
+func TestAutoCutoffAllSimple(t *testing.T) {
+	// Uniformly simple features: the scan should keep most of them.
+	fs := make([]float64, 16)
+	for i := range fs {
+		fs[i] = 0.35
+	}
+	n, err := AutoCutoff(fs, DefaultCutoffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 12 {
+		t.Errorf("cutoff over uniform simple features = %d, want most of 16", n)
+	}
+}
+
+func TestAutoCutoffWarmStartFloor(t *testing.T) {
+	// Even if every feature is terrible, at least the warm-start count
+	// is selected.
+	fs := []float64{80, 80, 80, 80, 80, 80, 80, 80}
+	n, err := AutoCutoff(fs, DefaultCutoffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := int(math.Ceil(math.Log2(8)))
+	if n < warm {
+		t.Errorf("cutoff = %d, want >= warm start %d", n, warm)
+	}
+}
+
+func TestAutoCutoffBounds(t *testing.T) {
+	if _, err := AutoCutoff(nil, DefaultCutoffConfig()); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty cutoff error = %v", err)
+	}
+	n, err := AutoCutoff([]float64{0.2}, DefaultCutoffConfig())
+	if err != nil || n != 1 {
+		t.Errorf("single-feature cutoff = (%d, %v), want (1, nil)", n, err)
+	}
+	// MinFeatures override.
+	fs := []float64{1, 1, 1, 1, 1, 1}
+	n, err = AutoCutoff(fs, CutoffConfig{Alpha: 0.75, MinFeatures: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 {
+		t.Errorf("MinFeatures=5 cutoff = %d", n)
+	}
+	// MinFeatures above the feature count clamps.
+	n, err = AutoCutoff([]float64{1, 1}, CutoffConfig{MinFeatures: 10})
+	if err != nil || n != 2 {
+		t.Errorf("clamped cutoff = (%d, %v), want (2, nil)", n, err)
+	}
+}
+
+func TestAutoCutoffMonotoneInComplexity(t *testing.T) {
+	// Making the tail more complex must not increase the cutoff.
+	base := []float64{0.3, 0.3, 0.3, 0.3, 1, 1, 1, 1, 1, 1, 1, 1}
+	harder := append([]float64(nil), base...)
+	for i := 4; i < len(harder); i++ {
+		harder[i] = 90
+	}
+	nBase, err := AutoCutoff(base, DefaultCutoffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nHarder, err := AutoCutoff(harder, DefaultCutoffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHarder > nBase {
+		t.Errorf("harder tail selected more features: %d > %d", nHarder, nBase)
+	}
+}
+
+func TestFeatureComplexities(t *testing.T) {
+	xGood, y := separated(200, 4, 5)
+	xBad := make([]float64, len(xGood))
+	rng := rand.New(rand.NewSource(6))
+	for i := range xBad {
+		xBad[i] = rng.NormFloat64()
+	}
+	fs, err := FeatureComplexities([][]float64{xGood, xBad}, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0] >= fs[1] {
+		t.Errorf("FeatureComplexities = %v, want good < bad", fs)
+	}
+	if _, err := FeatureComplexities([][]float64{{1, 2}}, []int{1, 1}); err == nil {
+		t.Error("single-class columns should fail")
+	}
+}
+
+func TestCapInv(t *testing.T) {
+	if capInv(0) != InverseCap || capInv(-1) != InverseCap {
+		t.Error("non-positive capInv should hit cap")
+	}
+	if capInv(1e-9) != InverseCap {
+		t.Error("tiny capInv should hit cap")
+	}
+	if capInv(2) != 0.5 {
+		t.Error("capInv(2) should be 0.5")
+	}
+}

@@ -1,0 +1,96 @@
+package complexity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAutoCutoffBoundsProperty: for any non-degenerate complexity
+// profile, the cutoff is within [1, n].
+func TestAutoCutoffBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		fs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			fs[i] = math.Mod(math.Abs(v), InverseCap)
+		}
+		n, err := AutoCutoff(fs, DefaultCutoffConfig())
+		if err != nil {
+			return false
+		}
+		return n >= 1 && n <= len(fs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeasureBoundsProperty: F2 in [0, 1], F3 in [0, 1], F1 >= 0 for
+// any two-class sample.
+func TestMeasureBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(200)
+		x := make([]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+			y[i] = i % 2 // guarantee both classes
+		}
+		f1, err := FisherRatio(x, y)
+		if err != nil || f1 < 0 {
+			return false
+		}
+		f2, err := OverlapVolume(x, y)
+		if err != nil || f2 < 0 || f2 > 1 {
+			return false
+		}
+		f3, err := FeatureEfficiency(x, y)
+		if err != nil || f3 < 0 || f3 > 1 {
+			return false
+		}
+		e, err := Ensemble(x, y)
+		return err == nil && e >= 0 && e <= (2*InverseCap+1)/3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnsembleShiftInvariance: adding a constant to every value must
+// not change F2/F3 (they are range-based) nor F1 (mean-difference
+// based).
+func TestEnsembleShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	x := make([]float64, n)
+	shifted := make([]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		shifted[i] = x[i] + 1234.5
+		if rng.Float64() < 0.3 {
+			y[i] = 1
+			x[i] += 2
+			shifted[i] += 2
+		}
+	}
+	a, err := Ensemble(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ensemble(shifted, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("ensemble changed under shift: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/survival"
+)
+
+// ErrNotStarted indicates an Updater queried before its first update.
+var ErrNotStarted = errors.New("core: updater has no selection yet")
+
+// Updater implements the periodic re-selection loop of Section IV-D:
+// WEFR re-checks the survival change point and refreshes the selected
+// features on a fixed cadence (weekly in the paper) as the fleet wears
+// out. It is not safe for concurrent use.
+type Updater struct {
+	cfg      Config
+	interval int
+	lastDay  int
+	current  Result
+	started  bool
+	history  []UpdateEvent
+}
+
+// UpdateEvent records one completed re-selection.
+type UpdateEvent struct {
+	// Day is the dataset day the update ran.
+	Day int
+	// Result is the selection produced.
+	Result Result
+	// Changed reports whether the selected feature set differs from
+	// the previous one (for any group).
+	Changed bool
+}
+
+// NewUpdater returns an updater with the given WEFR configuration and
+// re-check interval in days; interval <= 0 means DefaultUpdateInterval.
+func NewUpdater(cfg Config, interval int) *Updater {
+	if interval <= 0 {
+		interval = DefaultUpdateInterval
+	}
+	return &Updater{cfg: cfg, interval: interval, lastDay: -1 << 30}
+}
+
+// Due reports whether a re-selection is due on the given day.
+func (u *Updater) Due(day int) bool {
+	return !u.started || day-u.lastDay >= u.interval
+}
+
+// Update runs WEFR on the given frame and survival curve if an update
+// is due, returning whether one ran. The frame should reflect the data
+// available up to the given day (the caller owns windowing).
+func (u *Updater) Update(day int, fr *frame.Frame, curve survival.Curve) (bool, error) {
+	if !u.Due(day) {
+		return false, nil
+	}
+	res, err := Select(fr, curve, u.cfg)
+	if err != nil {
+		return false, fmt.Errorf("core: update at day %d: %w", day, err)
+	}
+	changed := !u.started || !sameSelection(u.current, res)
+	u.current = res
+	u.lastDay = day
+	u.started = true
+	u.history = append(u.history, UpdateEvent{Day: day, Result: res, Changed: changed})
+	return true, nil
+}
+
+// Current returns the latest selection.
+func (u *Updater) Current() (Result, error) {
+	if !u.started {
+		return Result{}, ErrNotStarted
+	}
+	return u.current, nil
+}
+
+// FeaturesFor returns the currently selected features for a drive at
+// the given wear level.
+func (u *Updater) FeaturesFor(mwi float64) ([]string, error) {
+	if !u.started {
+		return nil, ErrNotStarted
+	}
+	return u.current.FeaturesFor(mwi), nil
+}
+
+// History returns the completed updates, oldest first. The returned
+// slice is shared; treat it as read-only.
+func (u *Updater) History() []UpdateEvent { return u.history }
+
+// sameSelection compares the feature lists of two results (global and
+// per group).
+func sameSelection(a, b Result) bool {
+	if !equalStrings(a.Global.Features, b.Global.Features) {
+		return false
+	}
+	if (a.Split == nil) != (b.Split == nil) {
+		return false
+	}
+	if a.Split == nil {
+		return true
+	}
+	return a.Split.ThresholdMWI == b.Split.ThresholdMWI &&
+		equalStrings(a.Split.Low.Features, b.Split.Low.Features) &&
+		equalStrings(a.Split.High.Features, b.Split.High.Features)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

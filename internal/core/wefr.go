@@ -1,0 +1,426 @@
+// Package core implements WEFR — Wear-out-updating Ensemble Feature
+// Ranking (Algorithm 1 of the DSN 2021 paper) — the repository's
+// primary contribution. WEFR selects SMART learning features for SSD
+// failure prediction in an automated and robust manner:
+//
+//  1. Run the five preliminary feature-selection approaches and collect
+//     their rankings (internal/selection).
+//  2. Discard rankings whose mean Kendall-tau distance to the others
+//     deviates by more than 1.96 standard deviations (95% confidence)
+//     from the mean — the robustness step.
+//  3. Aggregate the surviving rankings by mean rank.
+//  4. Determine the number of selected features automatically from the
+//     ensemble of data-complexity measures (internal/complexity).
+//  5. If the survival-rate-vs-MWI_N curve has a significant Bayesian
+//     change point (internal/survival, internal/changepoint), split the
+//     population at the corresponding MWI_N threshold and repeat 1-4
+//     per wear-out group — the wear-out-updating step.
+//
+// The package also provides Updater, the periodic (weekly, per the
+// paper) re-selection loop used in production-style deployments.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/changepoint"
+	"repro/internal/complexity"
+	"repro/internal/frame"
+	"repro/internal/selection"
+	"repro/internal/stats"
+	"repro/internal/survival"
+)
+
+// Errors returned by WEFR.
+var (
+	// ErrNoRankers indicates a configuration with no preliminary
+	// approaches.
+	ErrNoRankers = errors.New("core: no rankers configured")
+	// ErrNoFeatures indicates an input frame without feature columns.
+	ErrNoFeatures = errors.New("core: no features")
+)
+
+// DefaultOutlierZ is the paper's ranking-outlier threshold: 1.96
+// standard deviations, the 95% confidence level.
+const DefaultOutlierZ = 1.96
+
+// DefaultUpdateInterval is the paper's re-selection cadence in days
+// (weekly).
+const DefaultUpdateInterval = 7
+
+// Aggregation selects how the surviving rankings are combined into the
+// final ranking (line 7 of Algorithm 1). The paper uses the mean; the
+// alternatives exist for the aggregation ablation.
+type Aggregation int
+
+// Rank-aggregation strategies.
+const (
+	// AggregateMean averages ranks (the paper's choice; equivalent to
+	// Borda count up to ordering).
+	AggregateMean Aggregation = iota + 1
+	// AggregateMedian takes the element-wise median rank, tolerating
+	// one aberrant ranking without the explicit outlier-removal step.
+	AggregateMedian
+	// AggregateBest takes each feature's best (minimum) rank across
+	// approaches.
+	AggregateBest
+)
+
+// String names the aggregation for reports.
+func (a Aggregation) String() string {
+	switch a {
+	case AggregateMean:
+		return "mean"
+	case AggregateMedian:
+		return "median"
+	case AggregateBest:
+		return "best"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// Config parameterizes WEFR. The zero value selects the paper's
+// settings through withDefaults.
+type Config struct {
+	// Rankers are the preliminary approaches; nil means the paper's
+	// five (selection.DefaultRankers with Seed).
+	Rankers []selection.Ranker
+	// OutlierZ is the Kendall-tau outlier threshold in standard
+	// deviations; 0 means DefaultOutlierZ (1.96).
+	OutlierZ float64
+	// Cutoff configures the automated feature-count scan; the zero
+	// value uses the paper's alpha = 0.75 and log2 warm start.
+	Cutoff complexity.CutoffConfig
+	// Changepoint configures the survival-curve detector; the zero
+	// value uses changepoint.DefaultConfig.
+	Changepoint changepoint.Config
+	// ZThreshold is the change-point significance threshold; 0 means
+	// changepoint.DefaultZThreshold (2.5).
+	ZThreshold float64
+	// MinGroupPositives is the minimum positive-sample count a
+	// wear-out group needs before WEFR re-selects for it (smaller
+	// groups inherit the global selection); 0 means 8.
+	MinGroupPositives int
+	// Aggregate selects the rank-aggregation strategy; 0 means the
+	// paper's AggregateMean.
+	Aggregate Aggregation
+	// Serial disables parallel ranker execution. WEFR runs the
+	// preliminary approaches concurrently by default, which is what
+	// keeps its runtime close to the slowest ranker (Exp#4).
+	Serial bool
+	// Seed seeds the default rankers and any randomized ranker
+	// settings.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rankers == nil {
+		c.Rankers = selection.DefaultRankers(c.Seed)
+	}
+	if c.OutlierZ <= 0 {
+		c.OutlierZ = DefaultOutlierZ
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = changepoint.DefaultZThreshold
+	}
+	if c.Changepoint == (changepoint.Config{}) {
+		c.Changepoint = changepoint.DefaultConfig()
+	}
+	if c.MinGroupPositives <= 0 {
+		c.MinGroupPositives = 8
+	}
+	if c.Aggregate == 0 {
+		c.Aggregate = AggregateMean
+	}
+	return c
+}
+
+// RankerReport records one preliminary approach's contribution.
+type RankerReport struct {
+	// Name is the approach name.
+	Name string
+	// Ranks are the approach's fractional feature ranks.
+	Ranks []float64
+	// MeanDistance is the approach's mean Kendall-tau distance to the
+	// other approaches.
+	MeanDistance float64
+	// Outlier marks rankings discarded by the robustness step.
+	Outlier bool
+}
+
+// Selection is WEFR's output for one feature set: the ordered selected
+// features plus the evidence behind them.
+type Selection struct {
+	// Features are the selected feature names, most important first.
+	Features []string
+	// Count is len(Features), the automatically determined number.
+	Count int
+	// FinalRanks is the aggregated mean rank per input feature,
+	// aligned with the input frame's columns.
+	FinalRanks []float64
+	// Order is the feature ordering induced by FinalRanks (indices
+	// into the input frame's columns, best first).
+	Order []int
+	// Complexities is the ensemble complexity measure per feature, in
+	// Order order (Complexities[i] belongs to Order[i]).
+	Complexities []float64
+	// Rankers reports each preliminary approach, including outliers.
+	Rankers []RankerReport
+}
+
+// Result is the output of the full Algorithm 1: the global selection,
+// plus per-wear-group selections when a change point was found.
+type Result struct {
+	// Global is the selection over all SSDs of the model (lines 1-8).
+	Global Selection
+	// Split describes the wear-out update (lines 9-15); nil when the
+	// survival curve has no significant change point (e.g. MB1/MB2).
+	Split *WearSplit
+}
+
+// WearSplit is the wear-out-updating state: the MWI_N threshold at the
+// survival change point and the per-group selections.
+type WearSplit struct {
+	// ThresholdMWI separates the groups: Low is MWI_N < threshold.
+	ThresholdMWI float64
+	// Z is the change point's significance.
+	Z float64
+	// Low and High are the per-group selections. Either may equal the
+	// global selection when a group lacked sufficient positives.
+	Low, High Selection
+	// LowRefit and HighRefit report whether the group was actually
+	// re-selected (vs inheriting the global selection).
+	LowRefit, HighRefit bool
+}
+
+// FeaturesFor returns the selected features for a drive with the given
+// MWI_N, following the wear-out split when present.
+func (r Result) FeaturesFor(mwi float64) []string {
+	if r.Split == nil {
+		return r.Global.Features
+	}
+	if mwi < r.Split.ThresholdMWI {
+		return r.Split.Low.Features
+	}
+	return r.Split.High.Features
+}
+
+// SelectFeatures runs lines 1-8 of Algorithm 1 on a learning frame:
+// preliminary rankings, Kendall-tau outlier removal, mean-rank
+// aggregation, and the automated complexity cutoff.
+func SelectFeatures(fr *frame.Frame, cfg Config) (Selection, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Rankers) == 0 {
+		return Selection{}, ErrNoRankers
+	}
+	if fr == nil || fr.NumFeatures() == 0 {
+		return Selection{}, ErrNoFeatures
+	}
+
+	// Lines 3-5: rankings from every preliminary approach, in parallel
+	// unless configured serial.
+	ranks := make([][]float64, len(cfg.Rankers))
+	errs := make([]error, len(cfg.Rankers))
+	if cfg.Serial {
+		for i, r := range cfg.Rankers {
+			res, err := r.Rank(fr)
+			ranks[i], errs[i] = res.Ranks, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, r := range cfg.Rankers {
+			wg.Add(1)
+			go func(i int, r selection.Ranker) {
+				defer wg.Done()
+				res, err := r.Rank(fr)
+				ranks[i], errs[i] = res.Ranks, err
+			}(i, r)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return Selection{}, fmt.Errorf("core: ranker %s: %w", cfg.Rankers[i].Name(), err)
+		}
+	}
+
+	// Line 6: discard rankings with outlying mean Kendall-tau distance.
+	reports, kept, err := removeOutliers(cfg.Rankers, ranks, cfg.OutlierZ)
+	if err != nil {
+		return Selection{}, err
+	}
+
+	// Line 7: final ranking = aggregate of the surviving rankings
+	// (mean per the paper; median/best for the aggregation ablation).
+	var final []float64
+	switch cfg.Aggregate {
+	case AggregateMean:
+		final, err = stats.MeanRanks(kept)
+	case AggregateMedian:
+		final, err = stats.MedianRanks(kept)
+	case AggregateBest:
+		final, err = stats.MinRanks(kept)
+	default:
+		err = fmt.Errorf("core: unknown aggregation %v", cfg.Aggregate)
+	}
+	if err != nil {
+		return Selection{}, fmt.Errorf("core: aggregate rankings: %w", err)
+	}
+	order := stats.ArgsortAscending(final)
+
+	// Line 8: automated feature count from the complexity ensemble.
+	comps := make([]float64, len(order))
+	for i, f := range order {
+		c, err := complexity.Ensemble(fr.Col(f), fr.Labels())
+		if err != nil {
+			return Selection{}, fmt.Errorf("core: complexity of %s: %w", fr.Names()[f], err)
+		}
+		comps[i] = c
+	}
+	count, err := complexity.AutoCutoff(comps, cfg.Cutoff)
+	if err != nil {
+		return Selection{}, fmt.Errorf("core: auto cutoff: %w", err)
+	}
+
+	names := make([]string, count)
+	for i := 0; i < count; i++ {
+		names[i] = fr.Names()[order[i]]
+	}
+	return Selection{
+		Features:     names,
+		Count:        count,
+		FinalRanks:   final,
+		Order:        order,
+		Complexities: comps,
+		Rankers:      reports,
+	}, nil
+}
+
+// removeOutliers computes pairwise Kendall-tau distances between the
+// rankings, flags approaches whose mean distance z-score exceeds
+// outlierZ, and returns the per-ranker reports plus the surviving
+// rankings. At least two rankings always survive: with fewer, the mean
+// would degenerate to a single approach and lose robustness.
+func removeOutliers(rankers []selection.Ranker, ranks [][]float64, outlierZ float64) ([]RankerReport, [][]float64, error) {
+	n := len(ranks)
+	reports := make([]RankerReport, n)
+	if n == 1 {
+		reports[0] = RankerReport{Name: rankers[0].Name(), Ranks: ranks[0]}
+		return reports, ranks, nil
+	}
+
+	meanD := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d, err := stats.KendallTauDistance(ranks[i], ranks[j])
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: kendall distance %s vs %s: %w", rankers[i].Name(), rankers[j].Name(), err)
+			}
+			sum += float64(d)
+		}
+		meanD[i] = sum / float64(n-1)
+	}
+	mu, variance, err := stats.MeanVariance(meanD)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: outlier stats: %w", err)
+	}
+	sd := math.Sqrt(variance)
+
+	outlier := make([]bool, n)
+	nOut := 0
+	if sd > 0 {
+		for i := range meanD {
+			if (meanD[i]-mu)/sd > outlierZ {
+				outlier[i] = true
+				nOut++
+			}
+		}
+	}
+	// Keep at least two rankings: un-flag the least-deviant outliers.
+	for n-nOut < 2 && nOut > 0 {
+		worstKeep := -1
+		for i := range outlier {
+			if outlier[i] && (worstKeep < 0 || meanD[i] < meanD[worstKeep]) {
+				worstKeep = i
+			}
+		}
+		outlier[worstKeep] = false
+		nOut--
+	}
+
+	var kept [][]float64
+	for i := range ranks {
+		reports[i] = RankerReport{
+			Name:         rankers[i].Name(),
+			Ranks:        ranks[i],
+			MeanDistance: meanD[i],
+			Outlier:      outlier[i],
+		}
+		if !outlier[i] {
+			kept = append(kept, ranks[i])
+		}
+	}
+	return reports, kept, nil
+}
+
+// Select runs the full Algorithm 1: the global selection over the
+// frame, then — when the survival curve has a significant change point
+// — per-wear-group re-selection using the frame's per-sample MWI
+// metadata. Pass an empty curve (zero Curve) to skip the wear-out
+// update (the "WEFR (No update)" baseline of Exp#3).
+func Select(fr *frame.Frame, curve survival.Curve, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	global, err := SelectFeatures(fr, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Global: global}
+
+	if curve.Len() == 0 {
+		return res, nil
+	}
+	cp, found, err := curve.DetectChangePoint(cfg.Changepoint, cfg.ZThreshold)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: change point: %w", err)
+	}
+	if !found {
+		return res, nil
+	}
+
+	split := &WearSplit{ThresholdMWI: cp.MWI, Z: cp.Z, Low: global, High: global}
+	lowFr := fr.FilterRows(func(i int) bool { return fr.Meta(i).MWI < cp.MWI })
+	highFr := fr.FilterRows(func(i int) bool { return fr.Meta(i).MWI >= cp.MWI })
+
+	if groupUsable(lowFr, cfg.MinGroupPositives) {
+		sel, err := SelectFeatures(lowFr, cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: low-MWI group: %w", err)
+		}
+		split.Low, split.LowRefit = sel, true
+	}
+	if groupUsable(highFr, cfg.MinGroupPositives) {
+		sel, err := SelectFeatures(highFr, cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: high-MWI group: %w", err)
+		}
+		split.High, split.HighRefit = sel, true
+	}
+	res.Split = split
+	return res, nil
+}
+
+// groupUsable reports whether a wear-out group has enough signal to
+// re-select features: both classes present and a minimum number of
+// positives.
+func groupUsable(fr *frame.Frame, minPositives int) bool {
+	pos := fr.Positives()
+	return pos >= minPositives && pos < fr.NumRows()
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"sync"
+
+	"repro/internal/smart"
+)
+
+// CachedSource memoizes another Source's per-drive series. The
+// experiments harness builds many frames over the same fleet
+// (selection frames, per-group training frames, validation and test
+// frames, for several selectors and phases); without caching, lazily
+// generated simulator series would be recomputed for each. Safe for
+// concurrent use.
+type CachedSource struct {
+	// Inner is the wrapped source.
+	Inner Source
+
+	mu    sync.Mutex
+	cache map[int]cachedSeries
+}
+
+type cachedSeries struct {
+	cols    map[smart.Feature][]float64
+	lastDay int
+}
+
+var _ Source = (*CachedSource)(nil)
+
+// NewCachedSource wraps src with a series cache.
+func NewCachedSource(src Source) *CachedSource {
+	return &CachedSource{Inner: src, cache: make(map[int]cachedSeries)}
+}
+
+// Days implements Source.
+func (c *CachedSource) Days() int { return c.Inner.Days() }
+
+// DrivesOf implements Source.
+func (c *CachedSource) DrivesOf(m smart.ModelID) []DriveRef { return c.Inner.DrivesOf(m) }
+
+// Series implements Source, serving repeated requests from memory.
+func (c *CachedSource) Series(ref DriveRef) (map[smart.Feature][]float64, int, error) {
+	c.mu.Lock()
+	s, ok := c.cache[ref.ID]
+	c.mu.Unlock()
+	if ok {
+		return s.cols, s.lastDay, nil
+	}
+	cols, lastDay, err := c.Inner.Series(ref)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
+	c.cache[ref.ID] = cachedSeries{cols: cols, lastDay: lastDay}
+	c.mu.Unlock()
+	return cols, lastDay, nil
+}
+
+// Drop clears the cache, releasing memory between per-model passes.
+func (c *CachedSource) Drop() {
+	c.mu.Lock()
+	c.cache = make(map[int]cachedSeries)
+	c.mu.Unlock()
+}

@@ -1,0 +1,268 @@
+// Package dataset turns raw SMART logs into learning sets: it labels
+// drive-days with the paper's 30-day look-ahead rule, materializes
+// column-major frames for feature selection and training (optionally
+// expanding selected features with the generated statistics of
+// internal/featgen), and reads/writes the CSV layout of the released
+// Alibaba ssd_smart_logs dataset so real logs can replace the simulator.
+//
+// The package is source-agnostic: anything implementing Source — the
+// simulator adapter FleetSource or CSV-parsed Logs — can feed the same
+// pipeline.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/featgen"
+	"repro/internal/frame"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+)
+
+// Errors returned by dataset operations.
+var (
+	// ErrBadOpts indicates invalid frame options.
+	ErrBadOpts = errors.New("dataset: bad options")
+	// ErrNoSamples indicates a frame request that matched no drive-days.
+	ErrNoSamples = errors.New("dataset: no samples in range")
+)
+
+// PredictionWindow is the look-ahead labeling horizon in days: a
+// drive-day is positive when the drive fails within this many days
+// (Section II-B of the paper).
+const PredictionWindow = simulate.PredictionWindow
+
+// DriveRef identifies one drive in a Source.
+type DriveRef struct {
+	// ID is unique within the source.
+	ID int
+	// Model is the drive model.
+	Model smart.ModelID
+	// FailDay is the failure day, or -1 for healthy drives.
+	FailDay int
+}
+
+// Failed reports whether the drive fails within the dataset.
+func (r DriveRef) Failed() bool { return r.FailDay >= 0 }
+
+// Label returns 1 when the drive fails within PredictionWindow days of
+// the given day (inclusive), 0 otherwise.
+func (r DriveRef) Label(day int) int {
+	if r.Failed() && day >= r.FailDay-PredictionWindow && day <= r.FailDay {
+		return 1
+	}
+	return 0
+}
+
+// Source abstracts a SMART dataset: per-model drive inventories and
+// per-drive daily series.
+type Source interface {
+	// Days returns the dataset span in days.
+	Days() int
+	// DrivesOf returns the drives of one model.
+	DrivesOf(m smart.ModelID) []DriveRef
+	// Series returns the drive's feature columns and its last observed
+	// day (inclusive). Columns must all have length lastDay+1.
+	Series(ref DriveRef) (cols map[smart.Feature][]float64, lastDay int, err error)
+}
+
+// FleetSource adapts a simulated fleet to Source.
+type FleetSource struct {
+	// Fleet is the wrapped simulator fleet.
+	Fleet *simulate.Fleet
+}
+
+var _ Source = FleetSource{}
+
+// Days implements Source.
+func (s FleetSource) Days() int { return s.Fleet.Days() }
+
+// DrivesOf implements Source.
+func (s FleetSource) DrivesOf(m smart.ModelID) []DriveRef {
+	drives := s.Fleet.DrivesOf(m)
+	out := make([]DriveRef, len(drives))
+	for i, d := range drives {
+		out[i] = DriveRef{ID: d.ID, Model: d.Model, FailDay: d.FailDay}
+	}
+	return out
+}
+
+// Series implements Source.
+func (s FleetSource) Series(ref DriveRef) (map[smart.Feature][]float64, int, error) {
+	d, err := s.Fleet.Drive(ref.ID)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: %w", err)
+	}
+	ser := s.Fleet.Series(d)
+	cols := make(map[smart.Feature][]float64)
+	for _, ft := range ser.Features() {
+		cols[ft] = ser.Col(ft)
+	}
+	return cols, ser.LastDay, nil
+}
+
+// FrameOpts selects which drive-days of a model are materialized into a
+// learning frame and which features each sample carries.
+type FrameOpts struct {
+	// Model is the drive model to extract.
+	Model smart.ModelID
+	// DayLo and DayHi bound the sample days (inclusive). DayHi 0 means
+	// the dataset end.
+	DayLo, DayHi int
+	// NegEvery keeps every k-th negative drive-day per drive (all
+	// positive days are always kept); 0 means 7. Use 1 to keep every
+	// day.
+	NegEvery int
+	// Features restricts the original features; nil means every
+	// feature the model reports.
+	Features []smart.Feature
+	// Expand additionally generates the 12 statistical features of
+	// featgen for every original feature in the frame.
+	Expand bool
+	// Windows overrides the expansion windows; nil means
+	// featgen.DefaultWindows.
+	Windows []int
+	// MWIBelow, when > 0, keeps only samples whose MWI_N that day is
+	// strictly below the threshold; MWIAtLeast keeps only samples at
+	// or above it. At most one may be set.
+	MWIBelow   float64
+	MWIAtLeast float64
+}
+
+func (o FrameOpts) normalize(days int) (FrameOpts, error) {
+	if !o.Model.Valid() {
+		return o, fmt.Errorf("%w: invalid model %v", ErrBadOpts, o.Model)
+	}
+	if o.DayHi == 0 {
+		o.DayHi = days - 1
+	}
+	if o.DayLo < 0 || o.DayHi >= days || o.DayLo > o.DayHi {
+		return o, fmt.Errorf("%w: day range [%d, %d] outside dataset of %d days", ErrBadOpts, o.DayLo, o.DayHi, days)
+	}
+	if o.NegEvery <= 0 {
+		o.NegEvery = 7
+	}
+	if o.Windows == nil {
+		o.Windows = featgen.DefaultWindows
+	}
+	if o.MWIBelow > 0 && o.MWIAtLeast > 0 {
+		return o, fmt.Errorf("%w: MWIBelow and MWIAtLeast are mutually exclusive", ErrBadOpts)
+	}
+	if o.Features == nil {
+		o.Features = smart.MustSpec(o.Model).Features()
+	}
+	return o, nil
+}
+
+// Frame materializes a learning frame per the options. Columns are the
+// original features in the given order, followed (if Expand) by the
+// generated statistics of each original feature, grouped per feature.
+// Sample metadata records the drive, day, and that day's MWI_N.
+func Frame(src Source, opts FrameOpts) (*frame.Frame, error) {
+	opts, err := opts.normalize(src.Days())
+	if err != nil {
+		return nil, err
+	}
+
+	names := make([]string, 0, len(opts.Features)*(1+featgen.NumGenerated(opts.Windows)))
+	for _, ft := range opts.Features {
+		names = append(names, ft.String())
+	}
+	if opts.Expand {
+		for _, ft := range opts.Features {
+			names = append(names, featgen.Names(ft.String(), opts.Windows)...)
+		}
+	}
+
+	cols := make([][]float64, len(names))
+	for i := range cols {
+		cols[i] = []float64{}
+	}
+	var labels []int
+	var meta []frame.Meta
+
+	mwiFeat := smart.Feature{Attr: smart.MWI, Kind: smart.Normalized}
+	for _, ref := range src.DrivesOf(opts.Model) {
+		series, lastDay, err := src.Series(ref)
+		if err != nil {
+			return nil, err
+		}
+		hi := opts.DayHi
+		if hi > lastDay {
+			hi = lastDay
+		}
+		if opts.DayLo > hi {
+			continue
+		}
+
+		// Expanded columns are generated lazily, only when some sample
+		// day of this drive survives the filters.
+		var expanded [][]float64
+		haveExpanded := false
+
+		for day := opts.DayLo; day <= hi; day++ {
+			label := ref.Label(day)
+			if label == 0 && (day-ref.ID)%opts.NegEvery != 0 {
+				continue
+			}
+			mwi := 0.0
+			if mcol, ok := series[mwiFeat]; ok {
+				mwi = mcol[day]
+			}
+			if opts.MWIBelow > 0 && mwi >= opts.MWIBelow {
+				continue
+			}
+			if opts.MWIAtLeast > 0 && mwi < opts.MWIAtLeast {
+				continue
+			}
+			if opts.Expand && !haveExpanded {
+				expanded, err = expandSeries(series, opts.Features, opts.Windows)
+				if err != nil {
+					return nil, err
+				}
+				haveExpanded = true
+			}
+
+			c := 0
+			for _, ft := range opts.Features {
+				col, ok := series[ft]
+				if !ok {
+					return nil, fmt.Errorf("dataset: model %v missing feature %v", opts.Model, ft)
+				}
+				cols[c] = append(cols[c], col[day])
+				c++
+			}
+			if opts.Expand {
+				for _, ecol := range expanded {
+					cols[c] = append(cols[c], ecol[day])
+					c++
+				}
+			}
+			labels = append(labels, label)
+			meta = append(meta, frame.Meta{DriveID: ref.ID, Day: day, MWI: mwi})
+		}
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("%w: model %v days [%d, %d]", ErrNoSamples, opts.Model, opts.DayLo, opts.DayHi)
+	}
+	return frame.New(names, cols, labels, meta)
+}
+
+// expandSeries generates the statistical columns for each original
+// feature of one drive, ordered per feature then per generated stat.
+func expandSeries(series map[smart.Feature][]float64, feats []smart.Feature, windows []int) ([][]float64, error) {
+	var out [][]float64
+	for _, ft := range feats {
+		col, ok := series[ft]
+		if !ok {
+			return nil, fmt.Errorf("dataset: missing feature %v for expansion", ft)
+		}
+		gen, err := featgen.Generate(col, windows)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: expand %v: %w", ft, err)
+		}
+		out = append(out, gen...)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/smart"
+)
+
+// faultySource injects errors and malformed series into consumers to
+// verify propagation rather than silent misbehaviour.
+type faultySource struct {
+	days   int
+	refs   []DriveRef
+	series func(ref DriveRef) (map[smart.Feature][]float64, int, error)
+}
+
+var _ Source = faultySource{}
+
+func (f faultySource) Days() int { return f.days }
+
+func (f faultySource) DrivesOf(m smart.ModelID) []DriveRef {
+	var out []DriveRef
+	for _, r := range f.refs {
+		if r.Model == m {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (f faultySource) Series(ref DriveRef) (map[smart.Feature][]float64, int, error) {
+	return f.series(ref)
+}
+
+var errInjected = errors.New("injected failure")
+
+func TestFrameSeriesErrorPropagates(t *testing.T) {
+	src := faultySource{
+		days: 100,
+		refs: []DriveRef{{ID: 1, Model: smart.MC1, FailDay: -1}},
+		series: func(DriveRef) (map[smart.Feature][]float64, int, error) {
+			return nil, 0, errInjected
+		},
+	}
+	if _, err := Frame(src, FrameOpts{Model: smart.MC1}); !errors.Is(err, errInjected) {
+		t.Errorf("error = %v, want injected", err)
+	}
+}
+
+func TestFrameMissingFeature(t *testing.T) {
+	// A series lacking a feature the model spec promises must be
+	// rejected, not zero-filled.
+	src := faultySource{
+		days: 100,
+		refs: []DriveRef{{ID: 1, Model: smart.MC1, FailDay: -1}},
+		series: func(DriveRef) (map[smart.Feature][]float64, int, error) {
+			cols := map[smart.Feature][]float64{
+				{Attr: smart.MWI, Kind: smart.Normalized}: make([]float64, 100),
+			}
+			return cols, 99, nil
+		},
+	}
+	_, err := Frame(src, FrameOpts{Model: smart.MC1, NegEvery: 1})
+	if err == nil {
+		t.Fatal("missing feature should fail")
+	}
+}
+
+func TestCachedSourcePropagatesAndRecovers(t *testing.T) {
+	calls := 0
+	src := faultySource{
+		days: 10,
+		refs: []DriveRef{{ID: 1, Model: smart.MC1, FailDay: -1}},
+		series: func(DriveRef) (map[smart.Feature][]float64, int, error) {
+			calls++
+			if calls == 1 {
+				return nil, 0, errInjected
+			}
+			return map[smart.Feature][]float64{
+				{Attr: smart.MWI, Kind: smart.Normalized}: {1, 2, 3},
+			}, 2, nil
+		},
+	}
+	cached := NewCachedSource(src)
+	ref := DriveRef{ID: 1, Model: smart.MC1, FailDay: -1}
+	if _, _, err := cached.Series(ref); !errors.Is(err, errInjected) {
+		t.Fatalf("first call error = %v", err)
+	}
+	// An error must not be cached: the second call succeeds.
+	cols, last, err := cached.Series(ref)
+	if err != nil || last != 2 || cols == nil {
+		t.Fatalf("second call = (%v, %d, %v)", cols, last, err)
+	}
+	// Third call comes from cache (no new inner call).
+	if _, _, err := cached.Series(ref); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("inner calls = %d, want 2 (error not cached, success cached)", calls)
+	}
+	cached.Drop()
+	if _, _, err := cached.Series(ref); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls after Drop = %d, want 3", calls)
+	}
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/smart"
+)
+
+// ReadOptions controls the lenient CSV reader for real-world SMART
+// logs, implementing the "data preprocessing" stage of the paper's
+// workflow (Section II-B): daily logs from production fleets have
+// missing days (collector outages) and missing cells (attributes a
+// firmware revision stopped reporting), which the strict reader
+// rejects.
+type ReadOptions struct {
+	// FillGaps forward-fills missing days with the last observation:
+	// a drive logged on days 3 and 6 gets days 4 and 5 copied from
+	// day 3. Without it, a gap is an error.
+	FillGaps bool
+	// MaxGap bounds the forward-fill span in days; a larger gap is an
+	// error even with FillGaps. 0 means 14.
+	MaxGap int
+	// FillMissingCells replaces empty cells with the previous day's
+	// value for that feature (or 0 on the first day). Without it, an
+	// empty cell is an error.
+	FillMissingCells bool
+	// DedupeDays keeps the last of duplicate (drive, day) rows rather
+	// than erroring.
+	DedupeDays bool
+}
+
+func (o ReadOptions) maxGap() int {
+	if o.MaxGap <= 0 {
+		return 14
+	}
+	return o.MaxGap
+}
+
+// ReadModelCSVWith parses a SMART log file with preprocessing per the
+// options. ReadModelCSV is equivalent to ReadModelCSVWith with the
+// zero options (strict).
+func ReadModelCSVWith(r io.Reader, opts ReadOptions) (*Logs, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadCSV, err)
+	}
+	if len(header) < 4 || header[0] != "day" || header[1] != "model" || header[2] != "drive_id" {
+		return nil, fmt.Errorf("%w: unexpected header %v", ErrBadCSV, header)
+	}
+	feats := make([]smart.Feature, len(header)-3)
+	for i, name := range header[3:] {
+		ft, err := smart.ParseFeature(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCSV, err)
+		}
+		feats[i] = ft
+	}
+
+	l := &Logs{
+		feats:  feats,
+		series: make(map[int]map[smart.Feature][]float64),
+		last:   make(map[int]int),
+		fail:   make(map[int]int),
+	}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadCSV, line+1, err)
+		}
+		line++
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("%w: line %d has %d fields, want %d", ErrBadCSV, line, len(row), len(header))
+		}
+		day, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d day: %v", ErrBadCSV, line, err)
+		}
+		model, err := smart.ParseModel(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadCSV, line, err)
+		}
+		if l.model == 0 {
+			l.model = model
+		} else if model != l.model {
+			return nil, fmt.Errorf("%w: line %d: mixed models %v and %v", ErrBadCSV, line, l.model, model)
+		}
+		id, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d drive: %v", ErrBadCSV, line, err)
+		}
+		s, ok := l.series[id]
+		if !ok {
+			s = make(map[smart.Feature][]float64, len(feats))
+			for _, ft := range feats {
+				s[ft] = []float64{}
+			}
+			l.series[id] = s
+			l.last[id] = -1
+		}
+
+		switch {
+		case day == l.last[id]+1:
+			// Consecutive: normal append below.
+		case day <= l.last[id]:
+			if !opts.DedupeDays {
+				return nil, fmt.Errorf("%w: line %d: drive %d day %d repeats or precedes day %d", ErrBadCSV, line, id, day, l.last[id])
+			}
+			if day < l.last[id] {
+				return nil, fmt.Errorf("%w: line %d: drive %d day %d out of order", ErrBadCSV, line, id, day)
+			}
+			// Duplicate of the current day: overwrite in place.
+			for i, ft := range feats {
+				v, err := parseCell(row[3+i], s[ft], opts)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d field %s: %v", ErrBadCSV, line, ft, err)
+				}
+				s[ft][len(s[ft])-1] = v
+			}
+			continue
+		default: // gap
+			gap := day - l.last[id] - 1
+			if !opts.FillGaps {
+				return nil, fmt.Errorf("%w: line %d: drive %d day %d not consecutive after %d", ErrBadCSV, line, id, day, l.last[id])
+			}
+			if gap > opts.maxGap() {
+				return nil, fmt.Errorf("%w: line %d: drive %d gap of %d days exceeds limit %d", ErrBadCSV, line, id, gap, opts.maxGap())
+			}
+			if l.last[id] < 0 {
+				return nil, fmt.Errorf("%w: line %d: drive %d starts at day %d, want 0", ErrBadCSV, line, id, day)
+			}
+			for g := 0; g < gap; g++ {
+				for _, ft := range feats {
+					col := s[ft]
+					s[ft] = append(col, col[len(col)-1])
+				}
+			}
+			l.last[id] = day - 1
+		}
+
+		for i, ft := range feats {
+			v, err := parseCell(row[3+i], s[ft], opts)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d field %s: %v", ErrBadCSV, line, ft, err)
+			}
+			s[ft] = append(s[ft], v)
+		}
+		l.last[id] = day
+		if day+1 > l.days {
+			l.days = day + 1
+		}
+	}
+	if len(l.series) == 0 {
+		return nil, fmt.Errorf("%w: no data rows", ErrBadCSV)
+	}
+	return l, nil
+}
+
+// parseCell parses one value cell, filling empty cells from the
+// previous observation when allowed.
+func parseCell(cell string, col []float64, opts ReadOptions) (float64, error) {
+	if cell == "" {
+		if !opts.FillMissingCells {
+			return 0, errors.New("empty cell")
+		}
+		if len(col) == 0 {
+			return 0, nil
+		}
+		return col[len(col)-1], nil
+	}
+	return strconv.ParseFloat(cell, 64)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/selection"
+	"repro/internal/smart"
+	"repro/internal/textplot"
+)
+
+// Exp4Result is the runtime comparison (Table VIII): the wall-clock
+// time of each preliminary approach and of WEFR (which runs them in
+// parallel, so its runtime tracks the slowest approach) on the MC1
+// frame, averaged over rounds.
+type Exp4Result struct {
+	Model   smart.ModelID
+	Rounds  int
+	Names   []string
+	Runtime []time.Duration
+	// WEFRSerial is WEFR's runtime with parallel ranking disabled, an
+	// ablation showing what the parallelism buys.
+	WEFRSerial time.Duration
+}
+
+// Exp4 runs Table VIII on MC1 (the most populous model). rounds <= 0
+// means 5 (the paper uses 20; the shape is stable well before that).
+func (h *Harness) Exp4(rounds int) (Exp4Result, error) {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	fwm, err := h.selectionFrame(smart.MC1)
+	if err != nil {
+		return Exp4Result{}, err
+	}
+	res := Exp4Result{Model: smart.MC1, Rounds: rounds}
+
+	for _, rk := range selection.DefaultRankers(h.cfg.Seed) {
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			if _, err := rk.Rank(fwm.fr); err != nil {
+				return Exp4Result{}, fmt.Errorf("experiments: exp4 %s: %w", rk.Name(), err)
+			}
+			total += time.Since(start)
+		}
+		res.Names = append(res.Names, rk.Name())
+		res.Runtime = append(res.Runtime, total/time.Duration(rounds))
+	}
+
+	// WEFR end to end (parallel rankers), then the serial ablation.
+	for _, serial := range []bool{false, true} {
+		cfg := core.Config{Seed: h.cfg.Seed, Serial: serial}
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			if _, err := core.SelectFeatures(fwm.fr, cfg); err != nil {
+				return Exp4Result{}, fmt.Errorf("experiments: exp4 wefr: %w", err)
+			}
+			total += time.Since(start)
+		}
+		avg := total / time.Duration(rounds)
+		if serial {
+			res.WEFRSerial = avg
+		} else {
+			res.Names = append(res.Names, "WEFR")
+			res.Runtime = append(res.Runtime, avg)
+		}
+	}
+	return res, nil
+}
+
+// Render formats Table VIII.
+func (r Exp4Result) Render() string {
+	header := []string{"Method", "Runtime"}
+	var rows [][]string
+	for i, name := range r.Names {
+		rows = append(rows, []string{name, fmt.Sprintf("%.2fs", r.Runtime[i].Seconds())})
+	}
+	rows = append(rows, []string{"WEFR (serial ablation)", fmt.Sprintf("%.2fs", r.WEFRSerial.Seconds())})
+	return fmt.Sprintf("Table VIII (Exp#4): average feature-selection runtime on %s over %d rounds\n", r.Model, r.Rounds) +
+		textplot.Table(header, rows)
+}
+
+// RuntimeOf returns the named method's average runtime, or false.
+func (r Exp4Result) RuntimeOf(name string) (time.Duration, bool) {
+	for i, n := range r.Names {
+		if n == name {
+			return r.Runtime[i], true
+		}
+	}
+	return 0, false
+}
+
+// SlowestRanker returns the largest single-approach runtime.
+func (r Exp4Result) SlowestRanker() time.Duration {
+	var worst time.Duration
+	for i, n := range r.Names {
+		if n == "WEFR" {
+			continue
+		}
+		if r.Runtime[i] > worst {
+			worst = r.Runtime[i]
+		}
+	}
+	return worst
+}

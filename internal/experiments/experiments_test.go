@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/smart"
+)
+
+// Harness construction is the expensive part of these tests; the two
+// configurations are shared across test functions (read-only use).
+var (
+	onceFull    sync.Once
+	fullHarness *Harness
+	fullErr     error
+
+	onceDuo    sync.Once
+	duoHarness *Harness
+	duoErr     error
+)
+
+// full returns a six-model harness for the characterization tables.
+func full(t *testing.T) *Harness {
+	t.Helper()
+	onceFull.Do(func() {
+		fullHarness, fullErr = New(TestConfig())
+	})
+	if fullErr != nil {
+		t.Fatal(fullErr)
+	}
+	return fullHarness
+}
+
+// duo returns a two-model harness with a minimal sweep for the
+// pipeline-heavy experiments.
+func duo(t *testing.T) *Harness {
+	t.Helper()
+	onceDuo.Do(func() {
+		cfg := Config{
+			TotalDrives:   1100,
+			Seed:          2,
+			AFRScale:      4,
+			NegEvery:      45,
+			Forest:        forest.Config{NumTrees: 12, MaxDepth: 7},
+			SweepPercents: []float64{0.3, 0.7},
+			Models:        []smart.ModelID{smart.MA1, smart.MC1},
+			PhaseCount:    1,
+		}
+		duoHarness, duoErr = New(cfg)
+	})
+	if duoErr != nil {
+		t.Fatal(duoErr)
+	}
+	return duoHarness
+}
+
+func TestTable1(t *testing.T) {
+	h := full(t)
+	r := h.Table1()
+	if len(r.Attrs) != 22 || len(r.Models) != 6 {
+		t.Fatalf("shape = (%d attrs, %d models)", len(r.Attrs), len(r.Models))
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Media Wearout Indicator") {
+		t.Error("render missing attribute names")
+	}
+	// Spot-check a ✗: RER on MA1 (first attr, first model).
+	if r.Attrs[0] != smart.RER || r.Available[0][0] {
+		t.Error("RER should be unavailable on MA1")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	h := full(t)
+	r := h.Table2()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var totalPct float64
+	for _, row := range r.Rows {
+		totalPct += row.TotalPct
+		if row.Drives <= 0 || row.Failures < 0 {
+			t.Errorf("%v: drives %d failures %d", row.Model, row.Drives, row.Failures)
+		}
+	}
+	if totalPct < 0.99 || totalPct > 1.01 {
+		t.Errorf("total shares = %v", totalPct)
+	}
+	// TLC AFR above MLC (Table II's headline).
+	byModel := map[smart.ModelID]Table2Row{}
+	for _, row := range r.Rows {
+		byModel[row.Model] = row
+	}
+	mlc := (byModel[smart.MA1].AFR + byModel[smart.MA2].AFR + byModel[smart.MB1].AFR + byModel[smart.MB2].AFR) / 4
+	tlc := (byModel[smart.MC1].AFR + byModel[smart.MC2].AFR) / 2
+	if tlc <= mlc {
+		t.Errorf("TLC AFR %v should exceed MLC %v", tlc, mlc)
+	}
+	if !strings.Contains(r.Render(), "MC1") {
+		t.Error("render missing models")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	h := full(t)
+	r, err := h.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	find := func(m smart.ModelID) Table3Row {
+		for _, row := range r.Rows {
+			if row.Model == m {
+				return row
+			}
+		}
+		t.Fatalf("missing %v", m)
+		return Table3Row{}
+	}
+	// MC1's planted signature is OCE/UCE: one of them must be ranked
+	// first, as in the paper's Table III.
+	mc1 := find(smart.MC1)
+	top := mc1.Top[0].Name
+	if !strings.HasPrefix(top, "OCE") && !strings.HasPrefix(top, "UCE") {
+		t.Errorf("MC1 top feature = %s, want OCE_*/UCE_*", top)
+	}
+	// MA1's signature is PLP.
+	ma1 := find(smart.MA1)
+	foundPLP := false
+	for _, f := range ma1.Top {
+		if strings.HasPrefix(f.Name, "PLP") {
+			foundPLP = true
+		}
+	}
+	if !foundPLP {
+		t.Errorf("MA1 top-3 lacks PLP: %v", ma1.Top)
+	}
+	// Last features score (near) zero relative to top.
+	for _, row := range r.Rows {
+		if row.Last[0].Score > row.Top[0].Score/3 {
+			t.Errorf("%v last score %v vs top %v: trivial features should score low",
+				row.Model, row.Last[0].Score, row.Top[0].Score)
+		}
+	}
+	if !strings.Contains(r.Render(), "Top 1") {
+		t.Error("render header missing")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	h := full(t)
+	r, err := h.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Model != smart.MC1 || len(r.Approach) != 5 {
+		t.Fatalf("model %v, approaches %d", r.Model, len(r.Approach))
+	}
+	for a, top := range r.Top {
+		if len(top) != 5 {
+			t.Fatalf("%s top = %d", r.Approach[a], len(top))
+		}
+	}
+	// The approaches must not fully agree (Table IV's point): at least
+	// two top-5 lists differ.
+	allSame := true
+	for a := 1; a < len(r.Top); a++ {
+		for i := range r.Top[a] {
+			if r.Top[a][i] != r.Top[0][i] {
+				allSame = false
+			}
+		}
+	}
+	if allSame {
+		t.Error("all five approaches produced identical top-5 rankings")
+	}
+	if !strings.Contains(r.Render(), "Rank") {
+		t.Error("render missing")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	h := full(t)
+	r, err := h.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 6 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	got := map[smart.ModelID]*Fig1Curve{}
+	for i := range r.Curves {
+		got[r.Curves[i].Model] = &r.Curves[i]
+	}
+	// Wear models have change points; MB models do not.
+	for _, m := range []smart.ModelID{smart.MA1, smart.MC1} {
+		if got[m].ChangePoint == nil {
+			t.Errorf("%v: expected a change point", m)
+		}
+	}
+	for _, m := range []smart.ModelID{smart.MB1, smart.MB2} {
+		if got[m].ChangePoint != nil {
+			t.Errorf("%v: unexpected change point at %v", m, got[m].ChangePoint.MWI)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "survival") || !strings.Contains(out, "no change point") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	h := full(t)
+	r, err := h.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no wear-split rows")
+	}
+	for _, row := range r.Rows {
+		if len(row.Low) == 0 || len(row.High) == 0 {
+			t.Errorf("%v: empty group rankings", row.Model)
+		}
+	}
+	// MWI/POH should feature in at least one low-MWI top-5 (the
+	// paper's key observation for Table V).
+	seenWear := false
+	for _, row := range r.Rows {
+		for _, f := range row.Low {
+			if strings.HasPrefix(f, "MWI") || strings.HasPrefix(f, "POH") {
+				seenWear = true
+			}
+		}
+	}
+	if !seenWear {
+		t.Error("no low-MWI group ranks MWI/POH in its top-5")
+	}
+	skipped := map[smart.ModelID]bool{}
+	for _, m := range r.Skipped {
+		skipped[m] = true
+	}
+	if !skipped[smart.MB1] || !skipped[smart.MB2] {
+		t.Errorf("MB models should be skipped, got %v", r.Skipped)
+	}
+	if !strings.Contains(r.Render(), "Low") {
+		t.Error("render missing")
+	}
+}
+
+func TestExp1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exp1 is heavy")
+	}
+	h := duo(t)
+	r, err := h.Exp1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Methods) != 7 {
+		t.Fatalf("methods = %v", r.Methods)
+	}
+	wefr, ok := r.Score("WEFR")
+	if !ok {
+		t.Fatal("missing WEFR")
+	}
+	none, ok := r.Score("No feature selection")
+	if !ok {
+		t.Fatal("missing no-selection")
+	}
+	// The headline claim at reproduction scale: selection does not
+	// hurt, and WEFR's F0.5 is at least competitive overall.
+	if wefr.F05 < none.F05-0.02 {
+		t.Errorf("WEFR F0.5 %.3f below no-selection %.3f", wefr.F05, none.F05)
+	}
+	if wefr.F05 <= 0 {
+		t.Error("WEFR F0.5 is zero")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "WEFR") || !strings.Contains(out, "All P") {
+		t.Error("render incomplete")
+	}
+	if _, ok := r.ModelScore("WEFR", smart.MC1); !ok {
+		t.Error("ModelScore lookup failed")
+	}
+	if _, ok := r.Score("nope"); ok {
+		t.Error("unknown method should not resolve")
+	}
+}
+
+func TestExp2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exp2 is heavy")
+	}
+	h := duo(t)
+	r, err := h.Exp2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Models) != 2 {
+		t.Fatalf("models = %d", len(r.Models))
+	}
+	for _, em := range r.Models {
+		if len(em.F05) != 2 {
+			t.Fatalf("%v sweep points = %d", em.Model, len(em.F05))
+		}
+		if em.WEFRPercent <= 0 || em.WEFRPercent > 1 {
+			t.Errorf("%v WEFR percent = %v", em.Model, em.WEFRPercent)
+		}
+		for _, f := range append(append([]float64(nil), em.F05...), em.WEFRF05) {
+			if f < 0 || f > 1 {
+				t.Errorf("%v F0.5 out of range: %v", em.Model, f)
+			}
+		}
+	}
+	// Fig 2's claim, asserted only where the phase has enough failures
+	// for a stable score (MC1, the largest model), with a generous
+	// band for the tiny smoke-test fleet.
+	for _, em := range r.Models {
+		if em.Model != smart.MC1 {
+			continue
+		}
+		if em.WEFRF05 < em.BestFixedF05()-0.35 {
+			t.Errorf("MC1 WEFR F0.5 %.3f far below best fixed %.3f",
+				em.WEFRF05, em.BestFixedF05())
+		}
+	}
+	if !strings.Contains(r.Render(), "WEFR") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExp3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exp3 is heavy")
+	}
+	h := duo(t)
+	r, err := h.Exp3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no wear-split models in exp3")
+	}
+	for _, row := range r.Rows {
+		if row.ThresholdMWI <= 0 {
+			t.Errorf("%v threshold = %v", row.Model, row.ThresholdMWI)
+		}
+	}
+	if !strings.Contains(r.Render(), "No update") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExp4(t *testing.T) {
+	h := full(t)
+	r, err := h.Exp4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names) != 6 { // five approaches + WEFR
+		t.Fatalf("names = %v", r.Names)
+	}
+	wefr, ok := r.RuntimeOf("WEFR")
+	if !ok {
+		t.Fatal("missing WEFR runtime")
+	}
+	slowest := r.SlowestRanker()
+	if slowest <= 0 {
+		t.Fatal("no ranker runtimes")
+	}
+	// Exp#4's claim: parallel WEFR costs close to the slowest single
+	// approach, not their sum (allow generous slack for the complexity
+	// scan and scheduling).
+	if wefr > slowest*3 {
+		t.Errorf("WEFR runtime %v should track the slowest ranker %v", wefr, slowest)
+	}
+	if !strings.Contains(r.Render(), "serial ablation") {
+		t.Error("render incomplete")
+	}
+	if _, ok := r.RuntimeOf("nope"); ok {
+		t.Error("unknown runtime lookup should fail")
+	}
+}
+
+func TestPhaseCountTrim(t *testing.T) {
+	h := duo(t)
+	if got := len(h.phases()); got != 1 {
+		t.Errorf("phases = %d, want 1", got)
+	}
+	hf := full(t)
+	if got := len(hf.phases()); got != 3 {
+		t.Errorf("full phases = %d, want 3", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config should fail (no drives)")
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is heavy")
+	}
+	h := duo(t)
+	r, err := h.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 4 || len(r.Scores) != 4 {
+		t.Fatalf("variants = %d, scores = %d", len(r.Variants), len(r.Scores))
+	}
+	for i, n := range r.Selected {
+		if n < 1 {
+			t.Errorf("variant %d selected %d features", i, n)
+		}
+	}
+	if !strings.Contains(r.Render(), "outlier removal") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestHarnessAccessors(t *testing.T) {
+	h := full(t)
+	if h.Source() == nil || h.Fleet() == nil {
+		t.Fatal("nil accessors")
+	}
+	if len(h.Models()) != 6 {
+		t.Errorf("models = %v", h.Models())
+	}
+	if h.Fleet().Days() != h.Source().Days() {
+		t.Error("days mismatch between fleet and source")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{TotalDrives: 100}.withDefaults()
+	if cfg.Days != 730 || cfg.AFRScale != 3 || cfg.NegEvery != 20 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.Forest.NumTrees != 100 || cfg.Forest.MaxDepth != 13 {
+		t.Errorf("forest defaults = %+v", cfg.Forest)
+	}
+	if len(cfg.SweepPercents) != 10 {
+		t.Errorf("sweep defaults = %v", cfg.SweepPercents)
+	}
+	if len(cfg.Models) != 6 {
+		t.Errorf("model defaults = %v", cfg.Models)
+	}
+}

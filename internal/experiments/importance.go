@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/changepoint"
+	"repro/internal/selection"
+	"repro/internal/smart"
+	"repro/internal/survival"
+	"repro/internal/textplot"
+)
+
+// RankedFeature is a feature name with its importance score.
+type RankedFeature struct {
+	Name  string
+	Score float64
+}
+
+// Table3Row holds one model's top and bottom features by Random
+// Forest importance.
+type Table3Row struct {
+	Model smart.ModelID
+	Top   []RankedFeature
+	Last  []RankedFeature
+}
+
+// Table3Result is the feature-importance characterization (Table III).
+type Table3Result struct {
+	Rows []Table3Row
+	K    int // how many top/last features per model
+}
+
+// Table3 reproduces Table III: the top-3 and last-3 learning features
+// per model under Random Forest importance evaluation.
+func (h *Harness) Table3() (Table3Result, error) {
+	res := Table3Result{K: 3}
+	ranker := selection.RandomForest{Seed: h.cfg.Seed}
+	for _, m := range h.cfg.Models {
+		fwm, err := h.selectionFrame(m)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		r, err := ranker.Rank(fwm.fr)
+		if err != nil {
+			return Table3Result{}, fmt.Errorf("experiments: table3 %v: %w", m, err)
+		}
+		order := r.TopN(fwm.fr.NumFeatures())
+		row := Table3Row{Model: m}
+		for i := 0; i < res.K && i < len(order); i++ {
+			f := order[i]
+			row.Top = append(row.Top, RankedFeature{Name: fwm.fr.Names()[f], Score: r.Scores[f]})
+		}
+		for i := 0; i < res.K && i < len(order); i++ {
+			f := order[len(order)-1-i]
+			row.Last = append(row.Last, RankedFeature{Name: fwm.fr.Names()[f], Score: r.Scores[f]})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats Table III.
+func (r Table3Result) Render() string {
+	header := []string{"Model"}
+	for i := 1; i <= r.K; i++ {
+		header = append(header, fmt.Sprintf("Top %d", i))
+	}
+	for i := 1; i <= r.K; i++ {
+		header = append(header, fmt.Sprintf("Last %d", i))
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{row.Model.String()}
+		for _, f := range row.Top {
+			cells = append(cells, fmt.Sprintf("%s (%.3f)", f.Name, f.Score))
+		}
+		for _, f := range row.Last {
+			cells = append(cells, fmt.Sprintf("%s (%.3f)", f.Name, f.Score))
+		}
+		rows = append(rows, cells)
+	}
+	return "Table III: top/last learning features by Random Forest importance\n" +
+		textplot.Table(header, rows)
+}
+
+// Table4Result holds the top-K rankings of one model under each of the
+// five preliminary approaches (Table IV uses MC1).
+type Table4Result struct {
+	Model    smart.ModelID
+	K        int
+	Approach []string
+	Top      [][]string // Top[a] = approach a's top-K feature names
+}
+
+// Table4 reproduces Table IV: the top-5 features for MC1 under the
+// five feature-selection approaches, demonstrating their disagreement.
+func (h *Harness) Table4() (Table4Result, error) {
+	const k = 5
+	model := smart.MC1
+	fwm, err := h.selectionFrame(model)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	res := Table4Result{Model: model, K: k}
+	for _, ranker := range selection.DefaultRankers(h.cfg.Seed) {
+		r, err := ranker.Rank(fwm.fr)
+		if err != nil {
+			return Table4Result{}, fmt.Errorf("experiments: table4 %s: %w", ranker.Name(), err)
+		}
+		var top []string
+		for _, f := range r.TopN(k) {
+			top = append(top, fwm.fr.Names()[f])
+		}
+		res.Approach = append(res.Approach, ranker.Name())
+		res.Top = append(res.Top, top)
+	}
+	return res, nil
+}
+
+// Render formats Table IV.
+func (r Table4Result) Render() string {
+	header := []string{"Rank"}
+	header = append(header, r.Approach...)
+	var rows [][]string
+	for i := 0; i < r.K; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for a := range r.Approach {
+			row = append(row, r.Top[a][i])
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("Table IV: top-%d features for %s per approach\n", r.K, r.Model) +
+		textplot.Table(header, rows)
+}
+
+// Fig1Curve is one model's survival curve with its change point.
+type Fig1Curve struct {
+	Model       smart.ModelID
+	Curve       survival.Curve
+	ChangePoint *survival.ChangePoint // nil when none is significant
+}
+
+// Fig1Result is the survival-rate characterization (Figure 1).
+type Fig1Result struct {
+	Curves []Fig1Curve
+}
+
+// Fig1 reproduces Figure 1: survival rate versus MWI_N per model with
+// Bayesian change points.
+func (h *Harness) Fig1() (Fig1Result, error) {
+	var res Fig1Result
+	for _, m := range h.cfg.Models {
+		c, err := survival.Compute(h.src, m, 0)
+		if err != nil {
+			return Fig1Result{}, fmt.Errorf("experiments: fig1 %v: %w", m, err)
+		}
+		fc := Fig1Curve{Model: m, Curve: c}
+		cp, found, err := c.DetectChangePoint(changepoint.DefaultConfig(), changepoint.DefaultZThreshold)
+		if err != nil {
+			return Fig1Result{}, fmt.Errorf("experiments: fig1 %v: %w", m, err)
+		}
+		if found {
+			fc.ChangePoint = &cp
+		}
+		res.Curves = append(res.Curves, fc)
+	}
+	return res, nil
+}
+
+// Render draws one ASCII plot per model, marking the change point.
+func (r Fig1Result) Render() string {
+	out := "Figure 1: survival rate vs MWI_N (o marks the detected change point)\n"
+	for _, fc := range r.Curves {
+		series := []textplot.Series{{
+			Name: fmt.Sprintf("%s survival", fc.Model), X: fc.Curve.Values, Y: fc.Curve.Rates, Marker: '*',
+		}}
+		title := fc.Model.String()
+		if fc.ChangePoint != nil {
+			series = append(series, textplot.Series{
+				Name:   fmt.Sprintf("change point (MWI_N=%.0f, z=%.1f)", fc.ChangePoint.MWI, fc.ChangePoint.Z),
+				X:      []float64{fc.ChangePoint.MWI},
+				Y:      []float64{fc.Curve.Rates[fc.ChangePoint.Index]},
+				Marker: 'o',
+			})
+		} else {
+			title += " (no change point)"
+		}
+		plot, err := textplot.Plot(title, series, 72, 12)
+		if err != nil {
+			plot = fmt.Sprintf("%s: %v\n", fc.Model, err)
+		}
+		out += plot + "\n"
+	}
+	return out
+}
+
+// Table5Row is one model's top-K features per wear-out group.
+type Table5Row struct {
+	Model        smart.ModelID
+	ThresholdMWI float64
+	Low, High    []string
+}
+
+// Table5Result is the wear-dependent importance table (Table V).
+type Table5Result struct {
+	Rows []Table5Row
+	K    int
+	// Skipped lists models with no change point (MB1/MB2 in the
+	// paper).
+	Skipped []smart.ModelID
+}
+
+// Table5 reproduces Table V: top-5 Random-Forest features per MWI_N
+// group for the models whose survival curve has a change point.
+func (h *Harness) Table5() (Table5Result, error) {
+	const k = 5
+	res := Table5Result{K: k}
+	ranker := selection.RandomForest{Seed: h.cfg.Seed}
+	for _, m := range h.cfg.Models {
+		c, err := survival.Compute(h.src, m, 0)
+		if err != nil {
+			return Table5Result{}, err
+		}
+		cp, found, err := c.DetectChangePoint(changepoint.DefaultConfig(), changepoint.DefaultZThreshold)
+		if err != nil {
+			return Table5Result{}, err
+		}
+		if !found {
+			res.Skipped = append(res.Skipped, m)
+			continue
+		}
+		fwm, err := h.selectionFrame(m)
+		if err != nil {
+			return Table5Result{}, err
+		}
+		row := Table5Row{Model: m, ThresholdMWI: cp.MWI}
+		for _, grp := range []struct {
+			dst *[]string
+			low bool
+		}{{&row.Low, true}, {&row.High, false}} {
+			sub := fwm.fr.FilterRows(func(i int) bool {
+				if grp.low {
+					return fwm.fr.Meta(i).MWI < cp.MWI
+				}
+				return fwm.fr.Meta(i).MWI >= cp.MWI
+			})
+			if sub.Positives() == 0 || sub.Positives() == sub.NumRows() {
+				*grp.dst = []string{"(insufficient samples)"}
+				continue
+			}
+			r, err := ranker.Rank(sub)
+			if err != nil {
+				return Table5Result{}, fmt.Errorf("experiments: table5 %v: %w", m, err)
+			}
+			for _, f := range r.TopN(k) {
+				*grp.dst = append(*grp.dst, sub.Names()[f])
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats Table V.
+func (r Table5Result) Render() string {
+	header := []string{"Model", "MWI_N group"}
+	for i := 1; i <= r.K; i++ {
+		header = append(header, fmt.Sprintf("Rank %d", i))
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		low := []string{row.Model.String(), fmt.Sprintf("Low (<%.0f)", row.ThresholdMWI)}
+		low = append(low, row.Low...)
+		high := []string{"", fmt.Sprintf("High (>=%.0f)", row.ThresholdMWI)}
+		high = append(high, row.High...)
+		rows = append(rows, low, high)
+	}
+	out := "Table V: top features per wear-out group (Random Forest importance)\n" +
+		textplot.Table(header, rows)
+	if len(r.Skipped) > 0 {
+		out += "No change point (skipped):"
+		for _, m := range r.Skipped {
+			out += " " + m.String()
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/smart"
+	"repro/internal/textplot"
+)
+
+// frameWithModel pairs a learning frame with its drive model.
+type frameWithModel struct {
+	fr    *frame.Frame
+	model smart.ModelID
+}
+
+// Table1Result is the SMART attribute availability matrix (Table I).
+type Table1Result struct {
+	// Attrs are the 22 catalog attributes.
+	Attrs []smart.AttrID
+	// Available[a][m] reports whether attribute a (by index into
+	// Attrs) is present on model m (by index into Models).
+	Available [][]bool
+	// Models are the columns.
+	Models []smart.ModelID
+}
+
+// Table1 reproduces Table I from the encoded drive-model specs.
+func (h *Harness) Table1() Table1Result {
+	res := Table1Result{Attrs: smart.AllAttrs(), Models: smart.AllModels()}
+	for _, a := range res.Attrs {
+		row := make([]bool, len(res.Models))
+		for j, m := range res.Models {
+			row[j] = smart.MustSpec(m).HasAttr(a)
+		}
+		res.Available = append(res.Available, row)
+	}
+	return res
+}
+
+// Render formats the availability matrix as the paper lays it out.
+func (r Table1Result) Render() string {
+	header := []string{"SMART attribute"}
+	for _, m := range r.Models {
+		header = append(header, m.String())
+	}
+	var rows [][]string
+	for i, a := range r.Attrs {
+		row := []string{fmt.Sprintf("%s (%s)", a.LongName(), a)}
+		for j := range r.Models {
+			mark := "x"
+			if r.Available[i][j] {
+				mark = "v"
+			}
+			row = append(row, mark)
+		}
+		rows = append(rows, row)
+	}
+	return "Table I: SMART attributes per drive model (v = included)\n" +
+		textplot.Table(header, rows)
+}
+
+// Table2Row is one drive model's fleet statistics.
+type Table2Row struct {
+	Model       smart.ModelID
+	Flash       smart.FlashTech
+	TotalPct    float64 // share of the SSD population
+	FailuresPct float64 // share of all failures
+	AFR         float64 // realized annualized failure rate (fraction)
+	Drives      int
+	Failures    int
+}
+
+// Table2Result is the fleet summary (Table II) measured on the
+// simulated fleet.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 reproduces Table II: population shares, failure shares, and
+// AFRs realized by the simulator (the AFRScale multiplier applies).
+func (h *Harness) Table2() Table2Result {
+	fleet := h.Fleet()
+	totalDrives, totalFailures := 0, 0
+	type raw struct {
+		drives, fails, driveDays int
+	}
+	perModel := map[smart.ModelID]raw{}
+	for _, m := range h.cfg.Models {
+		drives := fleet.DrivesOf(m)
+		r := raw{drives: len(drives)}
+		for _, d := range drives {
+			if d.Failed() {
+				r.fails++
+				r.driveDays += d.FailDay + 1
+			} else {
+				r.driveDays += fleet.Days()
+			}
+		}
+		perModel[m] = r
+		totalDrives += r.drives
+		totalFailures += r.fails
+	}
+	var res Table2Result
+	for _, m := range h.cfg.Models {
+		r := perModel[m]
+		res.Rows = append(res.Rows, Table2Row{
+			Model:       m,
+			Flash:       smart.MustSpec(m).Flash,
+			TotalPct:    float64(r.drives) / float64(totalDrives),
+			FailuresPct: float64(r.fails) / float64(max(1, totalFailures)),
+			AFR:         metrics.AFR(r.fails, r.driveDays),
+			Drives:      r.drives,
+			Failures:    r.fails,
+		})
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render formats the fleet summary as Table II.
+func (r Table2Result) Render() string {
+	header := []string{"Drive model", "Flash", "Total %", "Failures %", "AFR (%)", "Drives", "Failures"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Model.String(),
+			row.Flash.String(),
+			fmt.Sprintf("%.1f%%", row.TotalPct*100),
+			fmt.Sprintf("%.1f%%", row.FailuresPct*100),
+			fmt.Sprintf("%.2f%%", row.AFR*100),
+			fmt.Sprintf("%d", row.Drives),
+			fmt.Sprintf("%d", row.Failures),
+		})
+	}
+	return "Table II: fleet statistics (simulated; AFR includes the harness AFRScale)\n" +
+		textplot.Table(header, rows)
+}

@@ -1,0 +1,74 @@
+// Package featgen implements the statistical feature generation of
+// Section V-A of the WEFR paper: for each original (selected) SMART
+// feature, the maximum, minimum, mean, standard deviation, range
+// (difference between maximum and minimum), and recency-weighted moving
+// average over trailing 3-day and 7-day windows, producing 12 generated
+// features per original feature.
+package featgen
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// DefaultWindows are the paper's window lengths in days.
+var DefaultWindows = []int{3, 7}
+
+// statNames are the per-window statistic suffixes, in output order.
+var statNames = [...]string{"max", "min", "mean", "std", "range", "wma"}
+
+// StatsPerWindow is the number of statistics generated per window.
+const StatsPerWindow = len(statNames)
+
+// ErrNoWindows indicates an empty window list.
+var ErrNoWindows = errors.New("featgen: no windows")
+
+// Names returns the generated feature names for one base feature, in
+// the same order Generate emits columns: for each window, the six
+// statistics suffixed ".<stat><window>" (e.g. "UCE_R.max3").
+func Names(base string, windows []int) []string {
+	out := make([]string, 0, len(windows)*StatsPerWindow)
+	for _, w := range windows {
+		for _, s := range statNames {
+			out = append(out, fmt.Sprintf("%s.%s%d", base, s, w))
+		}
+	}
+	return out
+}
+
+// Generate computes the generated feature columns for a daily series.
+// The result has len(windows)*StatsPerWindow columns, each of the same
+// length as the input; early days use the partial window available so
+// far, matching stats.Rolling.
+func Generate(series []float64, windows []int) ([][]float64, error) {
+	if len(windows) == 0 {
+		return nil, ErrNoWindows
+	}
+	out := make([][]float64, 0, len(windows)*StatsPerWindow)
+	for _, w := range windows {
+		rs, err := stats.Rolling(series, w)
+		if err != nil {
+			return nil, fmt.Errorf("featgen: window %d: %w", w, err)
+		}
+		cols := make([][]float64, StatsPerWindow)
+		for i := range cols {
+			cols[i] = make([]float64, len(series))
+		}
+		for t, r := range rs {
+			cols[0][t] = r.Max
+			cols[1][t] = r.Min
+			cols[2][t] = r.Mean
+			cols[3][t] = r.Std
+			cols[4][t] = r.Range
+			cols[5][t] = r.WMA
+		}
+		out = append(out, cols...)
+	}
+	return out, nil
+}
+
+// NumGenerated returns the number of generated features per original
+// feature for the given windows.
+func NumGenerated(windows []int) int { return len(windows) * StatsPerWindow }

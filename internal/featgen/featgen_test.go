@@ -1,0 +1,89 @@
+package featgen
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNames(t *testing.T) {
+	names := Names("UCE_R", DefaultWindows)
+	if len(names) != 12 {
+		t.Fatalf("names len = %d, want 12", len(names))
+	}
+	want := []string{
+		"UCE_R.max3", "UCE_R.min3", "UCE_R.mean3", "UCE_R.std3", "UCE_R.range3", "UCE_R.wma3",
+		"UCE_R.max7", "UCE_R.min7", "UCE_R.mean7", "UCE_R.std7", "UCE_R.range7", "UCE_R.wma7",
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cols, err := Generate(series, DefaultWindows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != NumGenerated(DefaultWindows) {
+		t.Fatalf("cols = %d, want %d", len(cols), NumGenerated(DefaultWindows))
+	}
+	for i, c := range cols {
+		if len(c) != len(series) {
+			t.Errorf("col %d length %d, want %d", i, len(c), len(series))
+		}
+	}
+}
+
+func TestGenerateValues(t *testing.T) {
+	series := []float64{4, 2, 6}
+	cols, err := Generate(series, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Day 2, full window [4, 2, 6].
+	if cols[0][2] != 6 { // max
+		t.Errorf("max = %v", cols[0][2])
+	}
+	if cols[1][2] != 2 { // min
+		t.Errorf("min = %v", cols[1][2])
+	}
+	if cols[2][2] != 4 { // mean
+		t.Errorf("mean = %v", cols[2][2])
+	}
+	if cols[4][2] != 4 { // range
+		t.Errorf("range = %v", cols[4][2])
+	}
+	// WMA weights 1,2,3: (4 + 4 + 18)/6.
+	if math.Abs(cols[5][2]-26.0/6) > 1e-12 {
+		t.Errorf("wma = %v, want %v", cols[5][2], 26.0/6)
+	}
+	// Day 0: degenerate partial window.
+	if cols[0][0] != 4 || cols[1][0] != 4 || cols[3][0] != 0 {
+		t.Errorf("day 0 stats = max %v min %v std %v", cols[0][0], cols[1][0], cols[3][0])
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate([]float64{1}, nil); !errors.Is(err, ErrNoWindows) {
+		t.Errorf("no windows error = %v", err)
+	}
+	if _, err := Generate([]float64{1}, []int{0}); err == nil {
+		t.Error("zero window should fail")
+	}
+}
+
+func TestNamesMatchColumns(t *testing.T) {
+	windows := []int{2, 5, 9}
+	names := Names("X", windows)
+	cols, err := Generate([]float64{1, 2, 3}, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(cols) {
+		t.Errorf("names %d != cols %d", len(names), len(cols))
+	}
+}

@@ -1,0 +1,377 @@
+// Package forest implements a Random Forest binary classifier on top of
+// internal/tree: bootstrap bagging, per-node random feature subsampling,
+// parallel tree induction, probability averaging, and the two feature-
+// importance evaluations the WEFR paper relies on — mean decrease in
+// impurity and out-of-bag permutation importance (Breiman 2001).
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tree"
+)
+
+// Errors returned by forest fitting and importance evaluation.
+var (
+	// ErrNoData indicates a fit over zero samples or zero features.
+	ErrNoData = errors.New("forest: no training data")
+	// ErrNotFitted indicates prediction or importance on an unfitted forest.
+	ErrNotFitted = errors.New("forest: not fitted")
+	// ErrNoTrainingState indicates an out-of-bag operation on a forest
+	// without training-side state (e.g. one deserialized for
+	// deployment).
+	ErrNoTrainingState = errors.New("forest: no training state")
+)
+
+// Config controls forest induction. The zero value is unusable for
+// NumTrees; use DefaultConfig for the paper's settings.
+type Config struct {
+	// NumTrees is the number of bagged trees (paper: 100).
+	NumTrees int
+	// MaxDepth limits each tree's depth (paper: 13); 0 = unlimited.
+	MaxDepth int
+	// MinLeafSamples is the per-leaf minimum (default 1).
+	MinLeafSamples int
+	// MaxFeatures is the number of split candidates per node; 0 means
+	// floor(sqrt(#features)), the Random Forest default.
+	MaxFeatures int
+	// Workers bounds fitting parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the fit deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's prediction-model settings: 100
+// trees of maximum depth 13.
+func DefaultConfig() Config {
+	return Config{NumTrees: 100, MaxDepth: 13}
+}
+
+// Forest is a fitted Random Forest.
+type Forest struct {
+	trees     []*tree.Classifier
+	oob       [][]int // per-tree out-of-bag row indices
+	nFeatures int
+	cfg       Config
+	cols      [][]float64 // training columns, retained for OOB importance
+	y         []int
+}
+
+// Fit trains a forest on column-major data (cols[f][i] is feature f of
+// sample i) with binary labels y.
+func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
+	if len(cols) == 0 || len(y) == 0 {
+		return nil, ErrNoData
+	}
+	for f, c := range cols {
+		if len(c) != len(y) {
+			return nil, fmt.Errorf("forest: column %d has %d rows, labels have %d", f, len(c), len(y))
+		}
+	}
+	if cfg.NumTrees <= 0 {
+		return nil, fmt.Errorf("forest: NumTrees must be positive, got %d", cfg.NumTrees)
+	}
+	maxFeat := cfg.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = int(math.Sqrt(float64(len(cols))))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+
+	n := len(y)
+	f := &Forest{
+		trees:     make([]*tree.Classifier, cfg.NumTrees),
+		oob:       make([][]int, cfg.NumTrees),
+		nFeatures: len(cols),
+		cfg:       cfg,
+		cols:      cols,
+		y:         y,
+	}
+
+	// Draw all bootstrap samples up-front from a single seeded source so
+	// the fit is deterministic regardless of worker scheduling.
+	boots := make([][]int, cfg.NumTrees)
+	seeds := make([]int64, cfg.NumTrees)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.NumTrees; t++ {
+		idx := make([]int, n)
+		inBag := make([]bool, n)
+		for i := range idx {
+			j := rng.Intn(n)
+			idx[i] = j
+			inBag[j] = true
+		}
+		boots[t] = idx
+		var oob []int
+		for i, in := range inBag {
+			if !in {
+				oob = append(oob, i)
+			}
+		}
+		f.oob[t] = oob
+		seeds[t] = rng.Int63()
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				tc := tree.Config{
+					MaxDepth:       cfg.MaxDepth,
+					MinLeafSamples: cfg.MinLeafSamples,
+					MaxFeatures:    maxFeat,
+					Seed:           seeds[t],
+				}
+				tr, err := tree.FitClassifier(cols, y, boots[t], tc)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("forest: tree %d: %w", t, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				f.trees[t] = tr
+			}
+		}()
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f, nil
+}
+
+// PredictProba returns the positive-class probability for one sample:
+// the mean of the per-tree leaf probabilities.
+func (f *Forest) PredictProba(x []float64) float64 {
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.PredictProba(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the hard 0/1 prediction at the given probability
+// threshold.
+func (f *Forest) Predict(x []float64, threshold float64) int {
+	if f.PredictProba(x) >= threshold {
+		return 1
+	}
+	return 0
+}
+
+// PredictProbaAll scores every row of column-major data and returns the
+// probabilities. The data must have the same feature count as training.
+func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
+	if len(cols) != f.nFeatures {
+		return nil, fmt.Errorf("forest: %d columns, fitted with %d", len(cols), f.nFeatures)
+	}
+	if len(cols) == 0 {
+		return nil, ErrNoData
+	}
+	n := len(cols[0])
+	out := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			x := make([]float64, f.nFeatures)
+			for i := lo; i < hi; i++ {
+				for j := range cols {
+					x[j] = cols[j][i]
+				}
+				out[i] = f.PredictProba(x)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// NumTrees returns the number of fitted trees.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// NumFeatures returns the feature count the forest was fitted with.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// ImpurityImportance returns the mean-decrease-in-impurity feature
+// importance, averaged over trees and normalized to sum to 1 (all-zero
+// if no split was ever made).
+func (f *Forest) ImpurityImportance() ([]float64, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if f.cols == nil {
+		// Deserialized forests carry no importance accumulators.
+		return nil, ErrNoTrainingState
+	}
+	total := make([]float64, f.nFeatures)
+	for _, t := range f.trees {
+		for i, v := range t.Importance() {
+			total[i] += v
+		}
+	}
+	sum := 0.0
+	for _, v := range total {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range total {
+			total[i] /= sum
+		}
+	}
+	return total, nil
+}
+
+// PermutationImportance returns Breiman-style out-of-bag permutation
+// importance: for each feature, the mean decrease in OOB accuracy after
+// permuting that feature's values, averaged over trees. Negative values
+// are reported as-is (they indicate pure-noise features). The rng seed
+// controls the permutations.
+func (f *Forest) PermutationImportance(seed int64) ([]float64, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if f.cols == nil || len(f.oob) != len(f.trees) {
+		return nil, ErrNoTrainingState
+	}
+	rng := rand.New(rand.NewSource(seed))
+	imp := make([]float64, f.nFeatures)
+	counted := make([]int, f.nFeatures)
+
+	x := make([]float64, f.nFeatures)
+	for ti, t := range f.trees {
+		oob := f.oob[ti]
+		if len(oob) == 0 {
+			continue
+		}
+		// Baseline OOB accuracy of this tree.
+		base := 0
+		for _, i := range oob {
+			for j := range f.cols {
+				x[j] = f.cols[j][i]
+			}
+			pred := 0
+			if t.PredictProba(x) >= 0.5 {
+				pred = 1
+			}
+			if pred == f.y[i] {
+				base++
+			}
+		}
+		baseAcc := float64(base) / float64(len(oob))
+
+		perm := make([]int, len(oob))
+		for feat := 0; feat < f.nFeatures; feat++ {
+			copy(perm, oob)
+			rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			correct := 0
+			for k, i := range oob {
+				for j := range f.cols {
+					x[j] = f.cols[j][i]
+				}
+				x[feat] = f.cols[feat][perm[k]] // permuted value
+				pred := 0
+				if t.PredictProba(x) >= 0.5 {
+					pred = 1
+				}
+				if pred == f.y[i] {
+					correct++
+				}
+			}
+			imp[feat] += baseAcc - float64(correct)/float64(len(oob))
+			counted[feat]++
+		}
+	}
+	for i := range imp {
+		if counted[i] > 0 {
+			imp[i] /= float64(counted[i])
+		}
+	}
+	return imp, nil
+}
+
+// OOBAccuracy returns the out-of-bag accuracy estimate: each sample is
+// scored only by trees that did not see it in their bootstrap.
+func (f *Forest) OOBAccuracy() (float64, error) {
+	if len(f.trees) == 0 {
+		return 0, ErrNotFitted
+	}
+	if f.cols == nil || len(f.oob) != len(f.trees) {
+		return 0, ErrNoTrainingState
+	}
+	n := len(f.y)
+	votes := make([]float64, n)
+	counts := make([]int, n)
+	x := make([]float64, f.nFeatures)
+	for ti, t := range f.trees {
+		for _, i := range f.oob[ti] {
+			for j := range f.cols {
+				x[j] = f.cols[j][i]
+			}
+			votes[i] += t.PredictProba(x)
+			counts[i]++
+		}
+	}
+	correct, scored := 0, 0
+	for i := 0; i < n; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		scored++
+		pred := 0
+		if votes[i]/float64(counts[i]) >= 0.5 {
+			pred = 1
+		}
+		if pred == f.y[i] {
+			correct++
+		}
+	}
+	if scored == 0 {
+		return 0, errors.New("forest: no out-of-bag samples")
+	}
+	return float64(correct) / float64(scored), nil
+}

@@ -1,0 +1,67 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPredictProbaBoundedProperty: forest probabilities stay in [0, 1]
+// for arbitrary query points, including far outside the training range.
+func TestPredictProbaBoundedProperty(t *testing.T) {
+	cols, y := blobs(300, 2, 31)
+	f, err := Fit(cols, y, Config{NumTrees: 10, MaxDepth: 6, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b, c float64) bool {
+		p := f.PredictProba([]float64{a, b, c})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImportanceSumProperty: impurity importance is a probability
+// vector (or all zeros) regardless of data shape.
+func TestImportanceSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		nf := 1 + rng.Intn(6)
+		cols := make([][]float64, nf)
+		for j := range cols {
+			cols[j] = make([]float64, n)
+			for i := range cols[j] {
+				cols[j][i] = rng.NormFloat64()
+			}
+		}
+		y := make([]int, n)
+		for i := range y {
+			if rng.Float64() < 0.4 {
+				y[i] = 1
+			}
+		}
+		fst, err := Fit(cols, y, Config{NumTrees: 5, MaxDepth: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		imp, err := fst.ImpurityImportance()
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range imp {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == 0 || (sum > 0.999 && sum < 1.001)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

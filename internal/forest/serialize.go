@@ -1,0 +1,64 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// encodedForest is the gob wire form of a fitted forest.
+type encodedForest struct {
+	Trees     []tree.Encoded
+	NFeatures int
+}
+
+// ErrBadEncoding indicates serialized bytes that do not decode into a
+// valid forest.
+var ErrBadEncoding = errors.New("forest: bad encoding")
+
+// MarshalBinary serializes the forest for deployment: tree structures
+// and feature count only. Training-side state (bootstrap indices,
+// out-of-bag bookkeeping, training data references) is deliberately
+// dropped — a deserialized forest predicts identically but cannot
+// compute importances or OOB estimates.
+func (f *Forest) MarshalBinary() ([]byte, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	enc := encodedForest{NFeatures: f.nFeatures}
+	for _, t := range f.trees {
+		enc.Trees = append(enc.Trees, t.Export())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
+		return nil, fmt.Errorf("forest: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalForest reconstructs a prediction-ready forest from bytes
+// produced by MarshalBinary.
+func UnmarshalForest(data []byte) (*Forest, error) {
+	var enc encodedForest
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&enc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if len(enc.Trees) == 0 {
+		return nil, fmt.Errorf("%w: no trees", ErrBadEncoding)
+	}
+	f := &Forest{nFeatures: enc.NFeatures}
+	for i, et := range enc.Trees {
+		t, err := tree.Import(et)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tree %d: %v", ErrBadEncoding, i, err)
+		}
+		if t.NumFeatures() != enc.NFeatures {
+			return nil, fmt.Errorf("%w: tree %d has %d features, forest %d", ErrBadEncoding, i, t.NumFeatures(), enc.NFeatures)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

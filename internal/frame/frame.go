@@ -1,0 +1,262 @@
+// Package frame provides the column-major learning-set container shared
+// by the feature-selection approaches, the tree learners, and the
+// prediction pipeline. A Frame holds a feature matrix, feature names,
+// binary labels, and optional per-sample metadata (drive, day, wear-out
+// level) used by the drive-level evaluation and wear-out grouping.
+//
+// Frames are column-major because every consumer in this repository —
+// correlation ranking, split finding in trees, complexity measures —
+// iterates feature-wise over all samples. Row access is provided for
+// model prediction via Row.
+package frame
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Frame constructors and accessors.
+var (
+	// ErrShapeMismatch indicates columns (or labels/meta) of unequal length.
+	ErrShapeMismatch = errors.New("frame: shape mismatch")
+	// ErrNoSuchColumn indicates an unknown feature name or index.
+	ErrNoSuchColumn = errors.New("frame: no such column")
+	// ErrEmpty indicates an operation that requires at least one row.
+	ErrEmpty = errors.New("frame: empty frame")
+)
+
+// Meta carries the per-sample bookkeeping the pipeline needs beyond the
+// feature values: which drive the sample came from, which (dataset) day
+// it was observed, and the drive's wear-out level (MWI_N) on that day.
+type Meta struct {
+	DriveID int
+	Day     int
+	MWI     float64
+}
+
+// Frame is an immutable-by-convention learning set. Construct with New
+// and derive filtered/projected views with the Select/Filter methods,
+// which copy the necessary data so the derived frame does not alias the
+// parent's label or column slices unless documented.
+type Frame struct {
+	names []string
+	index map[string]int
+	cols  [][]float64
+	label []int
+	meta  []Meta
+}
+
+// New builds a Frame from feature names, column data (cols[f][i] is the
+// value of feature f for sample i), binary labels, and optional metadata
+// (may be nil; otherwise must match the row count).
+func New(names []string, cols [][]float64, label []int, meta []Meta) (*Frame, error) {
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("%w: %d names vs %d columns", ErrShapeMismatch, len(names), len(cols))
+	}
+	rows := len(label)
+	for i, c := range cols {
+		if len(c) != rows {
+			return nil, fmt.Errorf("%w: column %q has %d rows, labels have %d", ErrShapeMismatch, names[i], len(c), rows)
+		}
+	}
+	if meta != nil && len(meta) != rows {
+		return nil, fmt.Errorf("%w: %d meta vs %d rows", ErrShapeMismatch, len(meta), rows)
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; dup {
+			return nil, fmt.Errorf("frame: duplicate column name %q", n)
+		}
+		idx[n] = i
+	}
+	return &Frame{names: names, index: idx, cols: cols, label: label, meta: meta}, nil
+}
+
+// NumRows returns the number of samples.
+func (f *Frame) NumRows() int { return len(f.label) }
+
+// NumFeatures returns the number of feature columns.
+func (f *Frame) NumFeatures() int { return len(f.cols) }
+
+// Names returns the feature names. The returned slice is shared; treat
+// it as read-only.
+func (f *Frame) Names() []string { return f.names }
+
+// Col returns the column at index i. The returned slice is shared;
+// treat it as read-only.
+func (f *Frame) Col(i int) []float64 { return f.cols[i] }
+
+// ColByName returns the column with the given feature name.
+func (f *Frame) ColByName(name string) ([]float64, error) {
+	i, ok := f.index[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, name)
+	}
+	return f.cols[i], nil
+}
+
+// ColIndex returns the index of the named column, or -1 if absent.
+func (f *Frame) ColIndex(name string) int {
+	i, ok := f.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Labels returns the binary label vector. Shared; treat as read-only.
+func (f *Frame) Labels() []int { return f.label }
+
+// LabelsFloat returns the labels as float64 (needed by correlation-based
+// rankers). The returned slice is freshly allocated.
+func (f *Frame) LabelsFloat() []float64 {
+	out := make([]float64, len(f.label))
+	for i, y := range f.label {
+		out[i] = float64(y)
+	}
+	return out
+}
+
+// Meta returns the metadata for sample i. It returns the zero Meta when
+// the frame carries no metadata.
+func (f *Frame) Meta(i int) Meta {
+	if f.meta == nil {
+		return Meta{}
+	}
+	return f.meta[i]
+}
+
+// HasMeta reports whether the frame carries per-sample metadata.
+func (f *Frame) HasMeta() bool { return f.meta != nil }
+
+// Row copies the feature values of sample i into dst, which must have
+// length NumFeatures, and returns dst. Passing a reusable buffer avoids
+// per-row allocation in prediction loops.
+func (f *Frame) Row(i int, dst []float64) []float64 {
+	for j, c := range f.cols {
+		dst[j] = c[i]
+	}
+	return dst
+}
+
+// Positives returns the number of positive (label 1) samples.
+func (f *Frame) Positives() int {
+	n := 0
+	for _, y := range f.label {
+		if y == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectColumns returns a derived frame containing only the columns at
+// the given indices, in the given order. Column data is shared with the
+// parent (columns are read-only by convention); labels and meta are
+// shared too.
+func (f *Frame) SelectColumns(indices []int) (*Frame, error) {
+	names := make([]string, len(indices))
+	cols := make([][]float64, len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= len(f.cols) {
+			return nil, fmt.Errorf("%w: index %d", ErrNoSuchColumn, i)
+		}
+		names[k] = f.names[i]
+		cols[k] = f.cols[i]
+	}
+	return New(names, cols, f.label, f.meta)
+}
+
+// SelectNames returns a derived frame containing only the named columns,
+// in the given order.
+func (f *Frame) SelectNames(names []string) (*Frame, error) {
+	indices := make([]int, len(names))
+	for k, n := range names {
+		i, ok := f.index[n]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, n)
+		}
+		indices[k] = i
+	}
+	return f.SelectColumns(indices)
+}
+
+// FilterRows returns a derived frame containing only the rows for which
+// keep returns true. All data is copied.
+func (f *Frame) FilterRows(keep func(i int) bool) *Frame {
+	var rows []int
+	for i := range f.label {
+		if keep(i) {
+			rows = append(rows, i)
+		}
+	}
+	return f.subsetRows(rows)
+}
+
+// SubsetRows returns a derived frame containing the given rows, in
+// order. All data is copied. Row indices must be valid.
+func (f *Frame) SubsetRows(rows []int) *Frame { return f.subsetRows(rows) }
+
+func (f *Frame) subsetRows(rows []int) *Frame {
+	cols := make([][]float64, len(f.cols))
+	for j, c := range f.cols {
+		nc := make([]float64, len(rows))
+		for k, i := range rows {
+			nc[k] = c[i]
+		}
+		cols[j] = nc
+	}
+	label := make([]int, len(rows))
+	for k, i := range rows {
+		label[k] = f.label[i]
+	}
+	var meta []Meta
+	if f.meta != nil {
+		meta = make([]Meta, len(rows))
+		for k, i := range rows {
+			meta[k] = f.meta[i]
+		}
+	}
+	nf, err := New(f.names, cols, label, meta)
+	if err != nil {
+		// Unreachable: the subset preserves the parent's valid shape.
+		panic(err)
+	}
+	return nf
+}
+
+// SplitByDay partitions the frame into two frames: rows whose Meta.Day
+// is strictly less than day, and the rest. It requires metadata.
+func (f *Frame) SplitByDay(day int) (before, after *Frame, err error) {
+	if f.meta == nil {
+		return nil, nil, errors.New("frame: SplitByDay requires metadata")
+	}
+	var lo, hi []int
+	for i := range f.label {
+		if f.meta[i].Day < day {
+			lo = append(lo, i)
+		} else {
+			hi = append(hi, i)
+		}
+	}
+	return f.subsetRows(lo), f.subsetRows(hi), nil
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	cols := make([][]float64, len(f.cols))
+	for i, c := range f.cols {
+		cols[i] = append([]float64(nil), c...)
+	}
+	label := append([]int(nil), f.label...)
+	var meta []Meta
+	if f.meta != nil {
+		meta = append([]Meta(nil), f.meta...)
+	}
+	names := append([]string(nil), f.names...)
+	nf, err := New(names, cols, label, meta)
+	if err != nil {
+		panic(err) // unreachable: clone of a valid frame is valid
+	}
+	return nf
+}

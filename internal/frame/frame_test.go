@@ -1,0 +1,293 @@
+package frame
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustFrame(t *testing.T) *Frame {
+	t.Helper()
+	f, err := New(
+		[]string{"a", "b", "c"},
+		[][]float64{
+			{1, 2, 3, 4},
+			{10, 20, 30, 40},
+			{100, 200, 300, 400},
+		},
+		[]int{0, 1, 0, 1},
+		[]Meta{
+			{DriveID: 1, Day: 0, MWI: 90},
+			{DriveID: 1, Day: 1, MWI: 80},
+			{DriveID: 2, Day: 0, MWI: 50},
+			{DriveID: 2, Day: 1, MWI: 40},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		names []string
+		cols  [][]float64
+		label []int
+		meta  []Meta
+	}{
+		{"name count", []string{"a"}, [][]float64{{1}, {2}}, []int{0}, nil},
+		{"ragged columns", []string{"a", "b"}, [][]float64{{1, 2}, {3}}, []int{0, 1}, nil},
+		{"label mismatch", []string{"a"}, [][]float64{{1, 2}}, []int{0}, nil},
+		{"meta mismatch", []string{"a"}, [][]float64{{1}}, []int{0}, []Meta{{}, {}}},
+		{"duplicate names", []string{"a", "a"}, [][]float64{{1}, {2}}, []int{0}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.names, tt.cols, tt.label, tt.meta); err == nil {
+				t.Error("New should fail")
+			}
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	f := mustFrame(t)
+	if f.NumRows() != 4 || f.NumFeatures() != 3 {
+		t.Fatalf("shape = (%d, %d), want (4, 3)", f.NumRows(), f.NumFeatures())
+	}
+	if f.Positives() != 2 {
+		t.Errorf("Positives = %d, want 2", f.Positives())
+	}
+	col, err := f.ColByName("b")
+	if err != nil || col[2] != 30 {
+		t.Errorf("ColByName(b)[2] = %v, %v", col, err)
+	}
+	if _, err := f.ColByName("z"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("ColByName(z) error = %v", err)
+	}
+	if f.ColIndex("c") != 2 || f.ColIndex("zzz") != -1 {
+		t.Error("ColIndex mismatch")
+	}
+	lf := f.LabelsFloat()
+	if lf[1] != 1 || lf[0] != 0 {
+		t.Errorf("LabelsFloat = %v", lf)
+	}
+	if !f.HasMeta() {
+		t.Error("HasMeta should be true")
+	}
+	if f.Meta(2).DriveID != 2 {
+		t.Errorf("Meta(2) = %+v", f.Meta(2))
+	}
+}
+
+func TestMetaAbsent(t *testing.T) {
+	f, err := New([]string{"a"}, [][]float64{{1, 2}}, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasMeta() {
+		t.Error("HasMeta should be false")
+	}
+	if f.Meta(0) != (Meta{}) {
+		t.Error("Meta on meta-less frame should be zero")
+	}
+}
+
+func TestRow(t *testing.T) {
+	f := mustFrame(t)
+	buf := make([]float64, f.NumFeatures())
+	row := f.Row(1, buf)
+	want := []float64{2, 20, 200}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("Row(1)[%d] = %v, want %v", i, row[i], want[i])
+		}
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	f := mustFrame(t)
+	sub, err := f.SelectColumns([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumFeatures() != 2 || sub.Names()[0] != "c" || sub.Names()[1] != "a" {
+		t.Errorf("SelectColumns names = %v", sub.Names())
+	}
+	if sub.Col(0)[3] != 400 {
+		t.Errorf("SelectColumns data = %v", sub.Col(0))
+	}
+	// Labels carry over.
+	if sub.NumRows() != 4 || sub.Positives() != 2 {
+		t.Error("SelectColumns should preserve rows/labels")
+	}
+	if _, err := f.SelectColumns([]int{7}); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("out-of-range error = %v", err)
+	}
+}
+
+func TestSelectNames(t *testing.T) {
+	f := mustFrame(t)
+	sub, err := f.SelectNames([]string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumFeatures() != 1 || sub.Col(0)[0] != 10 {
+		t.Error("SelectNames data mismatch")
+	}
+	if _, err := f.SelectNames([]string{"nope"}); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("SelectNames(nope) error = %v", err)
+	}
+}
+
+func TestFilterRows(t *testing.T) {
+	f := mustFrame(t)
+	sub := f.FilterRows(func(i int) bool { return f.Meta(i).DriveID == 1 })
+	if sub.NumRows() != 2 {
+		t.Fatalf("FilterRows rows = %d, want 2", sub.NumRows())
+	}
+	if sub.Col(0)[1] != 2 || sub.Labels()[1] != 1 {
+		t.Error("FilterRows data mismatch")
+	}
+	// Filtered frame must not alias parent columns.
+	sub.Col(0)[0] = -99
+	if f.Col(0)[0] == -99 {
+		t.Error("FilterRows should copy column data")
+	}
+}
+
+func TestFilterRowsEmptyResult(t *testing.T) {
+	f := mustFrame(t)
+	sub := f.FilterRows(func(int) bool { return false })
+	if sub.NumRows() != 0 {
+		t.Errorf("empty filter rows = %d", sub.NumRows())
+	}
+	if sub.NumFeatures() != 3 {
+		t.Errorf("empty filter should keep columns, got %d", sub.NumFeatures())
+	}
+}
+
+func TestSubsetRowsOrder(t *testing.T) {
+	f := mustFrame(t)
+	sub := f.SubsetRows([]int{3, 0})
+	if sub.Col(0)[0] != 4 || sub.Col(0)[1] != 1 {
+		t.Errorf("SubsetRows order mismatch: %v", sub.Col(0))
+	}
+	if sub.Meta(0).Day != 1 {
+		t.Errorf("SubsetRows meta mismatch: %+v", sub.Meta(0))
+	}
+}
+
+func TestSplitByDay(t *testing.T) {
+	f := mustFrame(t)
+	before, after, err := f.SplitByDay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.NumRows() != 2 || after.NumRows() != 2 {
+		t.Fatalf("split sizes = (%d, %d)", before.NumRows(), after.NumRows())
+	}
+	for i := 0; i < before.NumRows(); i++ {
+		if before.Meta(i).Day >= 1 {
+			t.Error("before contains day >= 1")
+		}
+	}
+	for i := 0; i < after.NumRows(); i++ {
+		if after.Meta(i).Day < 1 {
+			t.Error("after contains day < 1")
+		}
+	}
+}
+
+func TestSplitByDayRequiresMeta(t *testing.T) {
+	f, _ := New([]string{"a"}, [][]float64{{1}}, []int{0}, nil)
+	if _, _, err := f.SplitByDay(1); err == nil {
+		t.Error("SplitByDay without meta should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := mustFrame(t)
+	c := f.Clone()
+	c.Col(0)[0] = -1
+	c.Labels()[0] = 1
+	if f.Col(0)[0] == -1 || f.Labels()[0] == 1 {
+		t.Error("Clone should not alias parent data")
+	}
+	if c.NumRows() != f.NumRows() || c.NumFeatures() != f.NumFeatures() {
+		t.Error("Clone shape mismatch")
+	}
+}
+
+func TestFilterSubsetConsistencyProperty(t *testing.T) {
+	// Property: FilterRows(pred) equals SubsetRows of the indices where
+	// pred holds, for arbitrary data and predicates.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(60)
+		nf := 1 + rng.Intn(5)
+		names := make([]string, nf)
+		cols := make([][]float64, nf)
+		for j := range cols {
+			names[j] = string(rune('a' + j))
+			cols[j] = make([]float64, n)
+			for i := range cols[j] {
+				cols[j][i] = rng.NormFloat64()
+			}
+		}
+		label := make([]int, n)
+		for i := range label {
+			label[i] = rng.Intn(2)
+		}
+		f, err := New(names, cols, label, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		threshold := rng.NormFloat64()
+		pred := func(i int) bool { return f.Col(0)[i] > threshold }
+		var idx []int
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				idx = append(idx, i)
+			}
+		}
+		a := f.FilterRows(pred)
+		b := f.SubsetRows(idx)
+		if a.NumRows() != b.NumRows() {
+			t.Fatalf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+		}
+		for j := 0; j < nf; j++ {
+			for i := 0; i < a.NumRows(); i++ {
+				if a.Col(j)[i] != b.Col(j)[i] {
+					t.Fatalf("data mismatch at (%d, %d)", j, i)
+				}
+			}
+		}
+		for i := 0; i < a.NumRows(); i++ {
+			if a.Labels()[i] != b.Labels()[i] {
+				t.Fatalf("label mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestPositivesMatchesManualCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 500
+	label := make([]int, n)
+	want := 0
+	for i := range label {
+		label[i] = rng.Intn(2)
+		want += label[i]
+	}
+	col := make([]float64, n)
+	f, err := New([]string{"x"}, [][]float64{col}, label, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Positives() != want {
+		t.Errorf("Positives = %d, want %d", f.Positives(), want)
+	}
+}

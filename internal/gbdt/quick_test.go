@@ -1,0 +1,119 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPredictProbaBoundedProperty: boosted probabilities are valid for
+// arbitrary query points, including far outside the training range.
+func TestPredictProbaBoundedProperty(t *testing.T) {
+	cols, y := blobs(250, 2, 71)
+	m, err := Fit(cols, y, Config{NumRounds: 10, MaxDepth: 3, Eta: 0.3, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := m.PredictProba([]float64{a, b, c})
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreRoundsImproveTrainingFit: training log-loss decreases (or at
+// worst stagnates) as rounds increase — the core boosting property.
+func TestMoreRoundsImproveTrainingFit(t *testing.T) {
+	cols, y := blobs(400, 2, 72)
+	logLoss := func(m *Model) float64 {
+		x := make([]float64, len(cols))
+		total := 0.0
+		for i := range y {
+			for f := range cols {
+				x[f] = cols[f][i]
+			}
+			p := m.PredictProba(x)
+			p = math.Min(math.Max(p, 1e-9), 1-1e-9)
+			if y[i] == 1 {
+				total -= math.Log(p)
+			} else {
+				total -= math.Log(1 - p)
+			}
+		}
+		return total / float64(len(y))
+	}
+	var prev float64
+	for i, rounds := range []int{2, 8, 32} {
+		m, err := Fit(cols, y, Config{NumRounds: rounds, MaxDepth: 3, Eta: 0.3, Lambda: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll := logLoss(m)
+		if i > 0 && ll > prev+1e-9 {
+			t.Errorf("log-loss rose from %v to %v at %d rounds", prev, ll, rounds)
+		}
+		prev = ll
+	}
+}
+
+// TestWeightCountsMatchTreeSplits: the weight importance sums to the
+// total number of internal nodes across all trees.
+func TestWeightCountsMatchTreeSplits(t *testing.T) {
+	cols, y := blobs(300, 3, 73)
+	m, err := Fit(cols, y, Config{NumRounds: 8, MaxDepth: 3, Eta: 0.3, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.WeightImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumW := 0
+	for _, v := range w {
+		sumW += v
+	}
+	internal := 0
+	for _, tr := range m.trees {
+		for _, nd := range tr.nodes {
+			if nd.feature >= 0 {
+				internal++
+			}
+		}
+	}
+	if sumW != internal {
+		t.Errorf("weight sum %d != internal nodes %d", sumW, internal)
+	}
+}
+
+// TestEtaScalesContribution: halving eta roughly halves each tree's
+// contribution to the margin for a single round.
+func TestEtaScalesContribution(t *testing.T) {
+	cols, y := blobs(200, 1, 74)
+	mA, err := Fit(cols, y, Config{NumRounds: 1, MaxDepth: 2, Eta: 0.3, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := Fit(cols, y, Config{NumRounds: 1, MaxDepth: 2, Eta: 0.15, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64() * 2, rng.NormFloat64()}
+		dA := mA.PredictMargin(x) - mA.base
+		dB := mB.PredictMargin(x) - mB.base
+		// Identical first-round tree (gradients depend only on the
+		// base), so margin deltas scale exactly with eta.
+		if math.Abs(dA-2*dB) > 1e-9 {
+			t.Fatalf("margin deltas %v vs %v not in 2:1 ratio", dA, dB)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// encodedModel is the gob wire form of a fitted boosted model.
+type encodedModel struct {
+	Trees     []encodedRegTree
+	Base      float64
+	Eta       float64
+	NFeatures int
+}
+
+type encodedRegTree struct {
+	Feature   []int
+	Threshold []float64
+	Left      []int
+	Right     []int
+	Weight    []float64
+}
+
+// ErrBadEncoding indicates serialized bytes that do not decode into a
+// valid model.
+var ErrBadEncoding = errors.New("gbdt: bad encoding")
+
+// MarshalBinary serializes the model for deployment: tree structures,
+// base margin, and shrinkage. Importance accumulators are dropped — a
+// deserialized model predicts identically but cannot report importance.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	enc := encodedModel{Base: m.base, Eta: m.cfg.Eta, NFeatures: m.nFeatures}
+	for _, t := range m.trees {
+		et := encodedRegTree{}
+		for _, nd := range t.nodes {
+			et.Feature = append(et.Feature, nd.feature)
+			et.Threshold = append(et.Threshold, nd.threshold)
+			et.Left = append(et.Left, nd.left)
+			et.Right = append(et.Right, nd.right)
+			et.Weight = append(et.Weight, nd.weight)
+		}
+		enc.Trees = append(enc.Trees, et)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
+		return nil, fmt.Errorf("gbdt: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalModel reconstructs a prediction-ready model from bytes
+// produced by MarshalBinary, validating tree structure.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var enc encodedModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&enc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if len(enc.Trees) == 0 {
+		return nil, fmt.Errorf("%w: no trees", ErrBadEncoding)
+	}
+	if enc.NFeatures <= 0 || enc.Eta <= 0 {
+		return nil, fmt.Errorf("%w: nfeatures %d, eta %v", ErrBadEncoding, enc.NFeatures, enc.Eta)
+	}
+	m := &Model{base: enc.Base, nFeatures: enc.NFeatures}
+	m.cfg.Eta = enc.Eta
+	for ti, et := range enc.Trees {
+		n := len(et.Feature)
+		if n == 0 || len(et.Threshold) != n || len(et.Left) != n || len(et.Right) != n || len(et.Weight) != n {
+			return nil, fmt.Errorf("%w: tree %d misaligned", ErrBadEncoding, ti)
+		}
+		t := &regTree{nodes: make([]regNode, n)}
+		for i := 0; i < n; i++ {
+			f := et.Feature[i]
+			if f >= enc.NFeatures {
+				return nil, fmt.Errorf("%w: tree %d node %d feature %d", ErrBadEncoding, ti, i, f)
+			}
+			if f >= 0 {
+				l, r := et.Left[i], et.Right[i]
+				if l <= i || r <= i || l >= n || r >= n {
+					return nil, fmt.Errorf("%w: tree %d node %d children %d/%d", ErrBadEncoding, ti, i, l, r)
+				}
+			}
+			t.nodes[i] = regNode{
+				feature:   f,
+				threshold: et.Threshold[i],
+				left:      et.Left[i],
+				right:     et.Right[i],
+				weight:    et.Weight[i],
+			}
+		}
+		m.trees = append(m.trees, t)
+	}
+	return m, nil
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"errors"
+	"sort"
+)
+
+// Errors returned by curve construction.
+var (
+	// ErrNoScores indicates empty score/label input.
+	ErrNoScores = errors.New("metrics: no scores")
+	// ErrCurveSingleClass indicates scores whose labels contain only
+	// one class, for which ROC is undefined.
+	ErrCurveSingleClass = errors.New("metrics: need both classes for a curve")
+)
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // true-positive rate (recall)
+	FPR       float64 // false-positive rate
+}
+
+// ROC computes the ROC curve of probability scores against binary
+// labels: one point per distinct threshold, ordered from the most
+// permissive (threshold below every score) to the strictest. The first
+// point is (1, 1) and the last (0, 0).
+func ROC(scores []float64, labels []int) ([]ROCPoint, error) {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return nil, ErrNoScores
+	}
+	pos, neg := 0, 0
+	for _, y := range labels {
+		if y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrCurveSingleClass
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	out := []ROCPoint{{Threshold: scores[idx[0]] + 1, TPR: 0, FPR: 0}}
+	tp, fp := 0, 0
+	for k := 0; k < n; k++ {
+		i := idx[k]
+		if labels[i] == 1 {
+			tp++
+		} else {
+			fp++
+		}
+		// Emit a point only at threshold boundaries (distinct scores).
+		if k+1 < n && scores[idx[k+1]] == scores[i] {
+			continue
+		}
+		out = append(out, ROCPoint{
+			Threshold: scores[i],
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+	}
+	return out, nil
+}
+
+// AUC computes the area under the ROC curve by trapezoidal
+// integration. 0.5 is chance level, 1.0 perfect ranking.
+func AUC(scores []float64, labels []int) (float64, error) {
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area, nil
+}
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PrecisionRecall computes the PR curve, one point per distinct
+// threshold, from the strictest threshold (highest score) down.
+func PrecisionRecall(scores []float64, labels []int) ([]PRPoint, error) {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return nil, ErrNoScores
+	}
+	pos := 0
+	for _, y := range labels {
+		pos += y
+	}
+	if pos == 0 || pos == n {
+		return nil, ErrCurveSingleClass
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var out []PRPoint
+	tp, fp := 0, 0
+	for k := 0; k < n; k++ {
+		i := idx[k]
+		if labels[i] == 1 {
+			tp++
+		} else {
+			fp++
+		}
+		if k+1 < n && scores[idx[k+1]] == scores[i] {
+			continue
+		}
+		out = append(out, PRPoint{
+			Threshold: scores[i],
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(pos),
+		})
+	}
+	return out, nil
+}
+
+// BestF05Threshold scans the PR curve for the threshold maximizing the
+// F0.5-score and returns (threshold, F0.5).
+func BestF05Threshold(scores []float64, labels []int) (float64, float64, error) {
+	curve, err := PrecisionRecall(scores, labels)
+	if err != nil {
+		return 0, 0, err
+	}
+	bestT, bestF := 0.0, -1.0
+	for _, p := range curve {
+		if p.Precision == 0 && p.Recall == 0 {
+			continue
+		}
+		f := 1.25 * p.Precision * p.Recall / (0.25*p.Precision + p.Recall)
+		if f > bestF {
+			bestF = f
+			bestT = p.Threshold
+		}
+	}
+	return bestT, bestF, nil
+}

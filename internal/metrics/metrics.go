@@ -1,0 +1,147 @@
+// Package metrics implements the evaluation metrics of Section V-A of
+// the WEFR paper: precision, recall, and the F0.5-score (precision
+// weighted twice as heavily as recall, reflecting that decommissioning
+// a healthy SSD costs more than missing a failure), plus the
+// drive-level "first predicted as failed" evaluation used across all
+// experiments and the confusion-matrix plumbing beneath them.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadBeta indicates a non-positive F-measure beta.
+var ErrBadBeta = errors.New("metrics: beta must be positive")
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one (prediction, truth) outcome.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Merge folds another confusion matrix into this one.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Precision returns TP / (TP + FP), or 0 when nothing was predicted
+// positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when there were no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FBeta returns the F-beta score: (1+b^2)PR / (b^2 P + R). It returns
+// 0 when both precision and recall are 0.
+func (c Confusion) FBeta(beta float64) (float64, error) {
+	if beta <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadBeta, beta)
+	}
+	p := c.Precision()
+	r := c.Recall()
+	if p == 0 && r == 0 {
+		return 0, nil
+	}
+	b2 := beta * beta
+	return (1 + b2) * p * r / (b2*p + r), nil
+}
+
+// F05 returns the paper's headline F0.5-score.
+func (c Confusion) F05() float64 {
+	f, _ := c.FBeta(0.5) // beta 0.5 is always valid
+	return f
+}
+
+// F1 returns the balanced F1-score.
+func (c Confusion) F1() float64 {
+	f, _ := c.FBeta(1)
+	return f
+}
+
+// String renders the matrix compactly for logs.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.3f R=%.3f F0.5=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F05())
+}
+
+// DrivePrediction is one drive's outcome over a testing phase, under
+// the paper's rule that accuracy is evaluated at the first time a
+// drive is predicted as failed.
+type DrivePrediction struct {
+	// DriveID identifies the drive.
+	DriveID int
+	// FirstAlarmDay is the first day the model predicted failure, or
+	// -1 if it never did.
+	FirstAlarmDay int
+	// FailDay is the drive's actual failure day, or -1 if healthy.
+	FailDay int
+}
+
+// Alarmed reports whether the drive was ever predicted as failed.
+func (p DrivePrediction) Alarmed() bool { return p.FirstAlarmDay >= 0 }
+
+// EvaluateDrives scores drive-level predictions per Section V-A: a
+// drive predicted as failed counts as a true positive when it actually
+// fails within window days after the first alarm (the alarm was
+// actionable), and as a false positive otherwise; an actual failure
+// with no alarm (or an alarm after the failure) is a false negative;
+// alarm-free healthy drives are true negatives.
+func EvaluateDrives(preds []DrivePrediction, window int) Confusion {
+	var c Confusion
+	for _, p := range preds {
+		failed := p.FailDay >= 0
+		switch {
+		case p.Alarmed() && failed &&
+			p.FirstAlarmDay <= p.FailDay && p.FailDay-p.FirstAlarmDay <= window:
+			c.TP++
+		case p.Alarmed() && failed && p.FirstAlarmDay > p.FailDay:
+			// Alarm after the failure was recorded: useless, the
+			// failure was missed.
+			c.FN++
+		case p.Alarmed():
+			c.FP++
+		case failed:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// AFR returns the annualized failure rate (in fraction, not percent)
+// given the total failure count and the summed drive-days of operation,
+// per Section II-A: AFR = failures * 365 / driveDays.
+func AFR(failures, driveDays int) float64 {
+	if driveDays <= 0 {
+		return 0
+	}
+	return float64(failures) * 365 / float64(driveDays)
+}

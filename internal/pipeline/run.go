@@ -1,0 +1,617 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/frame"
+	"repro/internal/gbdt"
+	"repro/internal/metrics"
+	"repro/internal/smart"
+	"repro/internal/survival"
+)
+
+// Errors returned by the pipeline.
+var (
+	// ErrBadPhase indicates an invalid phase layout.
+	ErrBadPhase = errors.New("pipeline: bad phase")
+	// ErrNoTrainingSignal indicates a training period without both
+	// classes.
+	ErrNoTrainingSignal = errors.New("pipeline: no positive samples in training period")
+)
+
+// Config parameterizes the prediction pipeline. The zero value uses
+// the paper's settings via withDefaults.
+type Config struct {
+	// Forest configures the prediction model; zero NumTrees means the
+	// paper's 100 trees with maximum depth 13.
+	Forest forest.Config
+	// NegEvery is the negative-sample day stride in training and
+	// validation frames; 0 means 7.
+	NegEvery int
+	// TargetRecall is the drive-level recall the alarm threshold is
+	// calibrated to on the validation period, making methods
+	// comparable at fixed recall as in Table VI; 0 means 0.3.
+	TargetRecall float64
+	// ValFraction is the fraction of the training period reserved for
+	// validation (the paper's 8:2 split); 0 means 0.2.
+	ValFraction float64
+	// Windows are the feature-generation windows; nil means 3 and 7
+	// days.
+	Windows []int
+	// Predictor selects the prediction-model family; 0 means the
+	// paper's Random Forest.
+	Predictor Predictor
+	// GBDT configures the boosted-tree predictor when Predictor is
+	// PredictorGBDT; zero NumRounds means gbdt.DefaultConfig.
+	GBDT gbdt.Config
+	// Seed drives the prediction model's randomness.
+	Seed int64
+}
+
+func (c Config) predictor() Predictor {
+	if c.Predictor == 0 {
+		return PredictorForest
+	}
+	return c.Predictor
+}
+
+func (c Config) withDefaults() Config {
+	if c.Forest.NumTrees == 0 {
+		c.Forest = forest.DefaultConfig()
+	}
+	if c.Forest.Seed == 0 {
+		c.Forest.Seed = c.Seed + 7919
+	}
+	if c.NegEvery <= 0 {
+		c.NegEvery = 7
+	}
+	if c.TargetRecall <= 0 {
+		c.TargetRecall = 0.3
+	}
+	if c.ValFraction <= 0 || c.ValFraction >= 1 {
+		c.ValFraction = 0.2
+	}
+	return c
+}
+
+// Phase is one train/test layout: the model trains on [TrainLo,
+// TrainHi] (the tail of which is the validation period) and predicts
+// daily over [TestLo, TestHi].
+type Phase struct {
+	TrainLo, TrainHi int
+	TestLo, TestHi   int
+}
+
+func (p Phase) validate(days int) error {
+	if p.TrainLo < 0 || p.TrainHi >= days || p.TrainLo >= p.TrainHi {
+		return fmt.Errorf("%w: train [%d, %d] in %d days", ErrBadPhase, p.TrainLo, p.TrainHi, days)
+	}
+	if p.TestLo <= p.TrainHi || p.TestHi >= days || p.TestLo > p.TestHi {
+		return fmt.Errorf("%w: test [%d, %d] after train end %d in %d days", ErrBadPhase, p.TestLo, p.TestHi, p.TrainHi, days)
+	}
+	return nil
+}
+
+// StandardPhases returns the paper's evaluation layout: the last three
+// 30-day months are three non-overlapping testing phases, each trained
+// on all preceding days.
+func StandardPhases(days int) []Phase {
+	const month = 30
+	var out []Phase
+	for k := 3; k >= 1; k-- {
+		testLo := days - k*month
+		testHi := testLo + month - 1
+		out = append(out, Phase{
+			TrainLo: 0, TrainHi: testLo - 1,
+			TestLo: testLo, TestHi: testHi,
+		})
+	}
+	return out
+}
+
+// DriveOutcome is one drive's result in a testing phase, extended with
+// the wear level used for per-group reporting (Exp#3).
+type DriveOutcome struct {
+	// Pred is the drive-level prediction record.
+	Pred metrics.DrivePrediction
+	// MWI is the drive's MWI_N at its first alarm, or at its last
+	// observed test day when no alarm fired.
+	MWI float64
+	// MaxProb is the drive's highest predicted failure probability in
+	// the phase, for threshold-free analyses (ROC/AUC).
+	MaxProb float64
+}
+
+// PhaseResult is the evaluation of one selector on one phase.
+type PhaseResult struct {
+	// Selector is the strategy name.
+	Selector string
+	// Model is the drive model evaluated.
+	Model smart.ModelID
+	// Selection records the chosen features.
+	Selection SelectorResult
+	// Thresholds are the calibrated per-group alarm thresholds (one
+	// entry when there is no wear split).
+	Thresholds []float64
+	// Outcomes holds one entry per drive observed in the test phase.
+	Outcomes []DriveOutcome
+	// Confusion is the drive-level confusion over Outcomes.
+	Confusion metrics.Confusion
+}
+
+// group is an internal training/scoring unit: a feature set plus an
+// optional MWI filter.
+type group struct {
+	feats      []smart.Feature
+	names      []string
+	mwiBelow   float64
+	mwiAtLeast float64
+	model      probModel
+}
+
+// PhaseData is the selector-independent state of one (model, phase)
+// evaluation: the selection frame, the survival curve as of the end of
+// training, and the fit/validation day spans. Preparing it once and
+// evaluating many selectors against it (Exp#1's percentage sweeps)
+// avoids rebuilding the frame and curve per selector.
+type PhaseData struct {
+	// SelFrame is the original-feature training frame selectors rank.
+	SelFrame *frame.Frame
+	// Curve is the survival curve computed from training data only.
+	Curve survival.Curve
+
+	src   dataset.Source
+	model smart.ModelID
+	ph    Phase
+	cfg   Config
+	fitHi int
+	valLo int
+}
+
+// PreparePhase builds the selector-independent phase state.
+func PreparePhase(src dataset.Source, model smart.ModelID, ph Phase, cfg Config) (*PhaseData, error) {
+	cfg = cfg.withDefaults()
+	if err := ph.validate(src.Days()); err != nil {
+		return nil, err
+	}
+	trainLen := ph.TrainHi - ph.TrainLo + 1
+	valLen := int(float64(trainLen) * cfg.ValFraction)
+	if valLen < dataset.PredictionWindow {
+		valLen = min(dataset.PredictionWindow, trainLen/2)
+	}
+	valLo := ph.TrainHi - valLen + 1
+	fitHi := valLo - 1
+
+	selFrame, err := dataset.Frame(src, dataset.FrameOpts{
+		Model: model, DayLo: ph.TrainLo, DayHi: fitHi, NegEvery: cfg.NegEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: selection frame: %w", err)
+	}
+	if selFrame.Positives() == 0 {
+		return nil, ErrNoTrainingSignal
+	}
+	curve, err := survival.ComputeAsOf(src, model, 0, ph.TrainHi)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: survival curve: %w", err)
+	}
+	return &PhaseData{
+		SelFrame: selFrame,
+		Curve:    curve,
+		src:      src,
+		model:    model,
+		ph:       ph,
+		cfg:      cfg,
+		fitHi:    fitHi,
+		valLo:    valLo,
+	}, nil
+}
+
+// RunSelector selects features with sel and evaluates them.
+func (pd *PhaseData) RunSelector(sel Selector) (PhaseResult, error) {
+	selRes, err := sel.Select(pd.SelFrame, pd.Curve)
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	return pd.RunSelection(sel.Name(), selRes)
+}
+
+// RunSelection trains per-wear-group forests for an already-chosen
+// feature assignment, calibrates the alarm threshold on the validation
+// period, and evaluates drive-level first alarms on the test phase.
+func (pd *PhaseData) RunSelection(name string, selRes SelectorResult) (PhaseResult, error) {
+	src, model, ph, cfg := pd.src, pd.model, pd.ph, pd.cfg
+	groups, err := buildGroups(selRes)
+	if err != nil {
+		return PhaseResult{}, err
+	}
+
+	// Train a forest per group on the fit period; groups without
+	// signal fall back to the all-drives feature set and population.
+	for gi := range groups {
+		g := &groups[gi]
+		// Wear groups are subsets with inherently higher positive
+		// density; denser negative sampling keeps the class ratio (and
+		// with it the forest's probability scale) closer to the full
+		// population's.
+		groupNegEvery := cfg.NegEvery
+		if len(groups) > 1 {
+			groupNegEvery = maxInt(1, cfg.NegEvery/5)
+		}
+		trainFr, err := dataset.Frame(src, dataset.FrameOpts{
+			Model: model, DayLo: ph.TrainLo, DayHi: pd.fitHi,
+			NegEvery: groupNegEvery, Features: g.feats, Expand: true,
+			Windows: cfg.Windows, MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
+		})
+		if err != nil && !errors.Is(err, dataset.ErrNoSamples) {
+			return PhaseResult{}, fmt.Errorf("pipeline: training frame: %w", err)
+		}
+		if err != nil || trainFr.Positives() == 0 {
+			// Degenerate group: train on the whole population with the
+			// group's features instead.
+			trainFr, err = dataset.Frame(src, dataset.FrameOpts{
+				Model: model, DayLo: ph.TrainLo, DayHi: pd.fitHi,
+				NegEvery: cfg.NegEvery, Features: g.feats, Expand: true,
+				Windows: cfg.Windows,
+			})
+			if err != nil {
+				return PhaseResult{}, fmt.Errorf("pipeline: fallback training frame: %w", err)
+			}
+			if trainFr.Positives() == 0 {
+				return PhaseResult{}, ErrNoTrainingSignal
+			}
+		}
+		g.model, err = fitModel(trainFr, cfg)
+		if err != nil {
+			return PhaseResult{}, fmt.Errorf("pipeline: fit group model: %w", err)
+		}
+	}
+
+	// Calibrate the alarm threshold to the target recall on the
+	// validation period.
+	valOutcomes, err := scorePhase(src, model, groups, pd.valLo, ph.TrainHi, cfg)
+	if err != nil {
+		return PhaseResult{}, fmt.Errorf("pipeline: validation scoring: %w", err)
+	}
+	thresholds := calibrateThresholds(valOutcomes, len(groups), cfg.TargetRecall)
+
+	// Evaluate the test phase.
+	testOutcomes, err := scorePhase(src, model, groups, ph.TestLo, ph.TestHi, cfg)
+	if err != nil {
+		return PhaseResult{}, fmt.Errorf("pipeline: test scoring: %w", err)
+	}
+	outcomes := finalizeOutcomes(testOutcomes, thresholds, ph.TestHi)
+	return PhaseResult{
+		Selector:   name,
+		Model:      model,
+		Selection:  selRes,
+		Thresholds: thresholds,
+		Outcomes:   outcomes,
+		Confusion:  EvaluateOutcomes(outcomes),
+	}, nil
+}
+
+// RunPhase executes the full workflow for one selector, model, and
+// phase: select on the training period, train per wear group, calibrate
+// the threshold on validation, and evaluate drive-level first alarms on
+// the test phase. It is PreparePhase followed by RunSelector.
+func RunPhase(src dataset.Source, model smart.ModelID, sel Selector, ph Phase, cfg Config) (PhaseResult, error) {
+	pd, err := PreparePhase(src, model, ph, cfg)
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	return pd.RunSelector(sel)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildGroups converts a SelectorResult into training/scoring groups.
+func buildGroups(selRes SelectorResult) ([]group, error) {
+	mk := func(names []string, below, atLeast float64) (group, error) {
+		feats := make([]smart.Feature, len(names))
+		for i, n := range names {
+			ft, err := smart.ParseFeature(n)
+			if err != nil {
+				return group{}, fmt.Errorf("pipeline: selected feature %q: %w", n, err)
+			}
+			feats[i] = ft
+		}
+		return group{feats: feats, names: names, mwiBelow: below, mwiAtLeast: atLeast}, nil
+	}
+	if selRes.Split == nil {
+		g, err := mk(selRes.All, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []group{g}, nil
+	}
+	low, err := mk(selRes.Split.Low, selRes.Split.ThresholdMWI, 0)
+	if err != nil {
+		return nil, err
+	}
+	high, err := mk(selRes.Split.High, 0, selRes.Split.ThresholdMWI)
+	if err != nil {
+		return nil, err
+	}
+	return []group{low, high}, nil
+}
+
+// driveScore accumulates one drive's scored days within a window.
+type driveScore struct {
+	ref     dataset.DriveRef
+	days    []int
+	probs   []float64
+	mwis    []float64
+	group   []int // which group's model scored each day
+	lastMWI float64
+	lastDay int
+}
+
+// maxProbIn returns the drive's maximum probability among days scored
+// by the given group, and whether it had any such day.
+func (ds *driveScore) maxProbIn(g int) (float64, bool) {
+	best, any := 0.0, false
+	for k, gi := range ds.group {
+		if gi != g {
+			continue
+		}
+		any = true
+		if ds.probs[k] > best {
+			best = ds.probs[k]
+		}
+	}
+	return best, any
+}
+
+// scorePhase scores every drive-day of [lo, hi] with the per-group
+// models and groups the probabilities by drive (days ascending).
+func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi int, cfg Config) (map[int]*driveScore, error) {
+	out := make(map[int]*driveScore)
+	for gi, g := range groups {
+		fr, err := dataset.Frame(src, dataset.FrameOpts{
+			Model: model, DayLo: lo, DayHi: hi, NegEvery: 1,
+			Features: g.feats, Expand: true, Windows: cfg.Windows,
+			MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
+		})
+		if errors.Is(err, dataset.ErrNoSamples) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		cols := make([][]float64, fr.NumFeatures())
+		for i := range cols {
+			cols[i] = fr.Col(i)
+		}
+		probs, err := g.model.predictAll(cols)
+		if err != nil {
+			return nil, err
+		}
+		refs := refIndex(src, model)
+		for i := 0; i < fr.NumRows(); i++ {
+			m := fr.Meta(i)
+			ds, ok := out[m.DriveID]
+			if !ok {
+				ds = &driveScore{ref: refs[m.DriveID], lastDay: -1}
+				out[m.DriveID] = ds
+			}
+			ds.days = append(ds.days, m.Day)
+			ds.probs = append(ds.probs, probs[i])
+			ds.mwis = append(ds.mwis, m.MWI)
+			ds.group = append(ds.group, gi)
+			if m.Day > ds.lastDay {
+				ds.lastDay = m.Day
+				ds.lastMWI = m.MWI
+			}
+		}
+	}
+	// Within-drive days arrive ascending per group but groups can
+	// interleave (a drive can cross the MWI threshold mid-phase).
+	for _, ds := range out {
+		sortDriveScore(ds)
+	}
+	return out, nil
+}
+
+// refIndex maps drive IDs to refs for one model.
+func refIndex(src dataset.Source, model smart.ModelID) map[int]dataset.DriveRef {
+	refs := src.DrivesOf(model)
+	out := make(map[int]dataset.DriveRef, len(refs))
+	for _, r := range refs {
+		out[r.ID] = r
+	}
+	return out
+}
+
+func sortDriveScore(ds *driveScore) {
+	idx := make([]int, len(ds.days))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ds.days[idx[a]] < ds.days[idx[b]] })
+	days := make([]int, len(idx))
+	probs := make([]float64, len(idx))
+	mwis := make([]float64, len(idx))
+	grp := make([]int, len(idx))
+	for k, i := range idx {
+		days[k] = ds.days[i]
+		probs[k] = ds.probs[i]
+		mwis[k] = ds.mwis[i]
+		grp[k] = ds.group[i]
+	}
+	ds.days, ds.probs, ds.mwis, ds.group = days, probs, mwis, grp
+}
+
+// minGroupCalibration is the minimum number of failing validation
+// drives a group needs for its own threshold; below it the group
+// inherits the pooled threshold.
+const minGroupCalibration = 3
+
+// calibrateThresholds picks one alarm threshold per group: the largest
+// threshold whose drive-level recall on that group's validation
+// outcomes is at least targetRecall. Wear groups train on populations
+// with very different base rates, so their forests' probability scales
+// differ; a shared threshold would flood the denser group with false
+// alarms. Groups with too few failing validation drives inherit the
+// pooled threshold (0.5 when no failing drives exist at all).
+func calibrateThresholds(scores map[int]*driveScore, numGroups int, targetRecall float64) []float64 {
+	pick := func(failingMax []float64) (float64, bool) {
+		if len(failingMax) == 0 {
+			return 0.5, false
+		}
+		// Recall at threshold t = fraction of failing drives with max
+		// prob >= t; the largest workable t is the target quantile
+		// from the top.
+		sort.Sort(sort.Reverse(sort.Float64Slice(failingMax)))
+		need := int(float64(len(failingMax)) * targetRecall)
+		if need < 1 {
+			need = 1
+		}
+		if need > len(failingMax) {
+			need = len(failingMax)
+		}
+		t := failingMax[need-1]
+		if t <= 0 {
+			t = 0.05
+		}
+		return t, len(failingMax) >= minGroupCalibration
+	}
+
+	var pooled []float64
+	perGroup := make([][]float64, numGroups)
+	for _, ds := range scores {
+		if !ds.ref.Failed() || ds.ref.FailDay < ds.days[0] {
+			continue
+		}
+		var best float64
+		for _, p := range ds.probs {
+			if p > best {
+				best = p
+			}
+		}
+		pooled = append(pooled, best)
+		for g := 0; g < numGroups; g++ {
+			if m, ok := ds.maxProbIn(g); ok {
+				perGroup[g] = append(perGroup[g], m)
+			}
+		}
+	}
+	pooledT, _ := pick(pooled)
+	out := make([]float64, numGroups)
+	for g := 0; g < numGroups; g++ {
+		if t, enough := pick(perGroup[g]); enough {
+			out[g] = t
+		} else {
+			out[g] = pooledT
+		}
+	}
+	return out
+}
+
+// finalizeOutcomes converts scored drives into drive-level outcomes,
+// alarming on the first day whose probability clears its group's
+// threshold. Failures more than PredictionWindow days past the phase
+// end belong to later phases and are treated as healthy here.
+func finalizeOutcomes(scores map[int]*driveScore, thresholds []float64, testHi int) []DriveOutcome {
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]DriveOutcome, 0, len(ids))
+	for _, id := range ids {
+		ds := scores[id]
+		first := -1
+		mwi := ds.lastMWI
+		maxProb := 0.0
+		for k, p := range ds.probs {
+			if p > maxProb {
+				maxProb = p
+			}
+			if first < 0 && p >= thresholds[ds.group[k]] {
+				first = ds.days[k]
+				mwi = ds.mwis[k]
+			}
+		}
+		failDay := ds.ref.FailDay
+		if failDay > testHi+dataset.PredictionWindow {
+			failDay = -1
+		}
+		out = append(out, DriveOutcome{
+			Pred:    metrics.DrivePrediction{DriveID: id, FirstAlarmDay: first, FailDay: failDay},
+			MWI:     mwi,
+			MaxProb: maxProb,
+		})
+	}
+	return out
+}
+
+// EvaluateOutcomes computes the drive-level confusion matrix of a set
+// of outcomes.
+func EvaluateOutcomes(outcomes []DriveOutcome) metrics.Confusion {
+	preds := make([]metrics.DrivePrediction, len(outcomes))
+	for i, o := range outcomes {
+		preds[i] = o.Pred
+	}
+	return metrics.EvaluateDrives(preds, dataset.PredictionWindow)
+}
+
+// AUC computes the threshold-free ranking quality of a phase: the
+// area under the ROC curve of per-drive maximum probabilities against
+// actual failure. It errs when the phase has a single class.
+func AUC(outcomes []DriveOutcome) (float64, error) {
+	scores := make([]float64, len(outcomes))
+	labels := make([]int, len(outcomes))
+	for i, o := range outcomes {
+		scores[i] = o.MaxProb
+		if o.Pred.FailDay >= 0 {
+			labels[i] = 1
+		}
+	}
+	return metrics.AUC(scores, labels)
+}
+
+// EvaluateLowMWI computes the confusion restricted to drives whose
+// wear level is below the threshold — the "Low" columns of Table VII.
+func EvaluateLowMWI(outcomes []DriveOutcome, threshold float64) metrics.Confusion {
+	var preds []metrics.DrivePrediction
+	for _, o := range outcomes {
+		if o.MWI < threshold {
+			preds = append(preds, o.Pred)
+		}
+	}
+	return metrics.EvaluateDrives(preds, dataset.PredictionWindow)
+}
+
+// Run executes RunPhase over several phases and merges the drive-level
+// confusions (summing counts, as the paper aggregates its three
+// testing phases).
+func Run(src dataset.Source, model smart.ModelID, sel Selector, phases []Phase, cfg Config) ([]PhaseResult, metrics.Confusion, error) {
+	var results []PhaseResult
+	var total metrics.Confusion
+	for _, ph := range phases {
+		res, err := RunPhase(src, model, sel, ph, cfg)
+		if err != nil {
+			return nil, metrics.Confusion{}, fmt.Errorf("pipeline: model %v phase test [%d, %d]: %w", model, ph.TestLo, ph.TestHi, err)
+		}
+		results = append(results, res)
+		total.Merge(res.Confusion)
+	}
+	return results, total, nil
+}

@@ -1,0 +1,134 @@
+// Package pipeline implements the offline SSD failure-prediction
+// workflow of Section V-A of the WEFR paper: training/validation/test
+// phases split by time, feature selection on the training period,
+// statistical feature generation for the selected features, a Random
+// Forest prediction model (100 trees, depth 13 in the paper), an alarm
+// threshold calibrated on the validation period to a fixed target
+// recall (the paper compares methods "subject to a fixed recall"), and
+// drive-level first-alarm evaluation over a testing phase.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/selection"
+	"repro/internal/survival"
+)
+
+// GroupFeatures is a wear-split feature assignment: drives below the
+// MWI threshold use Low, the rest High.
+type GroupFeatures struct {
+	ThresholdMWI float64
+	Low, High    []string
+}
+
+// SelectorResult is a selection strategy's output: the feature set for
+// all drives, and optionally a wear-out split.
+type SelectorResult struct {
+	// All is the selected original-feature list (used for every drive
+	// when Split is nil, and as a fallback).
+	All []string
+	// Split, when non-nil, assigns per-wear-group feature sets.
+	Split *GroupFeatures
+}
+
+// Selector abstracts a feature-selection strategy so Exp#1 can compare
+// WEFR against no-selection and the five single-approach baselines
+// under one pipeline.
+type Selector interface {
+	// Name identifies the strategy in result tables.
+	Name() string
+	// Select chooses features from a training frame of original
+	// features. The survival curve (computed from training data only)
+	// is provided for wear-aware strategies; others ignore it.
+	Select(fr *frame.Frame, curve survival.Curve) (SelectorResult, error)
+}
+
+// NoSelection uses every learning feature — the paper's "no feature
+// selection" baseline.
+type NoSelection struct{}
+
+var _ Selector = NoSelection{}
+
+// Name implements Selector.
+func (NoSelection) Name() string { return "No feature selection" }
+
+// Select implements Selector.
+func (NoSelection) Select(fr *frame.Frame, _ survival.Curve) (SelectorResult, error) {
+	names := make([]string, fr.NumFeatures())
+	copy(names, fr.Names())
+	return SelectorResult{All: names}, nil
+}
+
+// SingleRanker applies one preliminary approach and keeps a fixed
+// percentage of the top-ranked features — the baselines of Exp#1/#2.
+type SingleRanker struct {
+	// Ranker is the approach.
+	Ranker selection.Ranker
+	// Percent is the kept fraction in (0, 1]; 0 means 0.3.
+	Percent float64
+}
+
+var _ Selector = SingleRanker{}
+
+// Name implements Selector.
+func (s SingleRanker) Name() string { return s.Ranker.Name() }
+
+// Select implements Selector.
+func (s SingleRanker) Select(fr *frame.Frame, _ survival.Curve) (SelectorResult, error) {
+	pct := s.Percent
+	if pct <= 0 {
+		pct = 0.3
+	}
+	res, err := s.Ranker.Rank(fr)
+	if err != nil {
+		return SelectorResult{}, fmt.Errorf("pipeline: %s: %w", s.Ranker.Name(), err)
+	}
+	idx := res.TopPercent(pct)
+	names := make([]string, len(idx))
+	for i, f := range idx {
+		names[i] = fr.Names()[f]
+	}
+	return SelectorResult{All: names}, nil
+}
+
+// WEFR applies the full ensemble algorithm of internal/core.
+type WEFR struct {
+	// Config is the WEFR configuration (zero value = paper settings).
+	Config core.Config
+	// NoUpdate disables the wear-out-updating step (lines 9-15 of
+	// Algorithm 1) — the "WEFR (No update)" baseline of Exp#3.
+	NoUpdate bool
+}
+
+var _ Selector = WEFR{}
+
+// Name implements Selector.
+func (w WEFR) Name() string {
+	if w.NoUpdate {
+		return "WEFR (No update)"
+	}
+	return "WEFR"
+}
+
+// Select implements Selector.
+func (w WEFR) Select(fr *frame.Frame, curve survival.Curve) (SelectorResult, error) {
+	if w.NoUpdate {
+		curve = survival.Curve{}
+	}
+	res, err := core.Select(fr, curve, w.Config)
+	if err != nil {
+		return SelectorResult{}, fmt.Errorf("pipeline: wefr: %w", err)
+	}
+	out := SelectorResult{All: res.Global.Features}
+	if res.Split != nil {
+		out.Split = &GroupFeatures{
+			ThresholdMWI: res.Split.ThresholdMWI,
+			Low:          res.Split.Low.Features,
+			High:         res.Split.High.Features,
+		}
+	}
+	return out, nil
+}

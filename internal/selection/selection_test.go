@@ -1,0 +1,298 @@
+package selection
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// syntheticFrame builds a frame with a strong monotone feature, a
+// strong nonlinear (quadratic) feature, a weak feature, a noise
+// feature, and a constant feature.
+func syntheticFrame(t *testing.T, n int, seed int64) *frame.Frame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	strong := make([]float64, n)
+	nonlin := make([]float64, n)
+	weak := make([]float64, n)
+	noise := make([]float64, n)
+	constant := make([]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			y[i] = 1
+		}
+		base := float64(y[i])
+		strong[i] = base*3 + rng.NormFloat64()
+		// Nonlinear: informative through |x|, not linearly.
+		v := rng.NormFloat64()
+		if y[i] == 1 {
+			v = 2.5 + rng.NormFloat64()*0.3
+			if rng.Float64() < 0.5 {
+				v = -v
+			}
+		}
+		nonlin[i] = v
+		weak[i] = base*0.4 + rng.NormFloat64()
+		noise[i] = rng.NormFloat64()
+		constant[i] = 7
+	}
+	fr, err := frame.New(
+		[]string{"strong", "nonlin", "weak", "noise", "constant"},
+		[][]float64{strong, nonlin, weak, noise, constant},
+		y, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func allRankers() []Ranker { return DefaultRankers(42) }
+
+func TestRankerNames(t *testing.T) {
+	want := []string{"Pearson", "Spearman", "J-index", "Random Forest", "XGBoost"}
+	for i, r := range allRankers() {
+		if r.Name() != want[i] {
+			t.Errorf("ranker %d name = %q, want %q", i, r.Name(), want[i])
+		}
+	}
+}
+
+func TestAllRankersFindStrongFeature(t *testing.T) {
+	fr := syntheticFrame(t, 800, 1)
+	for _, r := range allRankers() {
+		res, err := r.Rank(fr)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if len(res.Scores) != 5 || len(res.Ranks) != 5 {
+			t.Fatalf("%s: result shape (%d, %d)", r.Name(), len(res.Scores), len(res.Ranks))
+		}
+		// The strong feature must out-rank noise and constant for
+		// every approach.
+		if res.Ranks[0] >= res.Ranks[3] {
+			t.Errorf("%s: strong rank %v not better than noise %v", r.Name(), res.Ranks[0], res.Ranks[3])
+		}
+		if res.Ranks[0] >= res.Ranks[4] {
+			t.Errorf("%s: strong rank %v not better than constant %v", r.Name(), res.Ranks[0], res.Ranks[4])
+		}
+		// Ranks must be a valid fractional ranking: sum = n(n+1)/2.
+		sum := 0.0
+		for _, v := range res.Ranks {
+			sum += v
+		}
+		if math.Abs(sum-15) > 1e-9 {
+			t.Errorf("%s: ranks sum %v, want 15", r.Name(), sum)
+		}
+	}
+}
+
+func TestRankersDisagreeOnNonlinear(t *testing.T) {
+	// Pearson (linear) should underrate the symmetric nonlinear
+	// feature relative to tree-based approaches — the disagreement the
+	// paper's Table IV documents.
+	fr := syntheticFrame(t, 1500, 2)
+	p, err := Pearson{}.Rank(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RandomForest{Seed: 3}.Rank(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Ranks[1] >= p.Ranks[1] {
+		t.Errorf("RF should rank nonlinear better (%v) than Pearson does (%v)", rf.Ranks[1], p.Ranks[1])
+	}
+	// Tree models should put nonlinear near the top.
+	if rf.Ranks[1] > 2.5 {
+		t.Errorf("RF rank of nonlinear = %v, want <= 2.5", rf.Ranks[1])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	single, err := frame.New([]string{"a"}, [][]float64{{1, 2}}, []int{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := frame.New([]string{"a"}, [][]float64{{}}, []int{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range allRankers() {
+		if _, err := r.Rank(single); !errors.Is(err, ErrSingleClass) {
+			t.Errorf("%s single-class error = %v", r.Name(), err)
+		}
+		if _, err := r.Rank(empty); !errors.Is(err, ErrEmptyFrame) {
+			t.Errorf("%s empty error = %v", r.Name(), err)
+		}
+		if _, err := r.Rank(nil); !errors.Is(err, ErrEmptyFrame) {
+			t.Errorf("%s nil error = %v", r.Name(), err)
+		}
+	}
+}
+
+func TestJIndexPerfectFeature(t *testing.T) {
+	// A perfectly separating feature has Youden index 1.
+	fr, err := frame.New(
+		[]string{"perfect", "anti"},
+		[][]float64{{1, 2, 3, 10, 11, 12}, {12, 11, 10, 3, 2, 1}},
+		[]int{0, 0, 0, 1, 1, 1}, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JIndex{}.Rank(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0] != 1 {
+		t.Errorf("J of perfect feature = %v, want 1", res.Scores[0])
+	}
+	// Direction-agnostic: the inverted feature is equally good.
+	if res.Scores[1] != 1 {
+		t.Errorf("J of inverted feature = %v, want 1", res.Scores[1])
+	}
+}
+
+func TestJIndexConstantFeature(t *testing.T) {
+	fr, err := frame.New(
+		[]string{"const"},
+		[][]float64{{5, 5, 5, 5}},
+		[]int{0, 1, 0, 1}, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JIndex{}.Rank(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0] != 0 {
+		t.Errorf("J of constant = %v, want 0", res.Scores[0])
+	}
+}
+
+func TestTopNAndTopPercent(t *testing.T) {
+	res := Result{
+		Scores: []float64{0.1, 0.9, 0.5, 0.7},
+		Ranks:  []float64{4, 1, 3, 2},
+	}
+	top2 := res.TopN(2)
+	if len(top2) != 2 || top2[0] != 1 || top2[1] != 3 {
+		t.Errorf("TopN(2) = %v", top2)
+	}
+	if got := res.TopN(100); len(got) != 4 {
+		t.Errorf("TopN(100) = %v", got)
+	}
+	if got := res.TopN(-1); len(got) != 0 {
+		t.Errorf("TopN(-1) = %v", got)
+	}
+	if got := res.TopPercent(0.5); len(got) != 2 {
+		t.Errorf("TopPercent(0.5) = %v", got)
+	}
+	// Tiny percentage keeps at least one feature.
+	if got := res.TopPercent(0.01); len(got) != 1 || got[0] != 1 {
+		t.Errorf("TopPercent(0.01) = %v", got)
+	}
+}
+
+func TestRankDeterminism(t *testing.T) {
+	fr := syntheticFrame(t, 500, 4)
+	for _, r := range allRankers() {
+		a, err := r.Rank(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Rank(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Ranks {
+			if a.Ranks[i] != b.Ranks[i] {
+				t.Errorf("%s: nondeterministic rank for feature %d", r.Name(), i)
+			}
+		}
+	}
+}
+
+func TestCorrelationRankersIgnoreScale(t *testing.T) {
+	// Scaling a feature must not change correlation-based rankings.
+	fr := syntheticFrame(t, 400, 5)
+	scaled := fr.Clone()
+	col := scaled.Col(0)
+	for i := range col {
+		col[i] *= 1e6
+	}
+	for _, r := range []Ranker{Pearson{}, Spearman{}, JIndex{}} {
+		a, err := r.Rank(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Rank(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Ranks {
+			if a.Ranks[i] != b.Ranks[i] {
+				t.Errorf("%s: rank changed under feature scaling", r.Name())
+				break
+			}
+		}
+	}
+}
+
+func TestMutualInfoRanker(t *testing.T) {
+	fr := syntheticFrame(t, 1500, 9)
+	res, err := MutualInfo{}.Rank(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (MutualInfo{}).Name() != "Mutual Information" {
+		t.Error("name mismatch")
+	}
+	// Strong and nonlinear features beat noise and constant; MI sees
+	// the symmetric nonlinear feature that Pearson misses.
+	if res.Ranks[0] >= res.Ranks[3] || res.Ranks[0] >= res.Ranks[4] {
+		t.Errorf("strong feature rank %v should beat noise/constant (%v, %v)", res.Ranks[0], res.Ranks[3], res.Ranks[4])
+	}
+	if res.Ranks[1] >= res.Ranks[3] {
+		t.Errorf("nonlinear rank %v should beat noise %v", res.Ranks[1], res.Ranks[3])
+	}
+	// Constant feature scores exactly 0 and MI is nonnegative.
+	if res.Scores[4] != 0 {
+		t.Errorf("constant MI = %v", res.Scores[4])
+	}
+	for i, s := range res.Scores {
+		if s < 0 {
+			t.Errorf("negative MI for feature %d: %v", i, s)
+		}
+	}
+}
+
+func TestMutualInfoInEnsemble(t *testing.T) {
+	// MutualInfo slots into the Ranker set alongside the paper's five.
+	fr := syntheticFrame(t, 600, 10)
+	rankers := append(DefaultRankers(10), MutualInfo{Bins: 8})
+	for _, r := range rankers {
+		if _, err := r.Rank(fr); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestMutualInfoErrors(t *testing.T) {
+	single, err := frame.New([]string{"a"}, [][]float64{{1, 2}}, []int{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (MutualInfo{}).Rank(single); !errors.Is(err, ErrSingleClass) {
+		t.Errorf("single-class error = %v", err)
+	}
+	if _, err := (MutualInfo{}).Rank(nil); !errors.Is(err, ErrEmptyFrame) {
+		t.Errorf("nil error = %v", err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package stats provides the hand-rolled statistical primitives that the
+// rest of the repository builds on: descriptive statistics, correlation
+// coefficients, rank transforms, moving averages, and rank-distance
+// measures.
+//
+// Every function is deterministic and allocation-conscious; none of them
+// depend on anything outside the standard library. Functions that cannot
+// produce a meaningful answer for degenerate input (empty slices, zero
+// variance) return an error or a documented sentinel value rather than
+// NaN, so callers can make policy decisions explicitly.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by the statistical primitives.
+var (
+	// ErrEmptyInput indicates a computation over zero samples.
+	ErrEmptyInput = errors.New("stats: empty input")
+	// ErrLengthMismatch indicates paired inputs of different lengths.
+	ErrLengthMismatch = errors.New("stats: length mismatch")
+	// ErrZeroVariance indicates an input with no dispersion where
+	// dispersion is required (e.g. correlation denominators).
+	ErrZeroVariance = errors.New("stats: zero variance")
+	// ErrInvalidQuantile indicates a quantile outside [0, 1].
+	ErrInvalidQuantile = errors.New("stats: quantile outside [0, 1]")
+	// ErrInvalidWindow indicates a non-positive moving-average window.
+	ErrInvalidWindow = errors.New("stats: window must be positive")
+)
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Welford accumulates a running mean and variance using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples accumulated.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean, or 0 if no samples were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (dividing by n), or 0 if
+// fewer than one sample was added.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1),
+// or 0 if fewer than two samples were added.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// MeanVariance returns the mean and population variance of xs in one pass.
+func MeanVariance(xs []float64) (mean, variance float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmptyInput
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Mean(), w.Variance(), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	_, v, err := MeanVariance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (minV, maxV float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmptyInput
+	}
+	minV, maxV = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return minV, maxV, nil
+}
+
+// Quantile returns the q-th quantile of xs (q in [0, 1]) using linear
+// interpolation between closest ranks. The input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: %v", ErrInvalidQuantile, q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// ZScores returns the z-score of every element of xs relative to the
+// mean and population standard deviation of xs. If xs has zero variance
+// it returns ErrZeroVariance.
+func ZScores(xs []float64) ([]float64, error) {
+	mean, variance, err := MeanVariance(xs)
+	if err != nil {
+		return nil, err
+	}
+	if variance == 0 {
+		return nil, ErrZeroVariance
+	}
+	sd := math.Sqrt(variance)
+	zs := make([]float64, len(xs))
+	for i, x := range xs {
+		zs[i] = (x - mean) / sd
+	}
+	return zs, nil
+}
+
+// Ranks returns 1-based fractional ranks of xs, assigning tied values the
+// average of the ranks they span (the convention Spearman correlation
+// requires). The smallest value receives rank 1.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group spanning positions i..j.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson product-moment correlation between xs and
+// ys. It returns ErrZeroVariance when either input is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrZeroVariance
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation between xs and ys: the
+// Pearson correlation of their fractional ranks. Ties are handled by
+// average ranking.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// WeightedMovingAverage returns the weighted moving average of xs with
+// the given window, where the most recent element in each window has the
+// highest weight (weights 1..window). The first window-1 outputs use the
+// partial window available so far, so the result has the same length as
+// the input.
+func WeightedMovingAverage(xs []float64, window int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidWindow, window)
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		var num, den float64
+		for j := lo; j <= i; j++ {
+			w := float64(j - lo + 1)
+			num += xs[j] * w
+			den += w
+		}
+		out[i] = num / den
+	}
+	return out, nil
+}
+
+// RollingStats describes the summary statistics of one rolling window.
+type RollingStats struct {
+	Max   float64
+	Min   float64
+	Mean  float64
+	Std   float64
+	Range float64 // Max - Min
+	WMA   float64 // weighted moving average, recency-weighted
+}
+
+// Rolling computes RollingStats for every position of xs over a trailing
+// window of the given size. Partial windows at the start use the samples
+// available so far, so the result has the same length as the input.
+func Rolling(xs []float64, window int) ([]RollingStats, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidWindow, window)
+	}
+	out := make([]RollingStats, len(xs))
+	for i := range xs {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		var w Welford
+		minV, maxV := xs[lo], xs[lo]
+		var num, den float64
+		for j := lo; j <= i; j++ {
+			x := xs[j]
+			w.Add(x)
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
+			wt := float64(j - lo + 1)
+			num += x * wt
+			den += wt
+		}
+		out[i] = RollingStats{
+			Max:   maxV,
+			Min:   minV,
+			Mean:  w.Mean(),
+			Std:   w.StdDev(),
+			Range: maxV - minV,
+			WMA:   num / den,
+		}
+	}
+	return out, nil
+}
+
+// Histogram bins xs into the given number of equal-width bins spanning
+// [min, max] and returns the per-bin counts along with the bin edges
+// (len(edges) == bins+1). Values equal to max fall into the last bin.
+func Histogram(xs []float64, bins int) (counts []int, edges []float64, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmptyInput
+	}
+	if bins <= 0 {
+		return nil, nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	minV, maxV, _ := MinMax(xs)
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	width := (maxV - minV) / float64(bins)
+	for i := range edges {
+		edges[i] = minV + float64(i)*width
+	}
+	edges[bins] = maxV
+	if width == 0 {
+		// All values identical: everything lands in bin 0.
+		counts[0] = len(xs)
+		return counts, edges, nil
+	}
+	for _, x := range xs {
+		b := int((x - minV) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges, nil
+}

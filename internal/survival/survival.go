@@ -1,0 +1,156 @@
+// Package survival builds the survival-rate-versus-wear-out curves of
+// Section III-C (Figure 1 of the paper): for each value of MWI_N, the
+// fraction of the SSDs that ever operated at that wear level and were
+// still healthy at the end of the dataset. It locates the most
+// significant change point of the curve with the Bayesian detector of
+// internal/changepoint, yielding the MWI_N threshold WEFR uses to split
+// the fleet into wear-out groups.
+package survival
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/changepoint"
+	"repro/internal/dataset"
+	"repro/internal/smart"
+)
+
+// Errors returned by curve construction.
+var (
+	// ErrNoDrives indicates a model with no drives in the source.
+	ErrNoDrives = errors.New("survival: no drives")
+	// ErrNoMWI indicates a drive series without MWI_N.
+	ErrNoMWI = errors.New("survival: series lacks MWI_N")
+)
+
+// DefaultMinDrives is the minimum number of drives that must have
+// operated at an MWI_N value for the value to enter the curve; sparser
+// values carry too much estimation noise.
+const DefaultMinDrives = 8
+
+// Curve is a survival-rate curve over MWI_N values, ordered by
+// decreasing MWI_N — i.e. in the direction wear progresses, which is
+// the sequence order the change-point detector consumes.
+type Curve struct {
+	// Values are the integer MWI_N levels, strictly decreasing.
+	Values []float64
+	// Rates are the survival rates per level, in [0, 1].
+	Rates []float64
+	// Counts are the number of drives observed at each level.
+	Counts []int
+}
+
+// Len returns the number of curve points.
+func (c Curve) Len() int { return len(c.Values) }
+
+// Compute builds the survival curve of one model over the full dataset.
+// minDrives filters out sparsely observed MWI_N levels; pass 0 for
+// DefaultMinDrives.
+//
+// A drive "operated at" level v when its MWI_N series covered v: since
+// MWI_N declines monotonically (up to quantization noise), that is
+// every integer between its minimum and maximum recorded values.
+func Compute(src dataset.Source, model smart.ModelID, minDrives int) (Curve, error) {
+	return ComputeAsOf(src, model, minDrives, src.Days()-1)
+}
+
+// ComputeAsOf builds the survival curve using only information
+// available through the given day: drives count as failed only if they
+// failed by asOfDay, and only MWI_N observations up to asOfDay are
+// considered. The prediction pipeline uses this to keep the wear-out
+// split free of future knowledge during training.
+func ComputeAsOf(src dataset.Source, model smart.ModelID, minDrives, asOfDay int) (Curve, error) {
+	if minDrives <= 0 {
+		minDrives = DefaultMinDrives
+	}
+	drives := src.DrivesOf(model)
+	if len(drives) == 0 {
+		return Curve{}, fmt.Errorf("%w: model %v", ErrNoDrives, model)
+	}
+	mwiFeat := smart.Feature{Attr: smart.MWI, Kind: smart.Normalized}
+
+	const levels = 101 // MWI_N is an integer percentage 0..100
+	total := make([]int, levels)
+	healthy := make([]int, levels)
+
+	for _, ref := range drives {
+		series, lastDay, err := src.Series(ref)
+		if err != nil {
+			return Curve{}, err
+		}
+		col, ok := series[mwiFeat]
+		if !ok || len(col) == 0 {
+			return Curve{}, fmt.Errorf("%w: model %v drive %d", ErrNoMWI, model, ref.ID)
+		}
+		if lastDay > asOfDay {
+			col = col[:asOfDay+1]
+		}
+		failed := ref.Failed() && ref.FailDay <= asOfDay
+		lo, hi := col[0], col[0]
+		for _, v := range col[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		lov := int(math.Max(0, math.Floor(lo)))
+		hiv := int(math.Min(levels-1, math.Floor(hi)))
+		for v := lov; v <= hiv; v++ {
+			total[v]++
+			if !failed {
+				healthy[v]++
+			}
+		}
+	}
+
+	var c Curve
+	for v := levels - 1; v >= 0; v-- {
+		if total[v] < minDrives {
+			continue
+		}
+		c.Values = append(c.Values, float64(v))
+		c.Rates = append(c.Rates, float64(healthy[v])/float64(total[v]))
+		c.Counts = append(c.Counts, total[v])
+	}
+	return c, nil
+}
+
+// ChangePoint is the most significant survival-rate change on a curve.
+type ChangePoint struct {
+	// MWI is the MWI_N level the change occurs at — the threshold
+	// splitting low- and high-wear groups.
+	MWI float64
+	// Index is the position within the curve.
+	Index int
+	// Z is the z-score of the change probability.
+	Z float64
+}
+
+// DetectChangePoint locates the most significant change point of the
+// curve per the paper's rule: Bayesian change probabilities, a z-score
+// threshold (pass changepoint.DefaultZThreshold for ±2.5), and the
+// single largest z among significant points. found is false when the
+// curve is too short or no point clears the threshold — as the paper
+// reports for MB1 and MB2, whose MWI_N range is too small.
+func (c Curve) DetectChangePoint(cfg changepoint.Config, zThreshold float64) (ChangePoint, bool, error) {
+	if c.Len() < 8 {
+		// A narrow MWI range (MB models) cannot support detection.
+		return ChangePoint{}, false, nil
+	}
+	points, err := changepoint.Detect(c.Rates, cfg, zThreshold)
+	if err != nil {
+		if errors.Is(err, changepoint.ErrTooShort) {
+			return ChangePoint{}, false, nil
+		}
+		return ChangePoint{}, false, err
+	}
+	best, ok := changepoint.MostSignificant(points)
+	if !ok {
+		return ChangePoint{}, false, nil
+	}
+	return ChangePoint{MWI: c.Values[best.Index], Index: best.Index, Z: best.Z}, true, nil
+}

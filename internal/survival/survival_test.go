@@ -1,0 +1,198 @@
+package survival
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/changepoint"
+	"repro/internal/dataset"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+)
+
+func bigSource(t *testing.T) dataset.FleetSource {
+	t.Helper()
+	f, err := simulate.New(simulate.Config{TotalDrives: 5000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.FleetSource{Fleet: f}
+}
+
+func TestComputeBasicInvariants(t *testing.T) {
+	src := bigSource(t)
+	for _, m := range smart.AllModels() {
+		c, err := Compute(src, m, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if c.Len() == 0 {
+			t.Fatalf("%v: empty curve", m)
+		}
+		for i := 0; i < c.Len(); i++ {
+			if c.Rates[i] < 0 || c.Rates[i] > 1 {
+				t.Fatalf("%v: rate %v out of range", m, c.Rates[i])
+			}
+			if c.Counts[i] < DefaultMinDrives {
+				t.Fatalf("%v: count %d below threshold", m, c.Counts[i])
+			}
+			if i > 0 && c.Values[i] >= c.Values[i-1] {
+				t.Fatalf("%v: values not strictly decreasing", m)
+			}
+		}
+	}
+}
+
+func TestMBCurvesNarrow(t *testing.T) {
+	src := bigSource(t)
+	for _, m := range []smart.ModelID{smart.MB1, smart.MB2} {
+		c, err := Compute(src, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() > 20 {
+			t.Errorf("%v curve spans %d MWI levels; should be narrow", m, c.Len())
+		}
+	}
+}
+
+func TestWideModelsCoverLowMWI(t *testing.T) {
+	src := bigSource(t)
+	for _, m := range []smart.ModelID{smart.MA1, smart.MC1} {
+		c, err := Compute(src, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minV := c.Values[c.Len()-1]
+		if minV > 45 {
+			t.Errorf("%v curve bottoms at MWI %v; want coverage below the change point", m, minV)
+		}
+	}
+}
+
+func TestChangePointDetectedForWearModels(t *testing.T) {
+	src := bigSource(t)
+	// Models with wear-driven failures must show a significant change
+	// point; the simulator targets cpMWI of 30 (MA1) and 25 (MC1).
+	tests := []struct {
+		model  smart.ModelID
+		lo, hi float64
+	}{
+		{smart.MA1, 10, 50},
+		{smart.MC1, 10, 45},
+	}
+	for _, tt := range tests {
+		c, err := Compute(src, tt.model, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, found, err := c.DetectChangePoint(changepoint.DefaultConfig(), changepoint.DefaultZThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Errorf("%v: no change point found", tt.model)
+			continue
+		}
+		if cp.MWI < tt.lo || cp.MWI > tt.hi {
+			t.Errorf("%v: change point at MWI %v, want in [%v, %v]", tt.model, cp.MWI, tt.lo, tt.hi)
+		}
+	}
+}
+
+func TestNoChangePointForMBModels(t *testing.T) {
+	src := bigSource(t)
+	for _, m := range []smart.ModelID{smart.MB1, smart.MB2} {
+		c, err := Compute(src, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, found, err := c.DetectChangePoint(changepoint.DefaultConfig(), changepoint.DefaultZThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			t.Errorf("%v: unexpected change point on a narrow MWI range", m)
+		}
+	}
+}
+
+func TestSurvivalDropsBelowChangePoint(t *testing.T) {
+	src := bigSource(t)
+	c, err := Compute(src, smart.MA1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average survival above MWI 50 should exceed average below 25
+	// (wear failures concentrate at low MWI).
+	var hiSum, loSum float64
+	var hiN, loN int
+	for i := 0; i < c.Len(); i++ {
+		switch {
+		case c.Values[i] >= 50:
+			hiSum += c.Rates[i]
+			hiN++
+		case c.Values[i] <= 25:
+			loSum += c.Rates[i]
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Fatal("curve does not span both regions")
+	}
+	if hiSum/float64(hiN) <= loSum/float64(loN) {
+		t.Errorf("survival above 50 (%.3f) should exceed below 25 (%.3f)", hiSum/float64(hiN), loSum/float64(loN))
+	}
+}
+
+func TestMC2FirmwareBump(t *testing.T) {
+	src := bigSource(t)
+	c, err := Compute(src, smart.MC2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MC2's early-firmware failures happen at high MWI: the survival
+	// rate near the top of the range should be *lower* than in the
+	// mid-range (the curve "increases" as MWI decreases, Fig 1).
+	var topSum, midSum float64
+	var topN, midN int
+	for i := 0; i < c.Len(); i++ {
+		switch {
+		case c.Values[i] >= 93:
+			topSum += c.Rates[i]
+			topN++
+		case c.Values[i] >= 72 && c.Values[i] < 88:
+			midSum += c.Rates[i]
+			midN++
+		}
+	}
+	if topN == 0 || midN == 0 {
+		t.Fatal("curve does not cover firmware region")
+	}
+	if topSum/float64(topN) >= midSum/float64(midN) {
+		t.Errorf("survival at MWI>=93 (%.3f) should be below mid-range (%.3f) due to firmware failures",
+			topSum/float64(topN), midSum/float64(midN))
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	f, err := simulate.New(simulate.Config{TotalDrives: 300, Seed: 12, Models: []smart.ModelID{smart.MC1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dataset.FleetSource{Fleet: f}
+	if _, err := Compute(src, smart.MA1, 0); !errors.Is(err, ErrNoDrives) {
+		t.Errorf("error = %v, want ErrNoDrives", err)
+	}
+}
+
+func TestDetectChangePointShortCurve(t *testing.T) {
+	c := Curve{Values: []float64{100, 99}, Rates: []float64{1, 0.9}, Counts: []int{10, 10}}
+	_, found, err := c.DetectChangePoint(changepoint.DefaultConfig(), 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("short curve should not yield a change point")
+	}
+}

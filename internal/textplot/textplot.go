@@ -1,0 +1,168 @@
+// Package textplot renders small ASCII line/scatter plots and aligned
+// text tables. The experiments harness uses it to regenerate the
+// paper's figures (survival-vs-MWI_N curves of Fig 1, the F0.5-vs-
+// selected-percentage sweeps of Fig 2) directly in terminal output.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrNoData indicates a plot with no points.
+var ErrNoData = errors.New("textplot: no data")
+
+// Series is one named line on a plot.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the point coordinates (equal length).
+	X, Y []float64
+	// Marker is the rune drawn for this series; 0 picks a default.
+	Marker rune
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series onto a width x height character grid with
+// simple axis labels. Marks overwrite earlier series on collision.
+func Plot(title string, series []Series, width, height int) (string, error) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xMin, xMax, yMin, yMax float64
+	first := true
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("textplot: series %q: %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if first {
+				xMin, xMax, yMin, yMax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if first {
+		return "", ErrNoData
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - xMin) / (xMax - xMin) * float64(width-1)))
+			r := height - 1 - int(math.Round((s.Y[i]-yMin)/(yMax-yMin)*float64(height-1)))
+			grid[r][c] = marker
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLabelTop := fmt.Sprintf("%.3g", yMax)
+	yLabelBot := fmt.Sprintf("%.3g", yMin)
+	pad := len(yLabelTop)
+	if len(yLabelBot) > pad {
+		pad = len(yLabelBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.3g", xMax)), fmt.Sprintf("%.3g", xMin), fmt.Sprintf("%.3g", xMax))
+	// Legend.
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	return b.String(), nil
+}
+
+// Table renders rows as an aligned text table. header may be nil.
+func Table(header []string, rows [][]string) string {
+	all := rows
+	if header != nil {
+		all = append([][]string{header}, rows...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range all {
+		for c, cell := range row {
+			for len(widths) <= c {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c := 0; c < len(widths); c++ {
+			cell := ""
+			if c < len(row) {
+				cell = row[c]
+			}
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	if header != nil {
+		writeRow(header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+		b.WriteString("\n")
+	}
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Percent renders a fraction as a percentage string ("63%").
+func Percent(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,110 @@
+package textplot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out, err := Plot("demo", []Series{
+		{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+	}, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing marks")
+	}
+	if !strings.Contains(out, "line") {
+		t.Error("missing legend")
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	if _, err := Plot("", nil, 20, 5); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := Plot("", []Series{{Name: "bad", X: []float64{1}, Y: nil}}, 20, 5); err == nil {
+		t.Error("mismatched series should fail")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Plot("flat", []Series{
+		{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}},
+	}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty plot")
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	out, err := Plot("", []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	}, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected distinct markers:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Alignment: "alpha" and "b" rows pad to the same width.
+	if len(lines[2]) == 0 || len(lines[3]) == 0 {
+		t.Error("empty rows")
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Error("missing separator")
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	out := Table(nil, [][]string{{"x", "y"}})
+	if strings.Contains(out, "-") {
+		t.Error("no-header table should have no separator")
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if out := Table(nil, nil); out != "" {
+		t.Errorf("empty table = %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := Table([]string{"a", "b", "c"}, [][]string{{"1"}, {"1", "2", "3"}})
+	if out == "" {
+		t.Error("ragged table should render")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.63) != "63%" {
+		t.Errorf("Percent = %q", Percent(0.63))
+	}
+	if Percent(0) != "0%" {
+		t.Errorf("Percent(0) = %q", Percent(0))
+	}
+}

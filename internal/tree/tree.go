@@ -1,0 +1,338 @@
+// Package tree implements CART-style binary decision trees from scratch:
+// a Gini-impurity classifier used by the Random Forest, with exact split
+// search, depth and leaf-size limits, and per-feature random subsampling.
+// The gradient-boosted (Newton) regression tree lives in internal/gbdt,
+// which reuses this package's node layout.
+//
+// Trees operate on column-major data (cols[f][i] is feature f of sample
+// i) because split search iterates feature-wise; prediction takes a
+// row-major feature vector.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Errors returned by tree fitting.
+var (
+	// ErrNoData indicates a fit over zero samples.
+	ErrNoData = errors.New("tree: no training samples")
+	// ErrShapeMismatch indicates columns and labels of unequal length.
+	ErrShapeMismatch = errors.New("tree: shape mismatch")
+)
+
+// Config controls tree induction. The zero value is usable: it grows an
+// unlimited-depth tree considering every feature at every split with
+// minimum leaf size 1.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeafSamples is the minimum number of samples in a leaf;
+	// values below 1 are treated as 1.
+	MinLeafSamples int
+	// MinSplitSamples is the minimum number of samples required to
+	// attempt a split; values below 2 are treated as 2.
+	MinSplitSamples int
+	// MaxFeatures is the number of features sampled (without
+	// replacement) as split candidates at each node; 0 means all.
+	MaxFeatures int
+	// Seed seeds the per-node feature subsampling. Two fits with the
+	// same data, config, and seed produce identical trees.
+	Seed int64
+}
+
+func (c Config) minLeaf() int {
+	if c.MinLeafSamples < 1 {
+		return 1
+	}
+	return c.MinLeafSamples
+}
+
+func (c Config) minSplit() int {
+	if c.MinSplitSamples < 2 {
+		return 2
+	}
+	return c.MinSplitSamples
+}
+
+// node is one tree node. Leaves have feature == -1.
+type node struct {
+	feature   int     // split feature index, or -1 for a leaf
+	threshold float64 // go left when x[feature] <= threshold
+	left      int     // index of left child in nodes
+	right     int     // index of right child in nodes
+	prob      float64 // leaf: fraction of positive samples
+	samples   int     // training samples that reached this node
+}
+
+// Classifier is a fitted binary classification tree. It predicts the
+// positive-class probability as the positive fraction of the training
+// samples in the reached leaf.
+type Classifier struct {
+	nodes      []node
+	nFeatures  int
+	importance []float64 // impurity-decrease per feature, unnormalized
+	depth      int
+}
+
+// FitClassifier grows a classification tree on the given column-major
+// data. idx selects the training rows (pass nil to use every row); the
+// same row may appear multiple times (bootstrap replicates).
+func FitClassifier(cols [][]float64, y []int, idx []int, cfg Config) (*Classifier, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: no feature columns", ErrNoData)
+	}
+	n := len(y)
+	for f, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("%w: column %d has %d rows, labels have %d", ErrShapeMismatch, f, len(c), n)
+		}
+	}
+	if idx == nil {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return nil, ErrNoData
+	}
+
+	t := &Classifier{
+		nFeatures:  len(cols),
+		importance: make([]float64, len(cols)),
+	}
+	b := &builder{
+		cols: cols,
+		y:    y,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		t:    t,
+		feat: make([]int, len(cols)),
+		buf:  make([]int, len(idx)),
+	}
+	for i := range b.feat {
+		b.feat[i] = i
+	}
+	work := append([]int(nil), idx...) // builder reorders indices in place
+	b.grow(work, 0)
+	return t, nil
+}
+
+// builder carries the shared state of one tree induction.
+type builder struct {
+	cols [][]float64
+	y    []int
+	cfg  Config
+	rng  *rand.Rand
+	t    *Classifier
+	feat []int // feature index pool for subsampling
+	buf  []int // scratch for partitioning
+}
+
+// grow recursively grows the subtree over idx and returns its node
+// index. It reorders idx in place when splitting.
+func (b *builder) grow(idx []int, depth int) int {
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	n := len(idx)
+	nodeIdx := len(b.t.nodes)
+	b.t.nodes = append(b.t.nodes, node{
+		feature: -1,
+		prob:    float64(pos) / float64(n),
+		samples: n,
+	})
+	if depth > b.t.depth {
+		b.t.depth = depth
+	}
+
+	if pos == 0 || pos == n { // pure
+		return nodeIdx
+	}
+	if n < b.cfg.minSplit() || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return nodeIdx
+	}
+
+	feature, threshold, gain := b.bestSplit(idx, pos)
+	if feature < 0 {
+		return nodeIdx
+	}
+
+	// Partition idx into left (<= threshold) and right.
+	left := b.buf[:0]
+	right := make([]int, 0, n/2)
+	for _, i := range idx {
+		if b.cols[feature][i] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.minLeaf() || len(right) < b.cfg.minLeaf() {
+		return nodeIdx
+	}
+	copy(idx, left)
+	copy(idx[len(left):], right)
+
+	b.t.importance[feature] += gain * float64(n)
+
+	// Children are grown on disjoint halves of idx; buf is reused per
+	// node, so copy the halves out before recursing.
+	leftIdx := idx[:len(left)]
+	rightIdx := idx[len(left):]
+	l := b.grow(leftIdx, depth+1)
+	r := b.grow(rightIdx, depth+1)
+	b.t.nodes[nodeIdx].feature = feature
+	b.t.nodes[nodeIdx].threshold = threshold
+	b.t.nodes[nodeIdx].left = l
+	b.t.nodes[nodeIdx].right = r
+	return nodeIdx
+}
+
+// bestSplit searches the (possibly subsampled) features for the split
+// that maximizes Gini-impurity decrease. It returns feature -1 when no
+// split improves impurity.
+func (b *builder) bestSplit(idx []int, pos int) (feature int, threshold, gain float64) {
+	n := len(idx)
+	parentImpurity := gini(pos, n)
+	if parentImpurity == 0 {
+		return -1, 0, 0
+	}
+
+	nCand := b.cfg.MaxFeatures
+	if nCand <= 0 || nCand > len(b.feat) {
+		nCand = len(b.feat)
+	}
+	// Partial Fisher-Yates to draw nCand distinct features.
+	for i := 0; i < nCand; i++ {
+		j := i + b.rng.Intn(len(b.feat)-i)
+		b.feat[i], b.feat[j] = b.feat[j], b.feat[i]
+	}
+
+	feature = -1
+	bestGain := 1e-12 // require strictly positive improvement
+	minLeaf := b.cfg.minLeaf()
+
+	// Scratch: sort idx copies per feature.
+	sorted := make([]int, n)
+	for c := 0; c < nCand; c++ {
+		f := b.feat[c]
+		col := b.cols[f]
+		copy(sorted, idx)
+		sortByCol(sorted, col)
+
+		// Prefix scan: at boundary k, left = sorted[:k+1].
+		leftPos := 0
+		for k := 0; k < n-1; k++ {
+			leftPos += b.y[sorted[k]]
+			if col[sorted[k]] == col[sorted[k+1]] {
+				continue // can't split between equal values
+			}
+			nl := k + 1
+			nr := n - nl
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			g := parentImpurity -
+				(float64(nl)*gini(leftPos, nl)+float64(nr)*gini(pos-leftPos, nr))/float64(n)
+			if g > bestGain {
+				bestGain = g
+				feature = f
+				// Midpoint threshold is robust to unseen values
+				// between the two training points.
+				threshold = (col[sorted[k]] + col[sorted[k+1]]) / 2
+			}
+		}
+	}
+	if feature < 0 {
+		return -1, 0, 0
+	}
+	return feature, threshold, bestGain
+}
+
+// gini returns the Gini impurity of a node with pos positives among n.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// sortByCol sorts idx ascending by col value using insertion sort for
+// tiny inputs and a bottom-up quicksort otherwise.
+func sortByCol(idx []int, col []float64) {
+	if len(idx) < 24 {
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0 && col[idx[j]] < col[idx[j-1]]; j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		return
+	}
+	// Median-of-three quicksort on the index slice.
+	lo, hi := 0, len(idx)-1
+	mid := (lo + hi) / 2
+	if col[idx[mid]] < col[idx[lo]] {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if col[idx[hi]] < col[idx[lo]] {
+		idx[hi], idx[lo] = idx[lo], idx[hi]
+	}
+	if col[idx[hi]] < col[idx[mid]] {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+	}
+	pivot := col[idx[mid]]
+	i, j := lo, hi
+	for i <= j {
+		for col[idx[i]] < pivot {
+			i++
+		}
+		for col[idx[j]] > pivot {
+			j--
+		}
+		if i <= j {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+			j--
+		}
+	}
+	sortByCol(idx[:j+1], col)
+	sortByCol(idx[i:], col)
+}
+
+// PredictProba returns the positive-class probability for one sample
+// given as a row-major feature vector of length NumFeatures.
+func (t *Classifier) PredictProba(x []float64) float64 {
+	i := 0
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.prob
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// NumFeatures returns the feature count the tree was fitted with.
+func (t *Classifier) NumFeatures() int { return t.nFeatures }
+
+// NumNodes returns the total node count (internal + leaves).
+func (t *Classifier) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the depth of the deepest node (root = 0).
+func (t *Classifier) Depth() int { return t.depth }
+
+// Importance returns the per-feature total impurity decrease
+// (sample-weighted, unnormalized). The caller owns the returned slice.
+func (t *Classifier) Importance() []float64 {
+	return append([]float64(nil), t.importance...)
+}
