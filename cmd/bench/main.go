@@ -1,0 +1,321 @@
+// Command bench runs the repository's hot-path performance benchmarks
+// programmatically and records the results as a JSON report, so the
+// performance trajectory is tracked in-repo from PR to PR.
+//
+// Usage:
+//
+//	bench                          # run all benches, write BENCH_<date>.json
+//	bench -out results.json        # explicit output path
+//	bench -baseline BENCH_old.json # embed a prior run and report speedups
+//	bench -bench forest-fit        # run a single benchmark
+//
+// Benchmarks cover the training hot loop (forest-fit, gbdt-fit), batch
+// scoring (forest-predict-batch), the daily fleet-scoring path the
+// pipeline runs per testing phase (phase-score: frame materialization
+// with feature expansion plus model scoring), and the simulator's
+// series generation (series-gen).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/gbdt"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Report is the BENCH_<date>.json layout.
+type Report struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// Baseline carries the prior run this report is compared against
+	// (the pre-optimization numbers), when -baseline is given.
+	Baseline map[string]Result `json:"baseline,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		baseline = flag.String("baseline", "", "prior report to embed and compare against")
+		only     = flag.String("bench", "", "run only the named benchmark")
+	)
+	flag.Parse()
+
+	if err := run(*out, *baseline, *only); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, baselinePath, only string) error {
+	rep := Report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Result{},
+	}
+	if baselinePath != "" {
+		prior, err := readReport(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		rep.Baseline = prior.Benchmarks
+	}
+
+	for _, bm := range benches {
+		if only != "" && bm.name != only {
+			continue
+		}
+		fmt.Printf("%-22s ", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := Result{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if base, ok := rep.Baseline[bm.name]; ok && res.NsPerOp > 0 {
+			res.Speedup = float64(base.NsPerOp) / float64(res.NsPerOp)
+		}
+		rep.Benchmarks[bm.name] = res
+		fmt.Printf("%12d ns/op %10d B/op %8d allocs/op", res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.Speedup > 0 {
+			fmt.Printf("   %.2fx vs baseline", res.Speedup)
+		}
+		fmt.Println()
+	}
+	if len(rep.Benchmarks) == 0 {
+		names := make([]string, len(benches))
+		for i, bm := range benches {
+			names[i] = bm.name
+		}
+		return fmt.Errorf("no benchmark named %q (have: %s)", only, strings.Join(names, ", "))
+	}
+
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(data, &rep)
+	return rep, err
+}
+
+// --- benchmark definitions ---
+
+var benches = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"forest-fit", benchForestFit},
+	{"forest-predict-batch", benchForestPredictBatch},
+	{"gbdt-fit", benchGBDTFit},
+	{"phase-score", benchPhaseScore},
+	{"series-gen", benchSeriesGen},
+	{"series-gen-batch", benchSeriesGenBatch},
+}
+
+// synthData builds a deterministic frame-shaped dataset: one signal
+// feature plus noise features, mimicking an expanded training frame.
+func synthData(n, features int, seed int64) (cols [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	y = make([]int, n)
+	signal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.12 { // failure-frame-like class skew
+			y[i] = 1
+			signal[i] = 1.5 + rng.NormFloat64()
+		} else {
+			signal[i] = rng.NormFloat64()
+		}
+	}
+	cols = make([][]float64, features)
+	cols[0] = signal
+	for f := 1; f < features; f++ {
+		c := make([]float64, n)
+		for i := range c {
+			// Mix of continuous noise and low-cardinality counter-like
+			// columns (heavy value ties, as in SMART data).
+			if f%3 == 0 {
+				c[i] = float64(rng.Intn(6))
+			} else {
+				c[i] = rng.NormFloat64() + 0.2*signal[i]
+			}
+		}
+		cols[f] = c
+	}
+	return cols, y
+}
+
+// benchForestFit measures Random Forest training at bench scale
+// (the dominant cost of Table III and Tables VI-VIII).
+func benchForestFit(b *testing.B) {
+	cols, y := synthData(4000, 60, 1)
+	cfg := forest.Config{NumTrees: 30, MaxDepth: 12, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Fit(cols, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchForestPredictBatch measures fleet-wide batch scoring with a
+// fitted forest.
+func benchForestPredictBatch(b *testing.B) {
+	cols, y := synthData(4000, 60, 2)
+	f, err := forest.Fit(cols, y, forest.Config{NumTrees: 30, MaxDepth: 12, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scoreCols, _ := synthData(20000, 60, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.PredictProbaAll(scoreCols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGBDTFit measures boosted-tree training at bench scale.
+func benchGBDTFit(b *testing.B) {
+	cols, y := synthData(3000, 60, 4)
+	cfg := gbdt.Config{NumRounds: 25, MaxDepth: 6, Eta: 0.3, Lambda: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbdt.Fit(cols, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPhaseScore measures the pipeline's daily scoring path for one
+// testing phase: materializing the every-day expanded frame for a
+// 30-day window and scoring it with the phase model, as scorePhase
+// does for validation and test periods.
+func benchPhaseScore(b *testing.B) {
+	fleet, err := simulate.New(simulate.Config{TotalDrives: 400, Seed: 7, AFRScale: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := dataset.NewCachedSource(dataset.FleetSource{Fleet: fleet})
+	days := src.Days()
+
+	trainFr, err := dataset.Frame(src, dataset.FrameOpts{
+		Model: smart.MC1, DayLo: 0, DayHi: days - 61, NegEvery: 20, Expand: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := make([][]float64, trainFr.NumFeatures())
+	for i := range cols {
+		cols[i] = trainFr.Col(i)
+	}
+	f, err := forest.Fit(cols, trainFr.Labels(), forest.Config{NumTrees: 30, MaxDepth: 12, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := dataset.Frame(src, dataset.FrameOpts{
+			Model: smart.MC1, DayLo: days - 30, DayHi: days - 1, NegEvery: 1, Expand: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scoreCols := make([][]float64, fr.NumFeatures())
+		for j := range scoreCols {
+			scoreCols[j] = fr.Col(j)
+		}
+		if _, err := f.PredictProbaAll(scoreCols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSeriesGen measures simulator series generation across a fleet
+// (the cost of materializing daily SMART logs for every drive).
+func benchSeriesGen(b *testing.B) {
+	fleet, err := simulate.New(simulate.Config{TotalDrives: 600, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var drives []simulate.Drive
+	for _, m := range smart.AllModels() {
+		drives = append(drives, fleet.DrivesOf(m)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range drives {
+			if s := fleet.Series(d); s.LastDay < -1 {
+				b.Fatal("bad series")
+			}
+		}
+	}
+}
+
+// benchSeriesGenBatch measures SeriesAll: the same generation fanned
+// across GOMAXPROCS workers with all series materialized at once. On a
+// single-CPU host it degenerates to the serial loop plus the cost of
+// holding the whole fleet's series live.
+func benchSeriesGenBatch(b *testing.B) {
+	fleet, err := simulate.New(simulate.Config{TotalDrives: 600, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var drives []simulate.Drive
+	for _, m := range smart.AllModels() {
+		drives = append(drives, fleet.DrivesOf(m)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range fleet.SeriesAll(drives, 0) {
+			if s.LastDay < -1 {
+				b.Fatal("bad series")
+			}
+		}
+	}
+}

@@ -25,14 +25,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids (see doc comment)")
-		drives = flag.Int("drives", 0, "fleet size override (0 = config default)")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		fast   = flag.Bool("fast", false, "use the reduced test-scale configuration")
-		rounds = flag.Int("rounds", 5, "averaging rounds for table8 (paper: 20)")
-		trees  = flag.Int("trees", 0, "prediction forest size override (paper: 100)")
-		depth  = flag.Int("depth", 0, "prediction forest depth override (paper: 13)")
-		phases = flag.Int("phases", 0, "testing phase count (0 = all three)")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (see doc comment)")
+		drives  = flag.Int("drives", 0, "fleet size override (0 = config default)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		fast    = flag.Bool("fast", false, "use the reduced test-scale configuration")
+		rounds  = flag.Int("rounds", 5, "averaging rounds for table8 (paper: 20)")
+		trees   = flag.Int("trees", 0, "prediction forest size override (paper: 100)")
+		depth   = flag.Int("depth", 0, "prediction forest depth override (paper: 13)")
+		phases  = flag.Int("phases", 0, "testing phase count (0 = all three)")
+		workers = flag.Int("workers", 0, "parallel workers for extraction/fitting/scoring (0 = GOMAXPROCS, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		cfg.Forest.MaxDepth = *depth
 	}
 	cfg.PhaseCount = *phases
+	cfg.Workers = *workers
 
 	if err := run(cfg, *exp, *rounds); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

@@ -13,6 +13,9 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/featgen"
 	"repro/internal/frame"
@@ -128,6 +131,12 @@ type FrameOpts struct {
 	// or above it. At most one may be set.
 	MWIBelow   float64
 	MWIAtLeast float64
+	// Workers bounds per-drive extraction parallelism; 0 means
+	// GOMAXPROCS. The Source's Series method must be safe for
+	// concurrent calls when more than one worker runs (every Source in
+	// this repository is). Results are identical for any worker count:
+	// drives are always concatenated in inventory order.
+	Workers int
 }
 
 func (o FrameOpts) normalize(days int) (FrameOpts, error) {
@@ -175,90 +184,170 @@ func Frame(src Source, opts FrameOpts) (*frame.Frame, error) {
 		}
 	}
 
-	cols := make([][]float64, len(names))
-	for i := range cols {
-		cols[i] = []float64{}
-	}
-	var labels []int
-	var meta []frame.Meta
+	drives := src.DrivesOf(opts.Model)
+	chunks := make([]*driveChunk, len(drives))
+	errs := make([]error, len(drives))
 
-	mwiFeat := smart.Feature{Attr: smart.MWI, Kind: smart.Normalized}
-	for _, ref := range src.DrivesOf(opts.Model) {
-		series, lastDay, err := src.Series(ref)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(drives) {
+		workers = len(drives)
+	}
+	if workers <= 1 {
+		for d, ref := range drives {
+			chunks[d], errs[d] = extractDrive(src, ref, opts)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					d := int(next.Add(1)) - 1
+					if d >= len(drives) {
+						return
+					}
+					chunks[d], errs[d] = extractDrive(src, drives[d], opts)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		hi := opts.DayHi
-		if hi > lastDay {
-			hi = lastDay
-		}
-		if opts.DayLo > hi {
-			continue
-		}
+	}
 
-		// Expanded columns are generated lazily, only when some sample
-		// day of this drive survives the filters.
-		var expanded [][]float64
-		haveExpanded := false
-
-		for day := opts.DayLo; day <= hi; day++ {
-			label := ref.Label(day)
-			if label == 0 && (day-ref.ID)%opts.NegEvery != 0 {
-				continue
-			}
-			mwi := 0.0
-			if mcol, ok := series[mwiFeat]; ok {
-				mwi = mcol[day]
-			}
-			if opts.MWIBelow > 0 && mwi >= opts.MWIBelow {
-				continue
-			}
-			if opts.MWIAtLeast > 0 && mwi < opts.MWIAtLeast {
-				continue
-			}
-			if opts.Expand && !haveExpanded {
-				expanded, err = expandSeries(series, opts.Features, opts.Windows)
-				if err != nil {
-					return nil, err
-				}
-				haveExpanded = true
-			}
-
-			c := 0
-			for _, ft := range opts.Features {
-				col, ok := series[ft]
-				if !ok {
-					return nil, fmt.Errorf("dataset: model %v missing feature %v", opts.Model, ft)
-				}
-				cols[c] = append(cols[c], col[day])
-				c++
-			}
-			if opts.Expand {
-				for _, ecol := range expanded {
-					cols[c] = append(cols[c], ecol[day])
-					c++
-				}
-			}
-			labels = append(labels, label)
-			meta = append(meta, frame.Meta{DriveID: ref.ID, Day: day, MWI: mwi})
+	// Concatenate per-drive chunks in inventory order, so the frame is
+	// identical no matter how many workers extracted it.
+	total := 0
+	for _, ch := range chunks {
+		if ch != nil {
+			total += len(ch.labels)
 		}
 	}
-	if len(labels) == 0 {
+	if total == 0 {
 		return nil, fmt.Errorf("%w: model %v days [%d, %d]", ErrNoSamples, opts.Model, opts.DayLo, opts.DayHi)
+	}
+	cols := make([][]float64, len(names))
+	for i := range cols {
+		cols[i] = make([]float64, 0, total)
+	}
+	labels := make([]int, 0, total)
+	meta := make([]frame.Meta, 0, total)
+	for _, ch := range chunks {
+		if ch == nil {
+			continue
+		}
+		for c := range cols {
+			cols[c] = append(cols[c], ch.cols[c]...)
+		}
+		labels = append(labels, ch.labels...)
+		meta = append(meta, ch.meta...)
 	}
 	return frame.New(names, cols, labels, meta)
 }
 
-// expandSeries generates the statistical columns for each original
-// feature of one drive, ordered per feature then per generated stat.
-func expandSeries(series map[smart.Feature][]float64, feats []smart.Feature, windows []int) ([][]float64, error) {
+// driveChunk is one drive's worth of frame rows.
+type driveChunk struct {
+	cols   [][]float64
+	labels []int
+	meta   []frame.Meta
+}
+
+// extractDrive materializes one drive's surviving sample days. It
+// returns nil (no error) when no day of the drive is in range or
+// survives the filters.
+func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error) {
+	series, lastDay, err := src.Series(ref)
+	if err != nil {
+		return nil, err
+	}
+	hi := opts.DayHi
+	if hi > lastDay {
+		hi = lastDay
+	}
+	if opts.DayLo > hi {
+		return nil, nil
+	}
+
+	nCols := len(opts.Features)
+	if opts.Expand {
+		nCols += len(opts.Features) * featgen.NumGenerated(opts.Windows)
+	}
+	ch := &driveChunk{cols: make([][]float64, nCols)}
+
+	// Expanded columns are generated lazily, only when some sample day
+	// of this drive survives the filters — and only for the requested
+	// day range, not the drive's whole history: a 30-day scoring pass
+	// over a two-year series skips ~96% of the rolling-window work.
+	var expanded [][]float64
+	haveExpanded := false
+
+	mwiFeat := smart.Feature{Attr: smart.MWI, Kind: smart.Normalized}
+	for day := opts.DayLo; day <= hi; day++ {
+		label := ref.Label(day)
+		if label == 0 && (day-ref.ID)%opts.NegEvery != 0 {
+			continue
+		}
+		mwi := 0.0
+		if mcol, ok := series[mwiFeat]; ok {
+			mwi = mcol[day]
+		}
+		if opts.MWIBelow > 0 && mwi >= opts.MWIBelow {
+			continue
+		}
+		if opts.MWIAtLeast > 0 && mwi < opts.MWIAtLeast {
+			continue
+		}
+		if opts.Expand && !haveExpanded {
+			expanded, err = expandSeriesRange(series, opts.Features, opts.Windows, opts.DayLo, hi)
+			if err != nil {
+				return nil, err
+			}
+			haveExpanded = true
+		}
+
+		c := 0
+		for _, ft := range opts.Features {
+			col, ok := series[ft]
+			if !ok {
+				return nil, fmt.Errorf("dataset: model %v missing feature %v", opts.Model, ft)
+			}
+			ch.cols[c] = append(ch.cols[c], col[day])
+			c++
+		}
+		if opts.Expand {
+			for _, ecol := range expanded {
+				ch.cols[c] = append(ch.cols[c], ecol[day-opts.DayLo])
+				c++
+			}
+		}
+		ch.labels = append(ch.labels, label)
+		ch.meta = append(ch.meta, frame.Meta{DriveID: ref.ID, Day: day, MWI: mwi})
+	}
+	if len(ch.labels) == 0 {
+		return nil, nil
+	}
+	return ch, nil
+}
+
+// expandSeriesRange generates the statistical columns for each original
+// feature of one drive, restricted to days from..to (column index t is
+// day from+t), ordered per feature then per generated stat.
+func expandSeriesRange(series map[smart.Feature][]float64, feats []smart.Feature, windows []int, from, to int) ([][]float64, error) {
 	var out [][]float64
 	for _, ft := range feats {
 		col, ok := series[ft]
 		if !ok {
 			return nil, fmt.Errorf("dataset: missing feature %v for expansion", ft)
 		}
-		gen, err := featgen.Generate(col, windows)
+		gen, err := featgen.GenerateRange(col, windows, from, to)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: expand %v: %w", ft, err)
 		}

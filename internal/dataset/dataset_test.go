@@ -78,6 +78,40 @@ func TestFrameBasic(t *testing.T) {
 	}
 }
 
+func TestFrameWorkerCountInvariance(t *testing.T) {
+	// Per-drive chunks are concatenated in inventory order, so the
+	// frame must be byte-for-byte identical for any worker count.
+	src := testSource(t)
+	opts := FrameOpts{Model: smart.MC1, NegEvery: 10, Expand: true, DayLo: 500, DayHi: 560}
+	opts.Workers = 1
+	serial, err := Frame(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 7
+	parallel, err := Frame(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumRows() != parallel.NumRows() || serial.NumFeatures() != parallel.NumFeatures() {
+		t.Fatalf("shape: serial %dx%d, parallel %dx%d",
+			serial.NumRows(), serial.NumFeatures(), parallel.NumRows(), parallel.NumFeatures())
+	}
+	for c := 0; c < serial.NumFeatures(); c++ {
+		cs, cp := serial.Col(c), parallel.Col(c)
+		for i := range cs {
+			if cs[i] != cp[i] {
+				t.Fatalf("col %d row %d: serial %v != parallel %v", c, i, cs[i], cp[i])
+			}
+		}
+	}
+	for i := 0; i < serial.NumRows(); i++ {
+		if serial.Labels()[i] != parallel.Labels()[i] || serial.Meta(i) != parallel.Meta(i) {
+			t.Fatalf("row %d label/meta mismatch", i)
+		}
+	}
+}
+
 func TestFrameAllPositiveDaysKept(t *testing.T) {
 	src := testSource(t)
 	fr, err := Frame(src, FrameOpts{Model: smart.MC1, NegEvery: 500})

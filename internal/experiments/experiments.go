@@ -46,6 +46,10 @@ type Config struct {
 	// PhaseCount restricts how many of the paper's three testing
 	// phases run (taking the latest ones); 0 means all three.
 	PhaseCount int
+	// Workers bounds the parallelism of frame extraction, forest
+	// fitting, and scoring; 0 means GOMAXPROCS. Results are identical
+	// for any value.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration that preserves
@@ -144,6 +148,7 @@ func (h *Harness) pipelineConfig() pipeline.Config {
 	return pipeline.Config{
 		Forest:   h.cfg.Forest,
 		NegEvery: h.cfg.NegEvery,
+		Workers:  h.cfg.Workers,
 		Seed:     h.cfg.Seed,
 	}
 }
@@ -162,7 +167,7 @@ func (h *Harness) phases() []pipeline.Phase {
 // the characterization tables (III, IV, V).
 func (h *Harness) selectionFrame(m smart.ModelID) (frameWithModel, error) {
 	fr, err := dataset.Frame(h.src, dataset.FrameOpts{
-		Model: m, NegEvery: h.cfg.NegEvery,
+		Model: m, NegEvery: h.cfg.NegEvery, Workers: h.cfg.Workers,
 	})
 	if err != nil {
 		return frameWithModel{}, fmt.Errorf("experiments: frame for %v: %w", m, err)

@@ -46,15 +46,35 @@ func Generate(series []float64, windows []int) ([][]float64, error) {
 	if len(windows) == 0 {
 		return nil, ErrNoWindows
 	}
+	if len(series) == 0 {
+		out := make([][]float64, len(windows)*StatsPerWindow)
+		for i := range out {
+			out[i] = []float64{}
+		}
+		return out, nil
+	}
+	return GenerateRange(series, windows, 0, len(series)-1)
+}
+
+// GenerateRange computes the generated feature columns only for days
+// from through to (inclusive): column index t holds day from+t, and
+// values are identical to Generate(series, windows) sliced to that day
+// range (trailing windows still look back past `from` into the full
+// series). Scoring passes over a short day window of a long series use
+// this to skip regenerating statistics for the whole history.
+func GenerateRange(series []float64, windows []int, from, to int) ([][]float64, error) {
+	if len(windows) == 0 {
+		return nil, ErrNoWindows
+	}
 	out := make([][]float64, 0, len(windows)*StatsPerWindow)
 	for _, w := range windows {
-		rs, err := stats.Rolling(series, w)
+		rs, err := stats.RollingRange(series, w, from, to)
 		if err != nil {
 			return nil, fmt.Errorf("featgen: window %d: %w", w, err)
 		}
 		cols := make([][]float64, StatsPerWindow)
 		for i := range cols {
-			cols[i] = make([]float64, len(series))
+			cols[i] = make([]float64, to-from+1)
 		}
 		for t, r := range rs {
 			cols[0][t] = r.Max

@@ -95,28 +95,30 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
 	}
 
 	// Draw all bootstrap samples up-front from a single seeded source so
-	// the fit is deterministic regardless of worker scheduling.
+	// the fit is deterministic regardless of worker scheduling. Each
+	// bootstrap is a per-row draw-count vector rather than a duplicated
+	// index list, which is what lets every tree share one presort.
 	boots := make([][]int, cfg.NumTrees)
 	seeds := make([]int64, cfg.NumTrees)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for t := 0; t < cfg.NumTrees; t++ {
-		idx := make([]int, n)
-		inBag := make([]bool, n)
-		for i := range idx {
-			j := rng.Intn(n)
-			idx[i] = j
-			inBag[j] = true
+		w := make([]int, n)
+		for i := 0; i < n; i++ {
+			w[rng.Intn(n)]++
 		}
-		boots[t] = idx
+		boots[t] = w
 		var oob []int
-		for i, in := range inBag {
-			if !in {
+		for i, wi := range w {
+			if wi == 0 {
 				oob = append(oob, i)
 			}
 		}
 		f.oob[t] = oob
 		seeds[t] = rng.Int63()
 	}
+
+	// Sort every feature once; all trees partition this shared order.
+	ps := tree.Presort(cols)
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -136,6 +138,10 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch arena per worker, reused across its trees, so
+			// per-tree working orders are allocated workers times total
+			// instead of NumTrees times.
+			sc := tree.NewScratch()
 			for t := range work {
 				tc := tree.Config{
 					MaxDepth:       cfg.MaxDepth,
@@ -143,7 +149,7 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
 					MaxFeatures:    maxFeat,
 					Seed:           seeds[t],
 				}
-				tr, err := tree.FitClassifier(cols, y, boots[t], tc)
+				tr, err := tree.FitClassifierPresorted(ps, y, boots[t], tc, sc)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -188,6 +194,11 @@ func (f *Forest) Predict(x []float64, threshold float64) int {
 
 // PredictProbaAll scores every row of column-major data and returns the
 // probabilities. The data must have the same feature count as training.
+// Rows are chunked across workers (Config.Workers if set, else
+// GOMAXPROCS); within a chunk each tree walks the columns directly, so
+// no per-row feature vector is ever gathered. Results are bit-identical
+// for any worker count: every row's probability is the same tree-order
+// sum regardless of which chunk computes it.
 func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
 	if len(cols) != f.nFeatures {
 		return nil, fmt.Errorf("forest: %d columns, fitted with %d", len(cols), f.nFeatures)
@@ -197,7 +208,10 @@ func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
 	}
 	n := len(cols[0])
 	out := make([]float64, n)
-	workers := runtime.GOMAXPROCS(0)
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -218,12 +232,19 @@ func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			x := make([]float64, f.nFeatures)
-			for i := lo; i < hi; i++ {
-				for j := range cols {
-					x[j] = cols[j][i]
-				}
-				out[i] = f.PredictProba(x)
+			sub := make([][]float64, len(cols))
+			for j := range cols {
+				sub[j] = cols[j][lo:hi]
+			}
+			dst := out[lo:hi]
+			for _, t := range f.trees {
+				t.PredictProbaBatchAdd(sub, dst)
+			}
+			// Divide (not multiply-by-reciprocal) so batch results are
+			// bit-identical to the per-row PredictProba sum/divide.
+			nt := float64(len(f.trees))
+			for i := range dst {
+				dst[i] /= nt
 			}
 		}(lo, hi)
 	}

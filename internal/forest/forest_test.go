@@ -89,6 +89,47 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestWorkerCountInvariance(t *testing.T) {
+	// Serial and parallel fits must be bit-identical: bootstraps and
+	// tree seeds are drawn up front from one RNG, and scoring chunks
+	// accumulate in tree order regardless of which worker owns a row.
+	cols, y := blobs(300, 3, 6)
+	serial, err := Fit(cols, y, Config{NumTrees: 12, MaxDepth: 6, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fit(cols, y, Config{NumTrees: 12, MaxDepth: 6, Seed: 11, Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impS, err := serial.ImpurityImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	impP, err := parallel.ImpurityImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range impS {
+		if impS[f] != impP[f] {
+			t.Fatalf("importance[%d]: serial %v != parallel %v", f, impS[f], impP[f])
+		}
+	}
+	probS, err := serial.PredictProbaAll(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probP, err := parallel.PredictProbaAll(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probS {
+		if probS[i] != probP[i] {
+			t.Fatalf("prob[%d]: serial %v != parallel %v", i, probS[i], probP[i])
+		}
+	}
+}
+
 func TestPredictProbaAll(t *testing.T) {
 	cols, y := blobs(200, 1, 4)
 	f, err := Fit(cols, y, Config{NumTrees: 10, MaxDepth: 5, Seed: 4})

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/presort"
 )
 
 // Errors returned by GBDT fitting.
@@ -140,18 +142,10 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Model, error) {
 		splits:    make([]int, len(cols)),
 	}
 
-	// Presort row indices per feature once; every tree reuses the
-	// ordering through partition masks.
-	order := make([][]int, len(cols))
-	for f := range cols {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		col := cols[f]
-		quickSortIdx(idx, col)
-		order[f] = idx
-	}
+	// Presort row indices per feature once (shared sort machinery with
+	// internal/tree); every tree reuses the ordering through the nodeOf
+	// partition masks.
+	order := presort.All(cols)
 
 	margin := make([]float64, n)
 	for i := range margin {
@@ -159,7 +153,7 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Model, error) {
 	}
 	grad := make([]float64, n)
 	hess := make([]float64, n)
-	nodeOf := make([]int, n) // which leaf each sample currently sits in
+	nodeOf := make([]int32, n) // which leaf each sample currently sits in
 
 	for round := 0; round < cfg.NumRounds; round++ {
 		for i := 0; i < n; i++ {
@@ -169,19 +163,14 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Model, error) {
 		}
 		t := m.growTree(cols, order, grad, hess, nodeOf)
 		m.trees = append(m.trees, t)
-		x := make([]float64, len(cols))
-		for i := 0; i < n; i++ {
-			for f := range cols {
-				x[f] = cols[f][i]
-			}
-			margin[i] += cfg.Eta * t.predict(x)
-		}
+		// Margin update walks the columns directly; no per-row gather.
+		t.predictBatchAdd(cols, cfg.Eta, margin)
 	}
 	return m, nil
 }
 
 // growTree grows one Newton regression tree level by level.
-func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, nodeOf []int) *regTree {
+func (m *Model) growTree(cols [][]float64, order [][]int32, grad, hess []float64, nodeOf []int32) *regTree {
 	cfg := m.cfg
 	n := len(grad)
 	t := &regTree{}
@@ -203,7 +192,10 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 
 	for depth := 0; depth < cfg.MaxDepth && len(frontier) > 0; depth++ {
 		// Best split per frontier node, found by one pass per feature
-		// over the presorted order.
+		// over the presorted order. All per-node state lives in dense
+		// slices indexed by frontier slot — the sample loop runs
+		// n x features times per level, so a map lookup per sample
+		// would dominate the whole fit.
 		type split struct {
 			feature   int
 			threshold float64
@@ -211,10 +203,15 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 			gl, hl    float64
 			sizeL     int
 		}
-		best := make(map[int]split, len(frontier))
-		stat := make(map[int]nodeStat, len(frontier))
-		for _, fs := range frontier {
-			stat[fs.id] = fs
+		// slotOf maps a node id to its frontier slot + 1 (0 = not in
+		// the frontier).
+		slotOf := make([]int32, len(t.nodes))
+		for s, fs := range frontier {
+			slotOf[fs.id] = int32(s + 1)
+		}
+		best := make([]split, len(frontier))
+		for s := range best {
+			best[s].feature = -1
 		}
 		// Per-node running left sums for the current feature.
 		type acc struct {
@@ -223,19 +220,19 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 			lastV float64
 			has   bool
 		}
+		accs := make([]acc, len(frontier))
 		for f := range cols {
 			col := cols[f]
-			accs := make(map[int]*acc, len(frontier))
-			for _, fs := range frontier {
-				accs[fs.id] = &acc{}
+			for s := range accs {
+				accs[s] = acc{}
 			}
 			for _, i := range order[f] {
-				id := nodeOf[i]
-				a, ok := accs[id]
-				if !ok {
+				s := slotOf[nodeOf[i]] - 1
+				if s < 0 {
 					continue // sample not in a frontier node
 				}
-				fs := stat[id]
+				a := &accs[s]
+				fs := &frontier[s]
 				v := col[i]
 				// A split boundary exists before i when the value
 				// changes and both sides are non-empty.
@@ -245,11 +242,20 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 					if hl >= cfg.MinChildWeight && hr >= cfg.MinChildWeight {
 						gain := splitGain(gl, hl, gr, hr, cfg.Lambda) - cfg.Gamma
 						if gain > 0 {
-							cur, seen := best[id]
-							if !seen || gain > cur.gain {
-								best[id] = split{
+							if cur := &best[s]; cur.feature < 0 || gain > cur.gain {
+								// For adjacent floats the midpoint
+								// rounds up to v itself, which would
+								// route v-valued rows left while their
+								// grad/hess were summed right; fall
+								// back to lastV so the cut stays
+								// strictly left of v.
+								thr := (a.lastV + v) / 2
+								if thr >= v {
+									thr = a.lastV
+								}
+								*cur = split{
 									feature:   f,
-									threshold: (a.lastV + v) / 2,
+									threshold: thr,
 									gain:      gain,
 									gl:        gl, hl: hl,
 									sizeL: a.cnt,
@@ -267,11 +273,14 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 		}
 
 		// Apply the chosen splits and build the next frontier.
+		// childOf is indexed by parent node id; child ids are always
+		// positive, so a zero entry means "no split".
 		var next []nodeStat
-		childOf := make(map[int][2]int, len(best))
-		for _, fs := range frontier {
-			sp, ok := best[fs.id]
-			if !ok {
+		childOf := make([][2]int32, len(t.nodes))
+		split2 := 0
+		for s, fs := range frontier {
+			sp := best[s]
+			if sp.feature < 0 {
 				continue
 			}
 			l := len(t.nodes)
@@ -284,7 +293,8 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 			nd.threshold = sp.threshold
 			nd.left = l
 			nd.right = l + 1
-			childOf[fs.id] = [2]int{l, l + 1}
+			childOf[fs.id] = [2]int32{int32(l), int32(l + 1)}
+			split2++
 			m.gain[sp.feature] += sp.gain
 			m.splits[sp.feature]++
 			next = append(next,
@@ -292,14 +302,14 @@ func (m *Model) growTree(cols [][]float64, order [][]int, grad, hess []float64, 
 				nodeStat{id: l + 1, g: fs.g - sp.gl, h: fs.h - sp.hl, size: fs.size - sp.sizeL},
 			)
 		}
-		if len(childOf) == 0 {
+		if split2 == 0 {
 			break
 		}
 		// Reassign samples to children.
 		for i := 0; i < n; i++ {
 			id := nodeOf[i]
-			ch, ok := childOf[id]
-			if !ok {
+			ch := childOf[id]
+			if ch[0] == 0 {
 				continue
 			}
 			nd := &t.nodes[id]
@@ -380,42 +390,44 @@ func (m *Model) WeightImportance() ([]int, error) {
 	return append([]int(nil), m.splits...), nil
 }
 
-// quickSortIdx sorts idx ascending by col value.
-func quickSortIdx(idx []int, col []float64) {
-	if len(idx) < 16 {
-		for i := 1; i < len(idx); i++ {
-			for j := i; j > 0 && col[idx[j]] < col[idx[j-1]]; j-- {
-				idx[j], idx[j-1] = idx[j-1], idx[j]
+// predictBatchAdd adds scale times each row's leaf weight into out[i],
+// reading the column-major data directly.
+func (t *regTree) predictBatchAdd(cols [][]float64, scale float64, out []float64) {
+	nodes := t.nodes
+	for i := range out {
+		k := 0
+		for {
+			nd := &nodes[k]
+			if nd.feature < 0 {
+				out[i] += scale * nd.weight
+				break
+			}
+			if cols[nd.feature][i] <= nd.threshold {
+				k = int(nd.left)
+			} else {
+				k = int(nd.right)
 			}
 		}
-		return
 	}
-	lo, hi := 0, len(idx)-1
-	mid := (lo + hi) / 2
-	if col[idx[mid]] < col[idx[lo]] {
-		idx[mid], idx[lo] = idx[lo], idx[mid]
+}
+
+// PredictMarginBatch writes the raw additive margin (log-odds) of every
+// row of column-major data into out[i]. cols must have NumFeatures
+// columns, each at least len(out) long.
+func (m *Model) PredictMarginBatch(cols [][]float64, out []float64) {
+	for i := range out {
+		out[i] = m.base
 	}
-	if col[idx[hi]] < col[idx[lo]] {
-		idx[hi], idx[lo] = idx[lo], idx[hi]
+	for _, t := range m.trees {
+		t.predictBatchAdd(cols, m.cfg.Eta, out)
 	}
-	if col[idx[hi]] < col[idx[mid]] {
-		idx[hi], idx[mid] = idx[mid], idx[hi]
+}
+
+// PredictProbaBatch writes the positive-class probability of every row
+// of column-major data into out[i].
+func (m *Model) PredictProbaBatch(cols [][]float64, out []float64) {
+	m.PredictMarginBatch(cols, out)
+	for i, v := range out {
+		out[i] = sigmoid(v)
 	}
-	pivot := col[idx[mid]]
-	i, j := lo, hi
-	for i <= j {
-		for col[idx[i]] < pivot {
-			i++
-		}
-		for col[idx[j]] > pivot {
-			j--
-		}
-		if i <= j {
-			idx[i], idx[j] = idx[j], idx[i]
-			i++
-			j--
-		}
-	}
-	quickSortIdx(idx[:j+1], col)
-	quickSortIdx(idx[i:], col)
 }

@@ -62,15 +62,8 @@ func (g gbdtModel) predictAll(cols [][]float64) ([]float64, error) {
 	if len(cols) == 0 {
 		return nil, errors.New("pipeline: gbdt predict with no columns")
 	}
-	n := len(cols[0])
-	out := make([]float64, n)
-	x := make([]float64, len(cols))
-	for i := 0; i < n; i++ {
-		for j := range cols {
-			x[j] = cols[j][i]
-		}
-		out[i] = g.m.PredictProba(x)
-	}
+	out := make([]float64, len(cols[0]))
+	g.m.PredictProbaBatch(cols, out)
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dataset"
@@ -48,6 +49,12 @@ type Config struct {
 	// GBDT configures the boosted-tree predictor when Predictor is
 	// PredictorGBDT; zero NumRounds means gbdt.DefaultConfig.
 	GBDT gbdt.Config
+	// Workers bounds the pipeline's parallelism — frame extraction
+	// across drives, forest fitting, and batch scoring; 0 means
+	// GOMAXPROCS. Results are bit-identical for any value (set 1 to
+	// force serial execution). An explicit Forest.Workers takes
+	// precedence for the forest itself.
+	Workers int
 	// Seed drives the prediction model's randomness.
 	Seed int64
 }
@@ -65,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Forest.Seed == 0 {
 		c.Forest.Seed = c.Seed + 7919
+	}
+	if c.Forest.Workers == 0 {
+		c.Forest.Workers = c.Workers
 	}
 	if c.NegEvery <= 0 {
 		c.NegEvery = 7
@@ -188,6 +198,7 @@ func PreparePhase(src dataset.Source, model smart.ModelID, ph Phase, cfg Config)
 
 	selFrame, err := dataset.Frame(src, dataset.FrameOpts{
 		Model: model, DayLo: ph.TrainLo, DayHi: fitHi, NegEvery: cfg.NegEvery,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: selection frame: %w", err)
@@ -246,6 +257,7 @@ func (pd *PhaseData) RunSelection(name string, selRes SelectorResult) (PhaseResu
 			Model: model, DayLo: ph.TrainLo, DayHi: pd.fitHi,
 			NegEvery: groupNegEvery, Features: g.feats, Expand: true,
 			Windows: cfg.Windows, MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
+			Workers: cfg.Workers,
 		})
 		if err != nil && !errors.Is(err, dataset.ErrNoSamples) {
 			return PhaseResult{}, fmt.Errorf("pipeline: training frame: %w", err)
@@ -256,7 +268,7 @@ func (pd *PhaseData) RunSelection(name string, selRes SelectorResult) (PhaseResu
 			trainFr, err = dataset.Frame(src, dataset.FrameOpts{
 				Model: model, DayLo: ph.TrainLo, DayHi: pd.fitHi,
 				NegEvery: cfg.NegEvery, Features: g.feats, Expand: true,
-				Windows: cfg.Windows,
+				Windows: cfg.Windows, Workers: cfg.Workers,
 			})
 			if err != nil {
 				return PhaseResult{}, fmt.Errorf("pipeline: fallback training frame: %w", err)
@@ -388,6 +400,7 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 			Model: model, DayLo: lo, DayHi: hi, NegEvery: 1,
 			Features: g.feats, Expand: true, Windows: cfg.Windows,
 			MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
+			Workers: cfg.Workers,
 		})
 		if errors.Is(err, dataset.ErrNoSamples) {
 			continue
@@ -476,10 +489,12 @@ func calibrateThresholds(scores map[int]*driveScore, numGroups int, targetRecall
 			return 0.5, false
 		}
 		// Recall at threshold t = fraction of failing drives with max
-		// prob >= t; the largest workable t is the target quantile
-		// from the top.
+		// prob >= t. Covering the top `need` drives requires the
+		// ceiling: flooring would cover one drive too few and land
+		// strictly below the target (1 of 4 drives is recall 0.25,
+		// not 0.3).
 		sort.Sort(sort.Reverse(sort.Float64Slice(failingMax)))
-		need := int(float64(len(failingMax)) * targetRecall)
+		need := int(math.Ceil(float64(len(failingMax)) * targetRecall))
 		if need < 1 {
 			need = 1
 		}
@@ -487,6 +502,14 @@ func calibrateThresholds(scores map[int]*driveScore, numGroups int, targetRecall
 			need = len(failingMax)
 		}
 		t := failingMax[need-1]
+		// Any threshold in (failingMax[need], failingMax[need-1]]
+		// meets the target on validation; the interval midpoint
+		// maximizes the margin in both directions instead of sitting
+		// exactly on one validation drive's score, which generalizes
+		// to unseen drives scoring slightly lower.
+		if need < len(failingMax) && failingMax[need] < t {
+			t = (t + failingMax[need]) / 2
+		}
 		if t <= 0 {
 			t = 0.05
 		}

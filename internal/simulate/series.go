@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/smart"
 )
@@ -284,6 +287,43 @@ func (f *Fleet) Series(d Drive) *Series {
 	}
 
 	return s
+}
+
+// SeriesAll generates the series of several drives, fanning the work
+// across workers goroutines (0 means GOMAXPROCS). Every drive's
+// trajectory derives solely from its own stored seed, so out[i] equals
+// f.Series(drives[i]) exactly, for any worker count.
+func (f *Fleet) SeriesAll(drives []Drive, workers int) []*Series {
+	out := make([]*Series, len(drives))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(drives) {
+		workers = len(drives)
+	}
+	if workers <= 1 {
+		for i, d := range drives {
+			out[i] = f.Series(d)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(drives) {
+					return
+				}
+				out[i] = f.Series(drives[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // counterSeries produces a cumulative event counter: a small background

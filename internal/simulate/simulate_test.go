@@ -215,6 +215,35 @@ func TestSeriesDeterministic(t *testing.T) {
 	}
 }
 
+func TestSeriesAllMatchesSeries(t *testing.T) {
+	// Parallel generation must be invisible: every drive's trajectory
+	// derives only from its own seed, so SeriesAll equals per-drive
+	// Series calls in order, for any worker count.
+	f := testFleet(t)
+	drives := f.DrivesOf(smart.MC1)[:12]
+	serial := f.SeriesAll(drives, 1)
+	parallel := f.SeriesAll(drives, 8)
+	if len(serial) != len(drives) || len(parallel) != len(drives) {
+		t.Fatalf("lengths = %d, %d, want %d", len(serial), len(parallel), len(drives))
+	}
+	for k, d := range drives {
+		want := f.Series(d)
+		for _, s := range []*Series{serial[k], parallel[k]} {
+			if s.LastDay != want.LastDay || s.Drive.ID != d.ID {
+				t.Fatalf("drive %d: LastDay %d/%d ID %d", d.ID, s.LastDay, want.LastDay, s.Drive.ID)
+			}
+			for _, ft := range want.Features() {
+				cw, cs := want.Col(ft), s.Col(ft)
+				for i := range cw {
+					if cw[i] != cs[i] {
+						t.Fatalf("drive %d %v day %d: %v != %v", d.ID, ft, i, cs[i], cw[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestCountersMonotone(t *testing.T) {
 	f := testFleet(t)
 	for _, m := range []smart.ModelID{smart.MA1, smart.MC1} {

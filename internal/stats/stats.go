@@ -30,6 +30,8 @@ var (
 	ErrInvalidQuantile = errors.New("stats: quantile outside [0, 1]")
 	// ErrInvalidWindow indicates a non-positive moving-average window.
 	ErrInvalidWindow = errors.New("stats: window must be positive")
+	// ErrInvalidRange indicates a position range outside the input.
+	ErrInvalidRange = errors.New("stats: invalid position range")
 )
 
 // Mean returns the arithmetic mean of xs.
@@ -277,8 +279,28 @@ func Rolling(xs []float64, window int) ([]RollingStats, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrInvalidWindow, window)
 	}
-	out := make([]RollingStats, len(xs))
-	for i := range xs {
+	if len(xs) == 0 {
+		return []RollingStats{}, nil
+	}
+	return RollingRange(xs, window, 0, len(xs)-1)
+}
+
+// RollingRange computes RollingStats only for positions from through to
+// (inclusive) of xs. The values are identical to
+// Rolling(xs, window)[from : to+1] — each position's trailing window
+// still reaches back before `from` into the full series — but only the
+// requested positions are computed, which is what lets a scoring pass
+// over a short day range skip re-deriving statistics for the entire
+// series history.
+func RollingRange(xs []float64, window, from, to int) ([]RollingStats, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidWindow, window)
+	}
+	if from < 0 || to >= len(xs) || from > to {
+		return nil, fmt.Errorf("%w: [%d, %d] in input of length %d", ErrInvalidRange, from, to, len(xs))
+	}
+	out := make([]RollingStats, to-from+1)
+	for i := from; i <= to; i++ {
 		lo := i - window + 1
 		if lo < 0 {
 			lo = 0
@@ -299,7 +321,7 @@ func Rolling(xs []float64, window int) ([]RollingStats, error) {
 			num += x * wt
 			den += wt
 		}
-		out[i] = RollingStats{
+		out[i-from] = RollingStats{
 			Max:   maxV,
 			Min:   minV,
 			Mean:  w.Mean(),

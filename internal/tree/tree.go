@@ -6,13 +6,25 @@
 //
 // Trees operate on column-major data (cols[f][i] is feature f of sample
 // i) because split search iterates feature-wise; prediction takes a
-// row-major feature vector.
+// row-major feature vector or, for batches, the column-major data
+// directly.
+//
+// Training is sort-once, partition-thereafter: each feature's row order
+// is argsorted exactly once per fit (internal/presort) and maintained
+// down the tree by stable in-place partitioning, so split search at a
+// node is a linear scan instead of a per-node re-sort. Bootstrap
+// replicates are expressed as integer per-row sample weights, which
+// lets a Random Forest share one fleet-wide presort across all of its
+// trees (see Presort / FitClassifierPresorted).
 package tree
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+
+	"repro/internal/presort"
 )
 
 // Errors returned by tree fitting.
@@ -77,9 +89,84 @@ type Classifier struct {
 	depth      int
 }
 
+// Presorted holds the per-feature argsorted row orders of one
+// column-major dataset. Computing it once and passing it to
+// FitClassifierPresorted amortizes the O(features x n log n) sort
+// across many fits — a Random Forest presorts its training data once
+// and shares the result across every tree.
+type Presorted struct {
+	cols  [][]float64
+	order [][]int32
+}
+
+// Presort argsorts every column of the dataset. The returned value
+// references cols; neither may be mutated while fits are in flight.
+func Presort(cols [][]float64) *Presorted {
+	return &Presorted{cols: cols, order: presort.All(cols)}
+}
+
+// NumFeatures returns the presorted feature count.
+func (p *Presorted) NumFeatures() int { return len(p.cols) }
+
+// NumRows returns the presorted row count.
+func (p *Presorted) NumRows() int {
+	if len(p.cols) == 0 {
+		return 0
+	}
+	return len(p.cols[0])
+}
+
+// Scratch holds the reusable working memory of one tree fit: the
+// per-feature working orders and the partition buffer. A worker fitting
+// many trees (as the forest does) allocates one Scratch and reuses it
+// across fits, eliminating per-tree allocation of the order arrays.
+// A Scratch must not be used by two fits concurrently.
+type Scratch struct {
+	ord  [][]int32
+	buf  []int32
+	side []byte
+	wy   []int32
+	feat []int
+}
+
+// NewScratch returns an empty Scratch; buffers are sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) ensure(features, rows int) {
+	if cap(s.ord) < features {
+		s.ord = make([][]int32, features)
+	}
+	s.ord = s.ord[:features]
+	for f := range s.ord {
+		if cap(s.ord[f]) < rows {
+			s.ord[f] = make([]int32, 0, rows)
+		}
+	}
+	if cap(s.buf) < rows {
+		s.buf = make([]int32, rows)
+	}
+	s.buf = s.buf[:rows]
+	if cap(s.side) < rows {
+		s.side = make([]byte, rows)
+	}
+	s.side = s.side[:rows]
+	if cap(s.wy) < rows {
+		s.wy = make([]int32, rows)
+	}
+	s.wy = s.wy[:rows]
+	if cap(s.feat) < features {
+		s.feat = make([]int, features)
+	}
+	s.feat = s.feat[:features]
+}
+
 // FitClassifier grows a classification tree on the given column-major
 // data. idx selects the training rows (pass nil to use every row); the
 // same row may appear multiple times (bootstrap replicates).
+//
+// This entry point presorts the data itself. Callers fitting many trees
+// on the same data should call Presort once and use
+// FitClassifierPresorted with per-row weights instead.
 func FitClassifier(cols [][]float64, y []int, idx []int, cfg Config) (*Classifier, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("%w: no feature columns", ErrNoData)
@@ -90,34 +177,106 @@ func FitClassifier(cols [][]float64, y []int, idx []int, cfg Config) (*Classifie
 			return nil, fmt.Errorf("%w: column %d has %d rows, labels have %d", ErrShapeMismatch, f, len(c), n)
 		}
 	}
+	if idx != nil && len(idx) == 0 {
+		return nil, ErrNoData
+	}
+	weights := make([]int, n)
 	if idx == nil {
-		idx = make([]int, n)
-		for i := range idx {
-			idx[i] = i
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else {
+		for _, i := range idx {
+			weights[i]++
 		}
 	}
-	if len(idx) == 0 {
+	return FitClassifierPresorted(Presort(cols), y, weights, cfg, NewScratch())
+}
+
+// FitClassifierPresorted grows a classification tree from an existing
+// presort, with bootstrap replication expressed as integer per-row
+// sample weights (weight 0 excludes a row; weight k counts it k times).
+// It is equivalent to FitClassifier over an index list holding each row
+// weights[i] times, but performs no sorting: the shared presorted
+// orders are filtered to in-bag rows and maintained by stable
+// partitioning down the tree.
+//
+// sc may be nil; passing a reused Scratch eliminates the per-fit
+// allocation of working orders.
+func FitClassifierPresorted(ps *Presorted, y []int, weights []int, cfg Config, sc *Scratch) (*Classifier, error) {
+	if ps == nil || ps.NumFeatures() == 0 {
+		return nil, fmt.Errorf("%w: no feature columns", ErrNoData)
+	}
+	n := len(y)
+	if ps.NumRows() != n {
+		return nil, fmt.Errorf("%w: presort has %d rows, labels have %d", ErrShapeMismatch, ps.NumRows(), n)
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("%w: %d weights, %d labels", ErrShapeMismatch, len(weights), n)
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	sc.ensure(len(ps.cols), n)
+
+	// Filter the shared orders down to in-bag rows (weight > 0),
+	// preserving sortedness. Weighted totals replace duplicated indices.
+	wTotal, wPos := 0, 0
+	for i, wi := range weights {
+		if wi > 0 {
+			wTotal += wi
+			wPos += wi * y[i]
+		}
+	}
+	if wTotal == 0 {
 		return nil, ErrNoData
+	}
+	// A byte in-bag mask keeps the filter loop's random accesses inside
+	// L1 instead of striding the full weight slice per feature, and the
+	// filter itself is branchless (cursor advances by the mask value).
+	for i, wi := range weights {
+		if wi > 0 {
+			sc.side[i] = 1
+		} else {
+			sc.side[i] = 0
+		}
+		// Weight and label packed into one int32 so the split scan's
+		// random per-row access touches a single L1-resident array.
+		sc.wy[i] = int32(wi<<1) | int32(y[i])
+	}
+	rows := 0
+	for f, full := range ps.order {
+		dst := sc.ord[f][:n]
+		w := 0
+		for _, i := range full {
+			dst[w] = i
+			w += int(sc.side[i])
+		}
+		sc.ord[f] = dst[:w]
+		rows = w
 	}
 
 	t := &Classifier{
-		nFeatures:  len(cols),
-		importance: make([]float64, len(cols)),
+		nFeatures:  len(ps.cols),
+		importance: make([]float64, len(ps.cols)),
 	}
 	b := &builder{
-		cols: cols,
+		cols: ps.cols,
 		y:    y,
+		w:    weights,
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		t:    t,
-		feat: make([]int, len(cols)),
-		buf:  make([]int, len(idx)),
+		feat: sc.feat,
+		ord:  sc.ord,
+		buf:  sc.buf,
+		side: sc.side,
+		wy:   sc.wy,
 	}
 	for i := range b.feat {
 		b.feat[i] = i
 	}
-	work := append([]int(nil), idx...) // builder reorders indices in place
-	b.grow(work, 0)
+	b.grow(0, rows, wTotal, wPos, 0)
 	return t, nil
 }
 
@@ -125,67 +284,75 @@ func FitClassifier(cols [][]float64, y []int, idx []int, cfg Config) (*Classifie
 type builder struct {
 	cols [][]float64
 	y    []int
+	w    []int // per-row sample weights (bootstrap multiplicities)
 	cfg  Config
 	rng  *rand.Rand
 	t    *Classifier
-	feat []int // feature index pool for subsampling
-	buf  []int // scratch for partitioning
+	feat []int     // feature index pool for subsampling
+	ord  [][]int32 // per-feature working orders, segment-aligned
+	buf  []int32   // scratch for partitioning
+	side []byte    // per-row left/right mask of the current split
+	wy   []int32   // per-row packed weight<<1 | label
 }
 
-// grow recursively grows the subtree over idx and returns its node
-// index. It reorders idx in place when splitting.
-func (b *builder) grow(idx []int, depth int) int {
-	pos := 0
-	for _, i := range idx {
-		pos += b.y[i]
-	}
-	n := len(idx)
+// grow recursively grows the subtree over the row segment [lo, hi) of
+// every working order and returns its node index. wTotal and wPos are
+// the segment's total and positive sample weights.
+func (b *builder) grow(lo, hi, wTotal, wPos, depth int) int {
 	nodeIdx := len(b.t.nodes)
 	b.t.nodes = append(b.t.nodes, node{
 		feature: -1,
-		prob:    float64(pos) / float64(n),
-		samples: n,
+		prob:    float64(wPos) / float64(wTotal),
+		samples: wTotal,
 	})
 	if depth > b.t.depth {
 		b.t.depth = depth
 	}
 
-	if pos == 0 || pos == n { // pure
-		return nodeIdx
-	}
-	if n < b.cfg.minSplit() || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+	if b.isLeaf(wTotal, wPos, depth) {
 		return nodeIdx
 	}
 
-	feature, threshold, gain := b.bestSplit(idx, pos)
+	feature, threshold, gain, wLeft, wPosLeft := b.bestSplit(lo, hi, wTotal, wPos)
 	if feature < 0 {
 		return nodeIdx
 	}
 
-	// Partition idx into left (<= threshold) and right.
-	left := b.buf[:0]
-	right := make([]int, 0, n/2)
-	for _, i := range idx {
-		if b.cols[feature][i] <= threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	// Maintain every feature's order across the split: stable
+	// partitioning keeps both halves sorted, so descendants never sort.
+	// The split feature's own segment is sorted by the split column, so
+	// its left half is exactly the prefix of rows <= threshold — found
+	// by binary search, no data movement. That prefix fills a byte side
+	// mask, and every other feature partitions against the mask (one L1
+	// byte load per row instead of a random float64 column load).
+	//
+	// When both children are guaranteed leaves (pure, under the split
+	// minimum, or at the depth limit) no descendant ever reads the
+	// orders, so the partition is skipped outright — for depth-capped
+	// forests this eliminates the entire bottom level's data movement.
+	wRight, wPosRight := wTotal-wLeft, wPos-wPosLeft
+	col := b.cols[feature]
+	fo := b.ord[feature]
+	nlRows := sort.Search(hi-lo, func(k int) bool { return col[fo[lo+k]] > threshold })
+	if !(b.isLeaf(wLeft, wPosLeft, depth+1) && b.isLeaf(wRight, wPosRight, depth+1)) {
+		for k := lo; k < lo+nlRows; k++ {
+			b.side[fo[k]] = 1
+		}
+		for k := lo + nlRows; k < hi; k++ {
+			b.side[fo[k]] = 0
+		}
+		for f := range b.ord {
+			if f == feature {
+				continue
+			}
+			presort.PartitionBySide(b.ord[f], lo, hi, b.side, b.buf)
 		}
 	}
-	if len(left) < b.cfg.minLeaf() || len(right) < b.cfg.minLeaf() {
-		return nodeIdx
-	}
-	copy(idx, left)
-	copy(idx[len(left):], right)
 
-	b.t.importance[feature] += gain * float64(n)
+	b.t.importance[feature] += gain * float64(wTotal)
 
-	// Children are grown on disjoint halves of idx; buf is reused per
-	// node, so copy the halves out before recursing.
-	leftIdx := idx[:len(left)]
-	rightIdx := idx[len(left):]
-	l := b.grow(leftIdx, depth+1)
-	r := b.grow(rightIdx, depth+1)
+	l := b.grow(lo, lo+nlRows, wLeft, wPosLeft, depth+1)
+	r := b.grow(lo+nlRows, hi, wRight, wPosRight, depth+1)
 	b.t.nodes[nodeIdx].feature = feature
 	b.t.nodes[nodeIdx].threshold = threshold
 	b.t.nodes[nodeIdx].left = l
@@ -193,14 +360,24 @@ func (b *builder) grow(idx []int, depth int) int {
 	return nodeIdx
 }
 
+// isLeaf reports whether a segment with the given weighted totals
+// terminates immediately: pure, under the split minimum, or at the
+// depth limit. grow's early return and the partition-skip for
+// guaranteed-leaf children must agree on this exact predicate.
+func (b *builder) isLeaf(wTotal, wPos, depth int) bool {
+	return wPos == 0 || wPos == wTotal ||
+		wTotal < b.cfg.minSplit() ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth)
+}
+
 // bestSplit searches the (possibly subsampled) features for the split
-// that maximizes Gini-impurity decrease. It returns feature -1 when no
-// split improves impurity.
-func (b *builder) bestSplit(idx []int, pos int) (feature int, threshold, gain float64) {
-	n := len(idx)
-	parentImpurity := gini(pos, n)
+// that maximizes Gini-impurity decrease, scanning each candidate's
+// presorted segment once. It returns feature -1 when no split improves
+// impurity, otherwise the split plus the left half's weighted totals.
+func (b *builder) bestSplit(lo, hi, wTotal, wPos int) (feature int, threshold, gain float64, wLeft, wPosLeft int) {
+	parentImpurity := gini(wPos, wTotal)
 	if parentImpurity == 0 {
-		return -1, 0, 0
+		return -1, 0, 0, 0, 0
 	}
 
 	nCand := b.cfg.MaxFeatures
@@ -217,41 +394,54 @@ func (b *builder) bestSplit(idx []int, pos int) (feature int, threshold, gain fl
 	bestGain := 1e-12 // require strictly positive improvement
 	minLeaf := b.cfg.minLeaf()
 
-	// Scratch: sort idx copies per feature.
-	sorted := make([]int, n)
 	for c := 0; c < nCand; c++ {
 		f := b.feat[c]
 		col := b.cols[f]
-		copy(sorted, idx)
-		sortByCol(sorted, col)
+		o := b.ord[f]
 
-		// Prefix scan: at boundary k, left = sorted[:k+1].
-		leftPos := 0
-		for k := 0; k < n-1; k++ {
-			leftPos += b.y[sorted[k]]
-			if col[sorted[k]] == col[sorted[k+1]] {
+		// Prefix scan over the presorted segment: after row k, the left
+		// candidate holds every row up to and including k.
+		leftW, leftPos := 0, 0
+		for k := lo; k < hi-1; k++ {
+			i := o[k]
+			wyv := b.wy[i]
+			wi := int(wyv >> 1)
+			leftW += wi
+			leftPos += wi * int(wyv&1)
+			v := col[i]
+			next := col[o[k+1]]
+			if v == next {
 				continue // can't split between equal values
 			}
-			nl := k + 1
-			nr := n - nl
+			nl := leftW
+			nr := wTotal - leftW
 			if nl < minLeaf || nr < minLeaf {
 				continue
 			}
 			g := parentImpurity -
-				(float64(nl)*gini(leftPos, nl)+float64(nr)*gini(pos-leftPos, nr))/float64(n)
+				(float64(nl)*gini(leftPos, nl)+float64(nr)*gini(wPos-leftPos, nr))/float64(wTotal)
 			if g > bestGain {
 				bestGain = g
 				feature = f
 				// Midpoint threshold is robust to unseen values
-				// between the two training points.
-				threshold = (col[sorted[k]] + col[sorted[k+1]]) / 2
+				// between the two training points. For adjacent
+				// floats the midpoint rounds up to next itself, which
+				// would route next-valued rows left while the scan
+				// counted them right; fall back to v so the cut
+				// always lands strictly left of next.
+				threshold = (v + next) / 2
+				if threshold >= next {
+					threshold = v
+				}
+				wLeft = leftW
+				wPosLeft = leftPos
 			}
 		}
 	}
 	if feature < 0 {
-		return -1, 0, 0
+		return -1, 0, 0, 0, 0
 	}
-	return feature, threshold, bestGain
+	return feature, threshold, bestGain, wLeft, wPosLeft
 }
 
 // gini returns the Gini impurity of a node with pos positives among n.
@@ -261,48 +451,6 @@ func gini(pos, n int) float64 {
 	}
 	p := float64(pos) / float64(n)
 	return 2 * p * (1 - p)
-}
-
-// sortByCol sorts idx ascending by col value using insertion sort for
-// tiny inputs and a bottom-up quicksort otherwise.
-func sortByCol(idx []int, col []float64) {
-	if len(idx) < 24 {
-		for i := 1; i < len(idx); i++ {
-			for j := i; j > 0 && col[idx[j]] < col[idx[j-1]]; j-- {
-				idx[j], idx[j-1] = idx[j-1], idx[j]
-			}
-		}
-		return
-	}
-	// Median-of-three quicksort on the index slice.
-	lo, hi := 0, len(idx)-1
-	mid := (lo + hi) / 2
-	if col[idx[mid]] < col[idx[lo]] {
-		idx[mid], idx[lo] = idx[lo], idx[mid]
-	}
-	if col[idx[hi]] < col[idx[lo]] {
-		idx[hi], idx[lo] = idx[lo], idx[hi]
-	}
-	if col[idx[hi]] < col[idx[mid]] {
-		idx[hi], idx[mid] = idx[mid], idx[hi]
-	}
-	pivot := col[idx[mid]]
-	i, j := lo, hi
-	for i <= j {
-		for col[idx[i]] < pivot {
-			i++
-		}
-		for col[idx[j]] > pivot {
-			j--
-		}
-		if i <= j {
-			idx[i], idx[j] = idx[j], idx[i]
-			i++
-			j--
-		}
-	}
-	sortByCol(idx[:j+1], col)
-	sortByCol(idx[i:], col)
 }
 
 // PredictProba returns the positive-class probability for one sample
@@ -318,6 +466,40 @@ func (t *Classifier) PredictProba(x []float64) float64 {
 			i = nd.left
 		} else {
 			i = nd.right
+		}
+	}
+}
+
+// PredictProbaBatch scores every row of column-major data (cols[f][i]
+// is feature f of row i), writing row i's positive-class probability
+// into out[i]. cols must have NumFeatures columns, each at least
+// len(out) long. Reading feature columns directly avoids gathering a
+// row vector per sample.
+func (t *Classifier) PredictProbaBatch(cols [][]float64, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	t.PredictProbaBatchAdd(cols, out)
+}
+
+// PredictProbaBatchAdd adds each row's positive-class probability into
+// out[i] (without zeroing), letting ensemble callers accumulate the sum
+// over many trees in a single output buffer.
+func (t *Classifier) PredictProbaBatchAdd(cols [][]float64, out []float64) {
+	nodes := t.nodes
+	for i := range out {
+		k := 0
+		for {
+			nd := &nodes[k]
+			if nd.feature < 0 {
+				out[i] += nd.prob
+				break
+			}
+			if cols[nd.feature][i] <= nd.threshold {
+				k = nd.left
+			} else {
+				k = nd.right
+			}
 		}
 	}
 }

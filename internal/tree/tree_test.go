@@ -2,6 +2,7 @@ package tree
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -222,27 +223,121 @@ func TestPredictionsAreValidProbabilities(t *testing.T) {
 	}
 }
 
-func TestSortByCol(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	for trial := 0; trial < 30; trial++ {
-		n := 1 + rng.Intn(200)
-		col := make([]float64, n)
-		for i := range col {
-			col[i] = float64(rng.Intn(20)) // force duplicates
+func TestAdjacentFloatThresholds(t *testing.T) {
+	// Columns whose sorted neighbors are adjacent floats force the
+	// midpoint (v+next)/2 to round to next itself; the fit must then
+	// cut at v so the partition routes rows exactly as the split scan
+	// counted them. Before that fallback, descendant weight totals
+	// drifted from the rows actually present, and leaf "probabilities"
+	// escaped [0, 1].
+	rng := rand.New(rand.NewSource(5))
+	const n = 600
+	base := []float64{0.1, 1.0 / 3.0, 0.7}
+	cols := make([][]float64, 4)
+	for f := range cols {
+		c := make([]float64, n)
+		for i := range c {
+			v := base[rng.Intn(len(base))]
+			for k := rng.Intn(3); k > 0; k-- {
+				v = math.Nextafter(v, 2)
+			}
+			c[i] = v
 		}
-		idx := rng.Perm(n)
-		sortByCol(idx, col)
-		for i := 1; i < n; i++ {
-			if col[idx[i]] < col[idx[i-1]] {
-				t.Fatalf("not sorted at %d", i)
+		cols[f] = c
+	}
+	y := make([]int, n)
+	for i := range y {
+		if rng.Float64() < 0.4 {
+			y[i] = 1
+		}
+	}
+	// Bootstrap duplicates exercise the weighted path too.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	c, err := FitClassifier(cols, y, idx, Config{MaxDepth: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() < 3 {
+		t.Fatalf("no splits on adjacent-float data: %d nodes", c.NumNodes())
+	}
+	probs := make([]float64, n)
+	c.PredictProbaBatch(cols, probs)
+	for i, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("row %d probability out of range: %v", i, p)
+		}
+	}
+}
+
+func TestPresortedFitMatchesLegacy(t *testing.T) {
+	// A shared presort + weighted bootstrap must produce the same tree
+	// as the index-list entry point, including across reuses of one
+	// Scratch (the forest's per-worker pattern).
+	cols, y := xorData(300, 9)
+	ps := Presort(cols)
+	sc := NewScratch()
+	rng := rand.New(rand.NewSource(10))
+	probe := make([]float64, 2)
+	for trial := 0; trial < 5; trial++ {
+		idx := make([]int, len(y))
+		w := make([]int, len(y))
+		for i := range idx {
+			idx[i] = rng.Intn(len(y))
+			w[idx[i]]++
+		}
+		cfg := Config{MaxDepth: 7, MaxFeatures: 1, Seed: int64(trial)}
+		a, err := FitClassifier(cols, y, idx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FitClassifierPresorted(ps, y, w, cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumNodes() != b.NumNodes() || a.Depth() != b.Depth() {
+			t.Fatalf("trial %d: structure differs: %d/%d nodes, %d/%d depth",
+				trial, a.NumNodes(), b.NumNodes(), a.Depth(), b.Depth())
+		}
+		for i := range a.nodes {
+			if a.nodes[i] != b.nodes[i] {
+				t.Fatalf("trial %d: node %d differs: %+v vs %+v", trial, i, a.nodes[i], b.nodes[i])
 			}
 		}
-		seen := make([]bool, n)
-		for _, v := range idx {
-			if seen[v] {
-				t.Fatal("duplicate index after sort")
+		for probeTrial := 0; probeTrial < 50; probeTrial++ {
+			probe[0], probe[1] = rng.Float64(), rng.Float64()
+			if a.PredictProba(probe) != b.PredictProba(probe) {
+				t.Fatalf("trial %d: predictions differ", trial)
 			}
-			seen[v] = true
+		}
+	}
+}
+
+func TestPredictProbaBatchMatchesSingle(t *testing.T) {
+	cols, y := xorData(400, 12)
+	c, err := FitClassifier(cols, y, nil, Config{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(y))
+	c.PredictProbaBatch(cols, out)
+	x := make([]float64, 2)
+	for i := range out {
+		x[0], x[1] = cols[0][i], cols[1][i]
+		if want := c.PredictProba(x); out[i] != want {
+			t.Fatalf("row %d: batch %v != single %v", i, out[i], want)
+		}
+	}
+
+	// The additive variant accumulates on top of existing content.
+	acc := make([]float64, len(y))
+	c.PredictProbaBatchAdd(cols, acc)
+	c.PredictProbaBatchAdd(cols, acc)
+	for i := range acc {
+		if acc[i] != 2*out[i] {
+			t.Fatalf("row %d: accumulated %v != 2*%v", i, acc[i], out[i])
 		}
 	}
 }
