@@ -12,28 +12,44 @@
 // Experiment IDs: table1 table2 table3 table4 table5 table6 table7
 // table8 fig1 fig2 (aliases exp1=table6, exp2=fig2, exp3=table7,
 // exp4=table8).
+//
+// Fault injection (robustness evaluation):
+//
+//	experiments -exp table6 -faults "gaps=0.02,dropout=MA1:wear,nan=0.01,tickets-delay=3d"
+//	experiments -exp table6 -faults "seed=7,stuck=0.01" -report report.json
+//
+// With -faults the pipelines run in robust mode; -report writes a JSON
+// accounting of injected defects, detected defects, and degradations
+// ("-" for stdout). -robust enables robust mode without injection.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/smart"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (see doc comment)")
-		drives  = flag.Int("drives", 0, "fleet size override (0 = config default)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		fast    = flag.Bool("fast", false, "use the reduced test-scale configuration")
-		rounds  = flag.Int("rounds", 5, "averaging rounds for table8 (paper: 20)")
-		trees   = flag.Int("trees", 0, "prediction forest size override (paper: 100)")
-		depth   = flag.Int("depth", 0, "prediction forest depth override (paper: 13)")
-		phases  = flag.Int("phases", 0, "testing phase count (0 = all three)")
-		workers = flag.Int("workers", 0, "parallel workers for extraction/fitting/scoring (0 = GOMAXPROCS, 1 = serial; results identical)")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids (see doc comment)")
+		drives    = flag.Int("drives", 0, "fleet size override (0 = config default)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		fast      = flag.Bool("fast", false, "use the reduced test-scale configuration")
+		rounds    = flag.Int("rounds", 5, "averaging rounds for table8 (paper: 20)")
+		trees     = flag.Int("trees", 0, "prediction forest size override (paper: 100)")
+		depth     = flag.Int("depth", 0, "prediction forest depth override (paper: 13)")
+		phases    = flag.Int("phases", 0, "testing phase count (0 = all three)")
+		workers   = flag.Int("workers", 0, "parallel workers for extraction/fitting/scoring (0 = GOMAXPROCS, 1 = serial; results identical)")
+		models    = flag.String("models", "", "comma-separated drive models to restrict to (empty = all six)")
+		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "gaps=0.02,dropout=MA1:wear,nan=0.01,tickets-delay=3d" (implies -robust)`)
+		robust    = flag.Bool("robust", false, "run pipelines in robust (sanitizing, degrading) mode")
+		report    = flag.String("report", "", `write the robustness run report as JSON to this path ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -54,13 +70,89 @@ func main() {
 	cfg.PhaseCount = *phases
 	cfg.Workers = *workers
 
-	if err := run(cfg, *exp, *rounds); err != nil {
+	if err := applyFlags(&cfg, flagValues{
+		drives: *drives, rounds: *rounds, trees: *trees, depth: *depth,
+		phases: *phases, workers: *workers,
+		models: *models, faults: *faultSpec, report: *report, robust: *robust,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := run(cfg, *exp, *rounds, *report); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, expList string, rounds int) error {
+// flagValues carries the raw flag values into validation so it can be
+// exercised by tests without a flag.FlagSet.
+type flagValues struct {
+	drives, rounds, trees, depth, phases, workers int
+	models, faults, report                        string
+	robust                                        bool
+}
+
+// applyFlags validates the raw flag values and folds the fault/model
+// flags into cfg. Any invalid input is an error (the caller exits
+// nonzero) rather than a silently ignored or clamped value.
+func applyFlags(cfg *experiments.Config, fv flagValues) error {
+	switch {
+	case fv.drives < 0:
+		return fmt.Errorf("-drives must be >= 0, got %d", fv.drives)
+	case fv.rounds < 1:
+		return fmt.Errorf("-rounds must be >= 1, got %d", fv.rounds)
+	case fv.trees < 0:
+		return fmt.Errorf("-trees must be >= 0, got %d", fv.trees)
+	case fv.depth < 0:
+		return fmt.Errorf("-depth must be >= 0, got %d", fv.depth)
+	case fv.phases < 0 || fv.phases > 3:
+		return fmt.Errorf("-phases must be in [0, 3], got %d", fv.phases)
+	case fv.workers < 0:
+		return fmt.Errorf("-workers must be >= 0, got %d", fv.workers)
+	}
+	cfg.Robust = fv.robust
+	if fv.models != "" {
+		ms, err := parseModels(fv.models)
+		if err != nil {
+			return err
+		}
+		cfg.Models = ms
+	}
+	if fv.faults != "" {
+		fc, err := faults.ParseSpec(fv.faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = fc
+	}
+	if fv.report != "" && fv.faults == "" && !fv.robust {
+		return fmt.Errorf("-report requires -faults or -robust (nothing to report otherwise)")
+	}
+	return nil
+}
+
+// parseModels parses a comma-separated drive-model list.
+func parseModels(list string) ([]smart.ModelID, error) {
+	var out []smart.ModelID
+	for _, raw := range strings.Split(list, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		m, err := smart.ParseModel(strings.ToUpper(name))
+		if err != nil {
+			return nil, fmt.Errorf("-models: %w", err)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-models: no models in %q", list)
+	}
+	return out, nil
+}
+
+func run(cfg experiments.Config, expList string, rounds int, reportPath string) error {
 	ids, err := parseIDs(expList)
 	if err != nil {
 		return err
@@ -95,7 +187,26 @@ func run(cfg experiments.Config, expList string, rounds int) error {
 		}
 		fmt.Println(out)
 	}
+	if reportPath != "" {
+		if err := writeReport(h.ReportSnapshot(), reportPath); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeReport serializes the robustness report to path ("-" = stdout).
+func writeReport(snap any, path string) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // renderable is any experiment result with a text rendering.

@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/smart"
+)
 
 func TestParseIDs(t *testing.T) {
 	got, err := parseIDs("all")
@@ -27,6 +36,78 @@ func TestParseIDs(t *testing.T) {
 	}
 	if _, err := parseIDs(",,"); err == nil {
 		t.Error("empty list should fail")
+	}
+}
+
+// validFlags is a baseline flagValues that passes validation.
+func validFlags() flagValues { return flagValues{rounds: 1} }
+
+func TestApplyFlagsValidation(t *testing.T) {
+	bad := []struct {
+		name   string
+		mutate func(*flagValues)
+	}{
+		{"negative drives", func(fv *flagValues) { fv.drives = -1 }},
+		{"zero rounds", func(fv *flagValues) { fv.rounds = 0 }},
+		{"negative trees", func(fv *flagValues) { fv.trees = -5 }},
+		{"negative depth", func(fv *flagValues) { fv.depth = -1 }},
+		{"too many phases", func(fv *flagValues) { fv.phases = 4 }},
+		{"negative workers", func(fv *flagValues) { fv.workers = -2 }},
+		{"unknown model", func(fv *flagValues) { fv.models = "MC1,NOPE" }},
+		{"empty model list", func(fv *flagValues) { fv.models = ",," }},
+		{"fault rate out of range", func(fv *flagValues) { fv.faults = "gaps=1.5" }},
+		{"unknown fault key", func(fv *flagValues) { fv.faults = "warp=0.1" }},
+		{"report without robust", func(fv *flagValues) { fv.report = "r.json" }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			fv := validFlags()
+			tc.mutate(&fv)
+			cfg := experiments.DefaultConfig()
+			if err := applyFlags(&cfg, fv); err == nil {
+				t.Errorf("flags %+v accepted, want error", fv)
+			}
+		})
+	}
+
+	cfg := experiments.DefaultConfig()
+	fv := validFlags()
+	fv.models = "MC1, mb2"
+	fv.faults = "seed=7,gaps=0.02,dropout=MA1:wear"
+	fv.report = "r.json"
+	if err := applyFlags(&cfg, fv); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if len(cfg.Models) != 2 || cfg.Models[0] != smart.MC1 || cfg.Models[1] != smart.MB2 {
+		t.Errorf("models = %v", cfg.Models)
+	}
+	if !cfg.Faults.Enabled() || cfg.Faults.GapRate != 0.02 || cfg.Faults.Seed != 7 {
+		t.Errorf("faults = %+v", cfg.Faults)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	snap := map[string]int{"gap_days": 3}
+	if err := writeReport(snap, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	if got["gap_days"] != 3 {
+		t.Errorf("report = %v", got)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("report lacks trailing newline")
+	}
+	if err := writeReport(snap, filepath.Join(t.TempDir(), "no", "such", "dir.json")); err == nil {
+		t.Error("unwritable path should fail")
 	}
 }
 

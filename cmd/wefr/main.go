@@ -9,6 +9,12 @@
 //
 //	wefr -model MC1 -drives 4000 -seed 1
 //	wefr -model MC1 -smart data/smart_MC1.csv -tickets data/tickets.csv
+//
+// With -faults the dataset is corrupted deterministically before
+// selection and the ensemble runs in robust mode (failed rankers are
+// dropped like outliers):
+//
+//	wefr -model MC1 -faults "gaps=0.02,nan=0.01"
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/simulate"
 	"repro/internal/smart"
 	"repro/internal/survival"
@@ -26,27 +33,35 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "MC1", "drive model to select features for")
-		drives   = flag.Int("drives", 4000, "synthetic fleet size (ignored with -smart)")
-		seed     = flag.Int64("seed", 1, "seed for the synthetic fleet and rankers")
-		afrScale = flag.Float64("afr-scale", 3, "synthetic failure densifier (ignored with -smart)")
-		smartCSV = flag.String("smart", "", "SMART log CSV (ssdgen layout); empty = simulate")
-		tickets  = flag.String("tickets", "", "failure tickets CSV (required with -smart)")
-		negEvery = flag.Int("neg-every", 15, "negative drive-day sampling stride")
-		noUpdate = flag.Bool("no-update", false, "skip the wear-out-updating step")
+		model     = flag.String("model", "MC1", "drive model to select features for")
+		drives    = flag.Int("drives", 4000, "synthetic fleet size (ignored with -smart)")
+		seed      = flag.Int64("seed", 1, "seed for the synthetic fleet and rankers")
+		afrScale  = flag.Float64("afr-scale", 3, "synthetic failure densifier (ignored with -smart)")
+		smartCSV  = flag.String("smart", "", "SMART log CSV (ssdgen layout); empty = simulate")
+		tickets   = flag.String("tickets", "", "failure tickets CSV (required with -smart)")
+		negEvery  = flag.Int("neg-every", 15, "negative drive-day sampling stride")
+		noUpdate  = flag.Bool("no-update", false, "skip the wear-out-updating step")
+		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "gaps=0.02,nan=0.01" (enables robust mode)`)
 	)
 	flag.Parse()
 
-	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate); err != nil {
+	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate, *faultSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "wefr: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool) error {
+func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool, faultSpec string) error {
 	model, err := smart.ParseModel(modelName)
 	if err != nil {
 		return err
+	}
+	var faultCfg faults.Config
+	if faultSpec != "" {
+		faultCfg, err = faults.ParseSpec(faultSpec)
+		if err != nil {
+			return err
+		}
 	}
 
 	var src dataset.Source
@@ -67,7 +82,18 @@ func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, t
 		src = dataset.FleetSource{Fleet: fleet}
 	}
 
-	fr, err := dataset.Frame(src, dataset.FrameOpts{Model: model, NegEvery: negEvery})
+	var injector *faults.Injector
+	coreCfg := core.Config{Seed: seed}
+	frameOpts := dataset.FrameOpts{Model: model, NegEvery: negEvery}
+	var counter dataset.DefectCounter
+	if faultCfg.Enabled() {
+		injector = faults.New(src, faultCfg)
+		src = injector
+		coreCfg.Robust = &core.RobustConfig{}
+		frameOpts.Sanitize = &dataset.SanitizeOpts{Counter: &counter}
+	}
+
+	fr, err := dataset.Frame(src, frameOpts)
 	if err != nil {
 		return err
 	}
@@ -81,11 +107,14 @@ func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, t
 			return err
 		}
 	}
-	res, err := core.Select(fr, curve, core.Config{Seed: seed})
+	res, err := core.Select(fr, curve, coreCfg)
 	if err != nil {
 		return err
 	}
 
+	if injector != nil {
+		printFaults(injector.Stats(), counter.Snapshot(), res.Notes)
+	}
 	printSelection("Global selection (all SSDs)", res.Global)
 	if res.Split == nil {
 		fmt.Println("No significant survival change point: single feature set.")
@@ -120,6 +149,38 @@ func loadCSV(smartCSV, ticketCSV string) (*dataset.Logs, error) {
 		logs.ApplyTickets(tickets)
 	}
 	return logs, nil
+}
+
+// printFaults summarizes injected defects, what the sanitizer did
+// about them, and degradation decisions taken during selection.
+func printFaults(st faults.Stats, det dataset.DefectStats, notes []string) {
+	fmt.Println("Fault injection")
+	var rows [][]string
+	for _, c := range [...]struct {
+		name  string
+		count int
+	}{
+		{"gap_days", st.GapDays},
+		{"dropout_columns", st.DropoutColumns},
+		{"stuck_runs", st.StuckRuns},
+		{"dup_days", st.DupDays},
+		{"swap_pairs", st.SwapPairs},
+		{"nan_cells", st.NaNCells},
+		{"sentinel_cells", st.SentinelCells},
+		{"tickets_delayed", st.TicketsDelayed},
+		{"tickets_dropped", st.TicketsDropped},
+	} {
+		if c.count > 0 {
+			rows = append(rows, []string{c.name, fmt.Sprintf("%d", c.count)})
+		}
+	}
+	fmt.Print(textplot.Table([]string{"Injected defect", "Count"}, rows))
+	fmt.Printf("Sanitizer: %d sentinel cells scrubbed, %d cells imputed, %d residual missing\n",
+		det.SentinelCells, det.ImputedCells, det.ResidualCells)
+	for _, n := range notes {
+		fmt.Printf("Degradation: %s\n", n)
+	}
+	fmt.Println()
 }
 
 func printSelection(title string, sel core.Selection) {

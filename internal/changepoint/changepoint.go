@@ -24,6 +24,10 @@ var (
 	// ErrTooShort indicates a sequence with fewer than 3 observations,
 	// for which change detection is meaningless.
 	ErrTooShort = errors.New("changepoint: sequence too short")
+	// ErrNonFinite indicates a sequence containing NaN or ±Inf, for
+	// which the Gaussian observation model is undefined. Callers are
+	// expected to clean or drop such observations first.
+	ErrNonFinite = errors.New("changepoint: non-finite observation")
 )
 
 // DefaultZThreshold is the paper's significance threshold in standard
@@ -80,6 +84,11 @@ func (c Config) withDefaults() Config {
 func ChangeProbabilities(xs []float64, cfg Config) ([]float64, error) {
 	if len(xs) < 3 {
 		return nil, fmt.Errorf("%w: %d observations", ErrTooShort, len(xs))
+	}
+	for i, v := range xs {
+		if v-v != 0 {
+			return nil, fmt.Errorf("%w: xs[%d] = %v", ErrNonFinite, i, v)
+		}
 	}
 	cfg = cfg.withDefaults()
 
@@ -232,6 +241,11 @@ type Point struct {
 func Detect(xs []float64, cfg Config, zThreshold float64) ([]Point, error) {
 	if len(xs) < 3 {
 		return nil, fmt.Errorf("%w: %d observations", ErrTooShort, len(xs))
+	}
+	for i, v := range xs {
+		if v-v != 0 {
+			return nil, fmt.Errorf("%w: xs[%d] = %v", ErrNonFinite, i, v)
+		}
 	}
 	constant := true
 	for _, v := range xs[1:] {

@@ -1,0 +1,84 @@
+package changepoint
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func bytesToFloats(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out
+}
+
+func floatsToBytes(vals []float64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzDetect feeds arbitrary bit patterns — NaNs, ±Inf, denormals,
+// constant runs — through the detector. Non-finite input must come back
+// as ErrNonFinite (never a panic or a silent garbage result); finite
+// input must yield probabilities in [0, 1] with no NaN, and Detect's
+// points must carry finite z-scores at valid indices.
+func FuzzDetect(f *testing.F) {
+	f.Add(floatsToBytes([]float64{1, 1, 1, 9, 9, 9, 9, 1, 1}))
+	f.Add(floatsToBytes([]float64{math.NaN(), 1, 2, 3}))
+	f.Add(floatsToBytes([]float64{math.Inf(1), math.Inf(-1), 0, 0}))
+	f.Add(floatsToBytes(make([]float64, 64))) // all-constant
+	f.Add(floatsToBytes([]float64{1e-308, -1e-308, 1e308, -1e308}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := bytesToFloats(data)
+		cfg := DefaultConfig()
+
+		probs, err := ChangeProbabilities(xs, cfg)
+		finite := true
+		for _, v := range xs {
+			if v-v != 0 { // NaN or ±Inf
+				finite = false
+				break
+			}
+		}
+		switch {
+		case len(xs) < 3:
+			if err == nil {
+				t.Fatal("short sequence accepted")
+			}
+		case !finite:
+			if err == nil {
+				t.Fatal("non-finite sequence accepted")
+			}
+		case err == nil:
+			if len(probs) != len(xs) {
+				t.Fatalf("got %d probabilities for %d observations", len(probs), len(xs))
+			}
+			for i, p := range probs {
+				if !(p >= 0 && p <= 1) {
+					t.Fatalf("probability %d = %v out of [0, 1]", i, p)
+				}
+			}
+		}
+
+		points, err := Detect(xs, cfg, DefaultZThreshold)
+		if err != nil {
+			return
+		}
+		for _, p := range points {
+			if p.Index < 0 || p.Index >= len(xs) {
+				t.Fatalf("point index %d out of range", p.Index)
+			}
+			if math.IsNaN(p.Z) || math.IsInf(p.Z, 0) {
+				t.Fatalf("non-finite z-score %v at %d", p.Z, p.Index)
+			}
+		}
+		if _, ok := MostSignificant(points); ok && len(points) == 0 {
+			t.Fatal("MostSignificant invented a point")
+		}
+	})
+}

@@ -41,7 +41,13 @@ var (
 // features (zero discriminant ratio or zero efficiency).
 const InverseCap = 100.0
 
-// splitClasses partitions x by binary label.
+// errMissingClass indicates that both classes are present in the labels
+// but missing (non-finite) feature values left one class with no finite
+// samples. Ensemble maps it to MaxEnsemble rather than failing.
+var errMissingClass = errors.New("complexity: class has no finite samples")
+
+// splitClasses partitions x by binary label, dropping missing
+// (non-finite) values.
 func splitClasses(x []float64, y []int) (neg, pos []float64, err error) {
 	if len(x) != len(y) {
 		return nil, nil, fmt.Errorf("%w: %d values vs %d labels", ErrLengthMismatch, len(x), len(y))
@@ -49,15 +55,27 @@ func splitClasses(x []float64, y []int) (neg, pos []float64, err error) {
 	if len(x) == 0 {
 		return nil, nil, ErrEmptyInput
 	}
+	hadPos, hadNeg := false, false
 	for i, v := range x {
+		if y[i] == 1 {
+			hadPos = true
+		} else {
+			hadNeg = true
+		}
+		if v-v != 0 { // non-finite
+			continue
+		}
 		if y[i] == 1 {
 			pos = append(pos, v)
 		} else {
 			neg = append(neg, v)
 		}
 	}
-	if len(pos) == 0 || len(neg) == 0 {
+	if !hadPos || !hadNeg {
 		return nil, nil, ErrSingleClass
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, nil, errMissingClass
 	}
 	return neg, pos, nil
 }
@@ -169,18 +187,34 @@ func FeatureEfficiency(x []float64, y []int) (float64, error) {
 	}
 	inside := 0
 	for _, v := range x {
+		if v-v != 0 { // missing values are neither inside nor separable
+			continue
+		}
 		if v >= oLo && v <= oHi {
 			inside++
 		}
 	}
-	return 1 - float64(inside)/float64(len(x)), nil
+	return 1 - float64(inside)/float64(len(neg)+len(pos)), nil
 }
+
+// MaxEnsemble is the Ensemble value assigned to a feature whose finite
+// samples do not cover both classes (e.g. an all-missing column): the
+// maximum of (1/F1 + F2 + 1/F3)/3 with both inverses at InverseCap and
+// total overlap. Such a feature is maximally complex — it carries no
+// usable signal — and ranking it as such keeps the cumulative cutoff
+// scan well-defined instead of erroring out.
+const MaxEnsemble = (InverseCap + 1 + InverseCap) / 3
 
 // Ensemble returns the combined complexity F = (1/F1 + F2 + 1/F3)/3
 // for one feature. The inverse terms are clamped at InverseCap. Lower F
-// means a simpler (more useful) feature.
+// means a simpler (more useful) feature. Missing (non-finite) values
+// are ignored; if they leave a class with no finite samples the feature
+// is scored MaxEnsemble.
 func Ensemble(x []float64, y []int) (float64, error) {
 	f1, err := FisherRatio(x, y)
+	if errors.Is(err, errMissingClass) {
+		return MaxEnsemble, nil
+	}
 	if err != nil {
 		return 0, err
 	}

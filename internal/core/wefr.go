@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/changepoint"
 	"repro/internal/complexity"
@@ -41,6 +42,9 @@ var (
 	ErrNoRankers = errors.New("core: no rankers configured")
 	// ErrNoFeatures indicates an input frame without feature columns.
 	ErrNoFeatures = errors.New("core: no features")
+	// ErrAllRankersFailed indicates that robust mode dropped every
+	// preliminary approach, leaving nothing to aggregate.
+	ErrAllRankersFailed = errors.New("core: every preliminary ranker failed")
 )
 
 // DefaultOutlierZ is the paper's ranking-outlier threshold: 1.96
@@ -115,6 +119,23 @@ type Config struct {
 	// Seed seeds the default rankers and any randomized ranker
 	// settings.
 	Seed int64
+	// Robust, when non-nil, hardens selection against dirty data: each
+	// preliminary ranker runs under panic recovery and an optional
+	// timeout, and a failing ranker is dropped from the ensemble like a
+	// Kendall-tau outlier instead of aborting; a failing change-point
+	// detection or wear-group re-selection degrades to the global
+	// selection. Nil keeps the strict legacy behavior, in which the
+	// first error aborts the whole selection.
+	Robust *RobustConfig
+}
+
+// RobustConfig parameterizes robust-mode selection.
+type RobustConfig struct {
+	// RankerTimeout bounds each preliminary approach's runtime; an
+	// approach still running after the deadline is dropped (its
+	// goroutine is abandoned — rankers hold no external resources).
+	// Zero means no timeout.
+	RankerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +171,11 @@ type RankerReport struct {
 	MeanDistance float64
 	// Outlier marks rankings discarded by the robustness step.
 	Outlier bool
+	// Failed marks approaches dropped before the outlier analysis
+	// because they errored, panicked, or timed out (robust mode only).
+	Failed bool
+	// Err describes the failure when Failed is set.
+	Err string
 }
 
 // Selection is WEFR's output for one feature set: the ordered selected
@@ -180,6 +206,10 @@ type Result struct {
 	// Split describes the wear-out update (lines 9-15); nil when the
 	// survival curve has no significant change point (e.g. MB1/MB2).
 	Split *WearSplit
+	// Notes lists degradations taken in robust mode: a skipped change
+	// point or a wear group that inherited the global selection after
+	// its own re-selection failed. Empty on a clean run.
+	Notes []string
 }
 
 // WearSplit is the wear-out-updating state: the MWI_N threshold at the
@@ -222,13 +252,22 @@ func SelectFeatures(fr *frame.Frame, cfg Config) (Selection, error) {
 	}
 
 	// Lines 3-5: rankings from every preliminary approach, in parallel
-	// unless configured serial.
+	// unless configured serial. Robust mode guards each approach with
+	// panic recovery and the configured timeout.
+	rank := func(r selection.Ranker) ([]float64, error) {
+		res, err := r.Rank(fr)
+		return res.Ranks, err
+	}
+	if cfg.Robust != nil {
+		rank = func(r selection.Ranker) ([]float64, error) {
+			return rankGuarded(r, fr, cfg.Robust.RankerTimeout)
+		}
+	}
 	ranks := make([][]float64, len(cfg.Rankers))
 	errs := make([]error, len(cfg.Rankers))
 	if cfg.Serial {
 		for i, r := range cfg.Rankers {
-			res, err := r.Rank(fr)
-			ranks[i], errs[i] = res.Ranks, err
+			ranks[i], errs[i] = rank(r)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -236,23 +275,46 @@ func SelectFeatures(fr *frame.Frame, cfg Config) (Selection, error) {
 			wg.Add(1)
 			go func(i int, r selection.Ranker) {
 				defer wg.Done()
-				res, err := r.Rank(fr)
-				ranks[i], errs[i] = res.Ranks, err
+				ranks[i], errs[i] = rank(r)
 			}(i, r)
 		}
 		wg.Wait()
 	}
-	for i, err := range errs {
-		if err != nil {
-			return Selection{}, fmt.Errorf("core: ranker %s: %w", cfg.Rankers[i].Name(), err)
+
+	// A ranker failure is fatal in strict mode; robust mode drops the
+	// approach from the ensemble, as the paper drops outlier rankings.
+	okRankers, okRanks := cfg.Rankers, ranks
+	var failedReports []RankerReport
+	if cfg.Robust == nil {
+		for i, err := range errs {
+			if err != nil {
+				return Selection{}, fmt.Errorf("core: ranker %s: %w", cfg.Rankers[i].Name(), err)
+			}
+		}
+	} else {
+		okRankers, okRanks = nil, nil
+		for i, err := range errs {
+			if err != nil {
+				failedReports = append(failedReports, RankerReport{
+					Name: cfg.Rankers[i].Name(), Failed: true, Err: err.Error(),
+				})
+				continue
+			}
+			okRankers = append(okRankers, cfg.Rankers[i])
+			okRanks = append(okRanks, ranks[i])
+		}
+		if len(okRanks) == 0 {
+			return Selection{}, fmt.Errorf("%w: first failure: %s: %s",
+				ErrAllRankersFailed, failedReports[0].Name, failedReports[0].Err)
 		}
 	}
 
 	// Line 6: discard rankings with outlying mean Kendall-tau distance.
-	reports, kept, err := removeOutliers(cfg.Rankers, ranks, cfg.OutlierZ)
+	reports, kept, err := removeOutliers(okRankers, okRanks, cfg.OutlierZ)
 	if err != nil {
 		return Selection{}, err
 	}
+	reports = append(reports, failedReports...)
 
 	// Line 7: final ranking = aggregate of the surviving rankings
 	// (mean per the paper; median/best for the aggregation ablation).
@@ -298,6 +360,36 @@ func SelectFeatures(fr *frame.Frame, cfg Config) (Selection, error) {
 		Complexities: comps,
 		Rankers:      reports,
 	}, nil
+}
+
+// rankGuarded runs one preliminary approach under panic recovery and
+// an optional timeout. On timeout the approach's goroutine is
+// abandoned (it completes into a buffered channel and is collected).
+func rankGuarded(r selection.Ranker, fr *frame.Frame, timeout time.Duration) ([]float64, error) {
+	type out struct {
+		ranks []float64
+		err   error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- out{err: fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		res, err := r.Rank(fr)
+		ch <- out{ranks: res.Ranks, err: err}
+	}()
+	if timeout <= 0 {
+		o := <-ch
+		return o.ranks, o.err
+	}
+	select {
+	case o := <-ch:
+		return o.ranks, o.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("timed out after %v", timeout)
+	}
 }
 
 // removeOutliers computes pairwise Kendall-tau distances between the
@@ -389,6 +481,12 @@ func Select(fr *frame.Frame, curve survival.Curve, cfg Config) (Result, error) {
 	}
 	cp, found, err := curve.DetectChangePoint(cfg.Changepoint, cfg.ZThreshold)
 	if err != nil {
+		// A curve corrupted past detection (non-finite survival rates)
+		// degrades to no wear-out update in robust mode.
+		if cfg.Robust != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("change point skipped: %v", err))
+			return res, nil
+		}
 		return Result{}, fmt.Errorf("core: change point: %w", err)
 	}
 	if !found {
@@ -402,16 +500,24 @@ func Select(fr *frame.Frame, curve survival.Curve, cfg Config) (Result, error) {
 	if groupUsable(lowFr, cfg.MinGroupPositives) {
 		sel, err := SelectFeatures(lowFr, cfg)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: low-MWI group: %w", err)
+			if cfg.Robust == nil {
+				return Result{}, fmt.Errorf("core: low-MWI group: %w", err)
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf("low-MWI group inherits global selection: %v", err))
+		} else {
+			split.Low, split.LowRefit = sel, true
 		}
-		split.Low, split.LowRefit = sel, true
 	}
 	if groupUsable(highFr, cfg.MinGroupPositives) {
 		sel, err := SelectFeatures(highFr, cfg)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: high-MWI group: %w", err)
+			if cfg.Robust == nil {
+				return Result{}, fmt.Errorf("core: high-MWI group: %w", err)
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf("high-MWI group inherits global selection: %v", err))
+		} else {
+			split.High, split.HighRefit = sel, true
 		}
-		split.High, split.HighRefit = sel, true
 	}
 	res.Split = split
 	return res, nil

@@ -137,6 +137,11 @@ type FrameOpts struct {
 	// this repository is). Results are identical for any worker count:
 	// drives are always concatenated in inventory order.
 	Workers int
+	// Sanitize, when non-nil, cleans each drive's series before
+	// labeling, filtering, and expansion: sentinel scrubbing, bounded
+	// forward-fill imputation, and optional per-feature missingness
+	// mask columns. Nil preserves the exact legacy path, bit for bit.
+	Sanitize *SanitizeOpts
 }
 
 func (o FrameOpts) normalize(days int) (FrameOpts, error) {
@@ -181,6 +186,11 @@ func Frame(src Source, opts FrameOpts) (*frame.Frame, error) {
 	if opts.Expand {
 		for _, ft := range opts.Features {
 			names = append(names, featgen.Names(ft.String(), opts.Windows)...)
+		}
+	}
+	if opts.Sanitize != nil && opts.Sanitize.MissMask {
+		for _, ft := range opts.Features {
+			names = append(names, ft.String()+".miss")
 		}
 	}
 
@@ -276,9 +286,18 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 		return nil, nil
 	}
 
+	var missing map[smart.Feature][]bool
+	if opts.Sanitize != nil {
+		series, missing = sanitizeSeries(series, opts)
+	}
+
 	nCols := len(opts.Features)
 	if opts.Expand {
 		nCols += len(opts.Features) * featgen.NumGenerated(opts.Windows)
+	}
+	maskCols := opts.Sanitize != nil && opts.Sanitize.MissMask
+	if maskCols {
+		nCols += len(opts.Features)
 	}
 	ch := &driveChunk{cols: make([][]float64, nCols)}
 
@@ -302,7 +321,11 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 		if opts.MWIBelow > 0 && mwi >= opts.MWIBelow {
 			continue
 		}
-		if opts.MWIAtLeast > 0 && mwi < opts.MWIAtLeast {
+		// Written as !(>=) rather than (<) so a NaN wear reading — an
+		// unknown wear level — is excluded from the high-wear group
+		// (and, failing the >= test above, lands in the low-wear group
+		// only) instead of leaking into both. Identical on finite MWI.
+		if opts.MWIAtLeast > 0 && !(mwi >= opts.MWIAtLeast) {
 			continue
 		}
 		if opts.Expand && !haveExpanded {
@@ -325,6 +348,16 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 		if opts.Expand {
 			for _, ecol := range expanded {
 				ch.cols[c] = append(ch.cols[c], ecol[day-opts.DayLo])
+				c++
+			}
+		}
+		if maskCols {
+			for _, ft := range opts.Features {
+				v := 0.0
+				if m := missing[ft]; day < len(m) && m[day] {
+					v = 1
+				}
+				ch.cols[c] = append(ch.cols[c], v)
 				c++
 			}
 		}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/smart"
+)
+
+// DefaultMaxGap bounds last-observation-carried-forward imputation: a
+// missing run longer than this many days past the last finite reading
+// stays missing (masked) rather than being filled with stale data.
+const DefaultMaxGap = 14
+
+// SanitizeOpts configures per-drive series cleaning, applied before
+// labeling, filtering, and feature expansion. The zero value scrubs
+// nothing but still imputes with the default gap bound.
+type SanitizeOpts struct {
+	// MaxGap bounds forward-fill imputation in days; 0 means
+	// DefaultMaxGap. Leading missing runs are back-filled from the
+	// first finite reading under the same bound.
+	MaxGap int
+	// Sentinels lists bogus reading values (firmware error codes,
+	// unsigned-overflow artifacts) scrubbed to missing before
+	// imputation. Values are matched exactly.
+	Sentinels []float64
+	// MissMask appends one "<feature>.miss" indicator column per
+	// original frame feature: 1 where the cell was missing or a
+	// sentinel before imputation, 0 otherwise. The mask lets the model
+	// distinguish imputed from observed readings.
+	MissMask bool
+	// Counter, when non-nil, accumulates detected-defect counts across
+	// extractions. Safe for concurrent use.
+	Counter *DefectCounter
+}
+
+func (s *SanitizeOpts) maxGap() int {
+	if s.MaxGap <= 0 {
+		return DefaultMaxGap
+	}
+	return s.MaxGap
+}
+
+// DefectCounter tallies the dirty-data conditions the sanitizer
+// detected and what it did about them. Counts are per extracted cell:
+// building several frames over the same drives counts the same
+// underlying defect once per extraction.
+type DefectCounter struct {
+	sentinelCells atomic.Int64
+	imputedCells  atomic.Int64
+	residualCells atomic.Int64
+}
+
+// DefectStats is a point-in-time snapshot of a DefectCounter.
+type DefectStats struct {
+	// SentinelCells counts readings scrubbed for matching a sentinel.
+	SentinelCells int64 `json:"sentinel_cells"`
+	// ImputedCells counts missing readings filled by bounded LOCF.
+	ImputedCells int64 `json:"imputed_cells"`
+	// ResidualCells counts readings still missing after imputation
+	// (gaps longer than MaxGap, or all-missing columns); downstream
+	// learners see these as NaN and rely on missing-aware splits.
+	ResidualCells int64 `json:"residual_cells"`
+}
+
+// Snapshot returns the current counts.
+func (c *DefectCounter) Snapshot() DefectStats {
+	if c == nil {
+		return DefectStats{}
+	}
+	return DefectStats{
+		SentinelCells: c.sentinelCells.Load(),
+		ImputedCells:  c.imputedCells.Load(),
+		ResidualCells: c.residualCells.Load(),
+	}
+}
+
+// sanitizeSeries returns a cleaned copy of the columns extractDrive
+// will read (the frame features plus MWI_N, which drives filters and
+// metadata), together with each feature's pre-imputation missingness.
+// Unused columns pass through untouched; the input map and its slices
+// are never modified, so sources that share backing arrays (the cache)
+// stay intact.
+func sanitizeSeries(series map[smart.Feature][]float64, opts FrameOpts) (map[smart.Feature][]float64, map[smart.Feature][]bool) {
+	san := opts.Sanitize
+	used := make(map[smart.Feature]bool, len(opts.Features)+1)
+	for _, ft := range opts.Features {
+		used[ft] = true
+	}
+	used[smart.Feature{Attr: smart.MWI, Kind: smart.Normalized}] = true
+
+	out := make(map[smart.Feature][]float64, len(series))
+	miss := make(map[smart.Feature][]bool, len(used))
+	var sentinels, imputed, residual int64
+	for ft, col := range series {
+		if !used[ft] {
+			out[ft] = col
+			continue
+		}
+		clean := make([]float64, len(col))
+		copy(clean, col)
+		m := make([]bool, len(col))
+		s, i, r := sanitizeColumn(clean, m, san)
+		sentinels += s
+		imputed += i
+		residual += r
+		out[ft] = clean
+		miss[ft] = m
+	}
+	if san.Counter != nil {
+		san.Counter.sentinelCells.Add(sentinels)
+		san.Counter.imputedCells.Add(imputed)
+		san.Counter.residualCells.Add(residual)
+	}
+	return out, miss
+}
+
+// sanitizeColumn cleans one series in place: sentinel scrub, then
+// bounded LOCF imputation with leading backfill. miss records
+// pre-imputation missingness (non-finite or sentinel).
+func sanitizeColumn(col []float64, miss []bool, san *SanitizeOpts) (sentinels, imputed, residual int64) {
+	for day, v := range col {
+		for _, s := range san.Sentinels {
+			if v == s {
+				col[day] = math.NaN()
+				sentinels++
+				break
+			}
+		}
+		// Non-finite readings (NaN from gaps/dropout, ±Inf from
+		// overflow) are all treated as missing.
+		if v := col[day]; v-v != 0 {
+			col[day] = math.NaN()
+			miss[day] = true
+		}
+	}
+	maxGap := san.maxGap()
+	lastFinite := -1
+	for day, v := range col {
+		if v == v {
+			lastFinite = day
+			continue
+		}
+		if lastFinite >= 0 && day-lastFinite <= maxGap {
+			col[day] = col[lastFinite]
+			imputed++
+		}
+	}
+	// Leading backfill: a series that starts mid-gap borrows its first
+	// finite reading, under the same staleness bound.
+	firstFinite := -1
+	for day := range col {
+		if !miss[day] {
+			firstFinite = day
+			break
+		}
+	}
+	if firstFinite > 0 && firstFinite <= maxGap {
+		for day := 0; day < firstFinite; day++ {
+			col[day] = col[firstFinite]
+			imputed++
+		}
+	}
+	for _, v := range col {
+		if v != v {
+			residual++
+		}
+	}
+	return sentinels, imputed, residual
+}

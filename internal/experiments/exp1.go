@@ -140,7 +140,11 @@ func (h *Harness) Exp1() (Exp1Result, error) {
 
 // wefrConfig assembles the WEFR core configuration from the harness.
 func (h *Harness) wefrConfig() core.Config {
-	return core.Config{Seed: h.cfg.Seed}
+	cfg := core.Config{Seed: h.cfg.Seed}
+	if h.cfg.Robust {
+		cfg.Robust = &core.RobustConfig{}
+	}
+	return cfg
 }
 
 // Render formats Table VI.

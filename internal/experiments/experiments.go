@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/pipeline"
 	"repro/internal/simulate"
@@ -50,6 +51,16 @@ type Config struct {
 	// fitting, and scoring; 0 means GOMAXPROCS. Results are identical
 	// for any value.
 	Workers int
+	// Faults, when enabled, interposes a deterministic fault injector
+	// between the simulated fleet and the dataset cache, and implies
+	// Robust. The zero value injects nothing.
+	Faults faults.Config
+	// Robust runs every pipeline in robust mode: frames are sanitized,
+	// failed rankers are dropped from the ensemble, degenerate phases
+	// fall back, and all degradation is accounted in Report(). When
+	// false (and Faults is disabled) the harness reproduces the legacy
+	// path bit for bit.
+	Robust bool
 }
 
 // DefaultConfig returns a laptop-scale configuration that preserves
@@ -103,14 +114,20 @@ func (c Config) withDefaults() Config {
 	if c.Models == nil {
 		c.Models = smart.AllModels()
 	}
+	if c.Faults.Enabled() {
+		c.Robust = true
+	}
 	return c
 }
 
 // Harness owns the simulated fleet and reproduces the paper's tables
 // and figures against it.
 type Harness struct {
-	cfg Config
-	src *dataset.CachedSource
+	cfg      Config
+	fleet    *simulate.Fleet
+	injector *faults.Injector // nil unless Config.Faults is enabled
+	report   *pipeline.RunReport
+	src      *dataset.CachedSource
 }
 
 // New builds the fleet and the harness.
@@ -126,18 +143,35 @@ func New(cfg Config) (*Harness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &Harness{
-		cfg: cfg,
-		src: dataset.NewCachedSource(dataset.FleetSource{Fleet: fleet}),
-	}, nil
+	h := &Harness{cfg: cfg, fleet: fleet}
+	var src dataset.Source = dataset.FleetSource{Fleet: fleet}
+	if cfg.Faults.Enabled() {
+		h.injector = faults.New(src, cfg.Faults)
+		src = h.injector
+	}
+	if cfg.Robust {
+		h.report = &pipeline.RunReport{}
+	}
+	h.src = dataset.NewCachedSource(src)
+	return h, nil
 }
 
 // Source exposes the harness's (cached) dataset source.
 func (h *Harness) Source() dataset.Source { return h.src }
 
 // Fleet exposes the underlying simulated fleet.
-func (h *Harness) Fleet() *simulate.Fleet {
-	return h.src.Inner.(dataset.FleetSource).Fleet
+func (h *Harness) Fleet() *simulate.Fleet { return h.fleet }
+
+// ReportSnapshot serializes the robust-mode run report accumulated so
+// far, pairing the fault injector's per-class injected counts with the
+// defects the pipeline detected and the degradations it took. On a
+// non-robust harness only the injected counts (if any) are populated.
+func (h *Harness) ReportSnapshot() pipeline.ReportSnapshot {
+	var injected map[string]int
+	if h.injector != nil {
+		injected = h.injector.Stats().Classes()
+	}
+	return h.report.Snapshot(injected)
 }
 
 // Models returns the models under experiment.
@@ -145,12 +179,19 @@ func (h *Harness) Models() []smart.ModelID { return h.cfg.Models }
 
 // pipelineConfig assembles the shared pipeline settings.
 func (h *Harness) pipelineConfig() pipeline.Config {
-	return pipeline.Config{
+	cfg := pipeline.Config{
 		Forest:   h.cfg.Forest,
 		NegEvery: h.cfg.NegEvery,
 		Workers:  h.cfg.Workers,
 		Seed:     h.cfg.Seed,
 	}
+	if h.cfg.Robust {
+		cfg.Robust = &pipeline.RobustOpts{
+			Sanitize: dataset.SanitizeOpts{MissMask: true},
+			Report:   h.report,
+		}
+	}
+	return cfg
 }
 
 // phases returns the paper's three testing phases for the configured
@@ -166,9 +207,14 @@ func (h *Harness) phases() []pipeline.Phase {
 // selectionFrame builds the full-period original-feature frame used by
 // the characterization tables (III, IV, V).
 func (h *Harness) selectionFrame(m smart.ModelID) (frameWithModel, error) {
-	fr, err := dataset.Frame(h.src, dataset.FrameOpts{
+	opts := dataset.FrameOpts{
 		Model: m, NegEvery: h.cfg.NegEvery, Workers: h.cfg.Workers,
-	})
+	}
+	if h.cfg.Robust {
+		// Maskless: characterization works on pure feature columns.
+		opts.Sanitize = &dataset.SanitizeOpts{Counter: h.report.Counter()}
+	}
+	fr, err := dataset.Frame(h.src, opts)
 	if err != nil {
 		return frameWithModel{}, fmt.Errorf("experiments: frame for %v: %w", m, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/smart"
 )
@@ -436,6 +437,73 @@ func TestHarnessAccessors(t *testing.T) {
 	}
 	if h.Fleet().Days() != h.Source().Days() {
 		t.Error("days mismatch between fleet and source")
+	}
+}
+
+// TestFaultedHarness wires the injector through New and runs one
+// pipeline-backed experiment end to end: the snapshot must pair the
+// injected classes with detected defects, and Fleet() must keep
+// working with the injector interposed.
+func TestFaultedHarness(t *testing.T) {
+	fc, err := faults.ParseSpec("seed=3,gaps=0.02,nan=0.01,tickets-delay=3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		TotalDrives:   1100,
+		Seed:          2,
+		AFRScale:      4,
+		NegEvery:      45,
+		Forest:        forest.Config{NumTrees: 12, MaxDepth: 7},
+		SweepPercents: []float64{0.5},
+		Models:        []smart.ModelID{smart.MC1},
+		PhaseCount:    1,
+		Faults:        fc,
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.cfg.Robust {
+		t.Error("faults did not imply robust mode")
+	}
+	if h.Fleet() == nil || h.Fleet().Days() != h.Source().Days() {
+		t.Error("Fleet() broken with injector interposed")
+	}
+	if _, err := h.Exp3(); err != nil {
+		t.Fatalf("faulted Exp3: %v", err)
+	}
+	snap := h.ReportSnapshot()
+	for _, class := range []string{"gap_days", "nan_cells", "tickets_delayed"} {
+		if snap.Injected[class] == 0 {
+			t.Errorf("injected class %s not accounted: %v", class, snap.Injected)
+		}
+	}
+	if snap.Detected.ImputedCells == 0 {
+		t.Errorf("no detected defects despite injection: %+v", snap.Detected)
+	}
+	if snap.PhasesRun == 0 {
+		t.Errorf("no phases recorded: %+v", snap)
+	}
+}
+
+// TestRobustSnapshotWithoutFaults: -robust alone yields a report with
+// no injected classes.
+func TestRobustSnapshotWithoutFaults(t *testing.T) {
+	cfg := Config{TotalDrives: 100, Robust: true}.withDefaults()
+	if !cfg.Robust {
+		t.Fatal("robust flag lost in withDefaults")
+	}
+	h, err := New(Config{
+		TotalDrives: 600, Seed: 1, AFRScale: 4,
+		Models: []smart.ModelID{smart.MC1}, Robust: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := h.ReportSnapshot()
+	if snap.Injected != nil {
+		t.Errorf("robust-only harness reports injected defects: %v", snap.Injected)
 	}
 }
 

@@ -1,0 +1,397 @@
+// Package faults is a deterministic fault-injection layer for the WEFR
+// pipeline. An Injector wraps any dataset.Source and corrupts the
+// series it serves with composable operators modeled on the defect
+// classes observed in large-scale SSD telemetry: whole-day collection
+// gaps, per-model attribute dropout (Table I style), NaN and sentinel
+// cell noise, stuck-at sensor readings, duplicated and out-of-order
+// records, and delayed or dropped failure tickets.
+//
+// Corruption is a pure function of (Config.Seed, drive ID): every
+// operator draws from its own RNG stream derived from those two
+// values, so the injected defects are identical regardless of the
+// order or concurrency in which drives are extracted, and independent
+// of which other operators are enabled. A zero Config is a strict
+// passthrough — the wrapped source's output is returned untouched,
+// bit for bit.
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/smart"
+)
+
+// Dropout removes one SMART attribute from (a fraction of) one drive
+// model's fleet, mimicking the per-model availability holes of
+// Table I: affected drives report NaN for both the raw and normalized
+// feature of the attribute, every day.
+type Dropout struct {
+	Model smart.ModelID
+	Attr  smart.AttrID
+	// Rate is the fraction of the model's drives affected, in [0, 1].
+	Rate float64
+}
+
+// Config enables and parameterizes the corruption operators. All rates
+// are per-unit probabilities in [0, 1]; zero disables the operator.
+type Config struct {
+	// Seed drives every operator's RNG. Two injectors with equal
+	// configs produce identical corruption.
+	Seed int64
+
+	// GapRate is the per-drive-day probability that the day's record is
+	// lost entirely (all features NaN) — a collection gap.
+	GapRate float64
+	// NaNRate is the per-cell probability of a missing value.
+	NaNRate float64
+	// SentinelRate is the per-cell probability of the value being
+	// replaced by a bogus sentinel (-1, 255, 65535, 2^32-1).
+	SentinelRate float64
+	// StuckRate is the per-drive probability that one feature freezes
+	// at its current value from a random day to the end of the series.
+	StuckRate float64
+	// DupRate is the per-drive-day probability that the previous day's
+	// record is reported again in place of the real one.
+	DupRate float64
+	// SwapRate is the per-drive-day probability that the day's record
+	// and the previous day's arrive out of order (adjacent swap).
+	SwapRate float64
+
+	// Dropout lists per-model attribute dropouts.
+	Dropout []Dropout
+
+	// TicketDelayDays shifts every failed drive's recorded failure day
+	// this many days later, modeling ticket-processing latency.
+	TicketDelayDays int
+	// TicketDropRate is the per-failed-drive probability that the
+	// failure ticket is lost entirely (the drive appears healthy).
+	TicketDropRate float64
+}
+
+// Enabled reports whether any operator is active.
+func (c Config) Enabled() bool {
+	return c.seriesEnabled() || c.ticketsEnabled()
+}
+
+func (c Config) seriesEnabled() bool {
+	return c.GapRate > 0 || c.NaNRate > 0 || c.SentinelRate > 0 ||
+		c.StuckRate > 0 || c.DupRate > 0 || c.SwapRate > 0 || len(c.Dropout) > 0
+}
+
+func (c Config) ticketsEnabled() bool {
+	return c.TicketDelayDays > 0 || c.TicketDropRate > 0
+}
+
+// Stats counts injected defects by class. Counters accumulate once per
+// drive no matter how many times its series is requested.
+type Stats struct {
+	GapDays        int `json:"gap_days"`
+	DropoutColumns int `json:"dropout_columns"`
+	StuckRuns      int `json:"stuck_runs"`
+	DupDays        int `json:"dup_days"`
+	SwapPairs      int `json:"swap_pairs"`
+	NaNCells       int `json:"nan_cells"`
+	SentinelCells  int `json:"sentinel_cells"`
+	TicketsDelayed int `json:"tickets_delayed"`
+	TicketsDropped int `json:"tickets_dropped"`
+	DrivesTouched  int `json:"drives_touched"`
+}
+
+// Classes returns the nonzero defect classes by name, for reporting.
+func (s Stats) Classes() map[string]int {
+	out := make(map[string]int)
+	add := func(name string, n int) {
+		if n > 0 {
+			out[name] = n
+		}
+	}
+	add("gap_days", s.GapDays)
+	add("dropout_columns", s.DropoutColumns)
+	add("stuck_runs", s.StuckRuns)
+	add("dup_days", s.DupDays)
+	add("swap_pairs", s.SwapPairs)
+	add("nan_cells", s.NaNCells)
+	add("sentinel_cells", s.SentinelCells)
+	add("tickets_delayed", s.TicketsDelayed)
+	add("tickets_dropped", s.TicketsDropped)
+	return out
+}
+
+func (s *Stats) add(o Stats) {
+	s.GapDays += o.GapDays
+	s.DropoutColumns += o.DropoutColumns
+	s.StuckRuns += o.StuckRuns
+	s.DupDays += o.DupDays
+	s.SwapPairs += o.SwapPairs
+	s.NaNCells += o.NaNCells
+	s.SentinelCells += o.SentinelCells
+	s.TicketsDelayed += o.TicketsDelayed
+	s.TicketsDropped += o.TicketsDropped
+	s.DrivesTouched += o.DrivesTouched
+}
+
+// Operator stream tags. Each operator mixes its tag into the per-drive
+// seed so enabling one operator never perturbs another's draws.
+const (
+	opTicket uint64 = iota + 1
+	opStuck
+	opDup
+	opSwap
+	opGap
+	opNaN
+	opSentinel
+	opDropoutBase // + dropout entry index
+)
+
+// mixSeed derives an operator's RNG seed from the injector seed and
+// drive ID via a splitmix64-style finalizer.
+func mixSeed(seed int64, id int, op uint64) int64 {
+	z := uint64(seed)
+	z ^= uint64(int64(id))*0x9E3779B97F4A7C15 + op*0xD1B54A32D192ED03
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
+// sentinelValues are the bogus readings injected by the sentinel
+// operator: firmware error codes and unsigned-overflow artifacts seen
+// in real SMART dumps.
+var sentinelValues = [...]float64{-1, 255, 65535, 4294967295}
+
+// Injector implements dataset.Source, corrupting the wrapped source's
+// output. Safe for concurrent use.
+type Injector struct {
+	inner dataset.Source
+	cfg   Config
+
+	mu         sync.Mutex
+	stats      Stats
+	seriesSeen map[int]bool
+	ticketSeen map[int]bool
+}
+
+var _ dataset.Source = (*Injector)(nil)
+
+// New wraps src with the given fault configuration. Wrap the raw
+// source, then cache: dataset.NewCachedSource(faults.New(src, cfg)),
+// so corruption happens once per drive.
+func New(src dataset.Source, cfg Config) *Injector {
+	return &Injector{
+		inner:      src,
+		cfg:        cfg,
+		seriesSeen: make(map[int]bool),
+		ticketSeen: make(map[int]bool),
+	}
+}
+
+// Stats returns a snapshot of the injected-defect counters.
+func (inj *Injector) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// Days implements dataset.Source.
+func (inj *Injector) Days() int { return inj.inner.Days() }
+
+// DrivesOf implements dataset.Source, applying ticket faults: a failed
+// drive's FailDay may be shifted later (delayed ticket) or reset to -1
+// (lost ticket). Series content is untouched — the drive still dies on
+// schedule; only the label bookkeeping degrades, as in production.
+func (inj *Injector) DrivesOf(m smart.ModelID) []dataset.DriveRef {
+	refs := inj.inner.DrivesOf(m)
+	if !inj.cfg.ticketsEnabled() {
+		return refs
+	}
+	out := make([]dataset.DriveRef, len(refs))
+	copy(out, refs)
+	for i := range out {
+		if !out[i].Failed() {
+			continue
+		}
+		id := out[i].ID
+		rng := rand.New(rand.NewSource(mixSeed(inj.cfg.Seed, id, opTicket)))
+		dropped := inj.cfg.TicketDropRate > 0 && rng.Float64() < inj.cfg.TicketDropRate
+		delayed := !dropped && inj.cfg.TicketDelayDays > 0
+		if dropped {
+			out[i].FailDay = -1
+		} else if delayed {
+			out[i].FailDay += inj.cfg.TicketDelayDays
+		}
+		if !dropped && !delayed {
+			continue
+		}
+		inj.mu.Lock()
+		if !inj.ticketSeen[id] {
+			inj.ticketSeen[id] = true
+			if dropped {
+				inj.stats.TicketsDropped++
+			} else {
+				inj.stats.TicketsDelayed++
+			}
+		}
+		inj.mu.Unlock()
+	}
+	return out
+}
+
+// Series implements dataset.Source, returning a corrupted copy of the
+// wrapped series. With no series operators enabled the inner result is
+// passed through unmodified (same backing arrays).
+func (inj *Injector) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	cols, lastDay, err := inj.inner.Series(ref)
+	if err != nil || !inj.cfg.seriesEnabled() {
+		return cols, lastDay, err
+	}
+
+	feats := make([]smart.Feature, 0, len(cols))
+	for f := range cols {
+		feats = append(feats, f)
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		if feats[i].Attr != feats[j].Attr {
+			return feats[i].Attr < feats[j].Attr
+		}
+		return feats[i].Kind < feats[j].Kind
+	})
+
+	out := make(map[smart.Feature][]float64, len(cols))
+	n := lastDay + 1
+	for _, f := range feats {
+		src := cols[f]
+		dst := make([]float64, len(src))
+		copy(dst, src)
+		out[f] = dst
+		if len(src) < n {
+			n = len(src)
+		}
+	}
+
+	var d Stats
+	nan := math.NaN()
+	id := ref.ID
+	seed := inj.cfg.Seed
+
+	// 1. Attribute dropout: affected drives never report the attribute.
+	for i, dr := range inj.cfg.Dropout {
+		if dr.Model != ref.Model {
+			continue
+		}
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opDropoutBase+uint64(i))))
+		if rng.Float64() >= dr.Rate {
+			continue
+		}
+		for _, k := range []smart.Kind{smart.Raw, smart.Normalized} {
+			col, ok := out[smart.Feature{Attr: dr.Attr, Kind: k}]
+			if !ok {
+				continue
+			}
+			for day := range col {
+				col[day] = nan
+			}
+			d.DropoutColumns++
+		}
+	}
+
+	// 2. Stuck-at: one feature freezes from a random day onward.
+	if inj.cfg.StuckRate > 0 && n > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opStuck)))
+		if rng.Float64() < inj.cfg.StuckRate {
+			col := out[feats[rng.Intn(len(feats))]]
+			start := rng.Intn(n)
+			v := col[start]
+			for day := start + 1; day < n; day++ {
+				col[day] = v
+			}
+			d.StuckRuns++
+		}
+	}
+
+	// 3. Duplicated records: a day re-reports the previous day's row.
+	if inj.cfg.DupRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opDup)))
+		for day := 1; day < n; day++ {
+			if rng.Float64() < inj.cfg.DupRate {
+				for _, f := range feats {
+					out[f][day] = out[f][day-1]
+				}
+				d.DupDays++
+			}
+		}
+	}
+
+	// 4. Out-of-order records: adjacent days swap arrival order.
+	if inj.cfg.SwapRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opSwap)))
+		for day := 1; day < n; day++ {
+			if rng.Float64() < inj.cfg.SwapRate {
+				for _, f := range feats {
+					col := out[f]
+					col[day-1], col[day] = col[day], col[day-1]
+				}
+				d.SwapPairs++
+			}
+		}
+	}
+
+	// 5. Collection gaps: whole days vanish.
+	if inj.cfg.GapRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opGap)))
+		for day := 0; day < n; day++ {
+			if rng.Float64() < inj.cfg.GapRate {
+				for _, f := range feats {
+					out[f][day] = nan
+				}
+				d.GapDays++
+			}
+		}
+	}
+
+	// 6. NaN cells: isolated missing values.
+	if inj.cfg.NaNRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opNaN)))
+		for _, f := range feats {
+			col := out[f]
+			for day := 0; day < n; day++ {
+				if rng.Float64() < inj.cfg.NaNRate {
+					if col[day] == col[day] {
+						d.NaNCells++
+					}
+					col[day] = nan
+				}
+			}
+		}
+	}
+
+	// 7. Sentinel cells: bogus firmware readings.
+	if inj.cfg.SentinelRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(seed, id, opSentinel)))
+		for _, f := range feats {
+			col := out[f]
+			for day := 0; day < n; day++ {
+				if rng.Float64() < inj.cfg.SentinelRate {
+					col[day] = sentinelValues[rng.Intn(len(sentinelValues))]
+					d.SentinelCells++
+				}
+			}
+		}
+	}
+
+	if d != (Stats{}) {
+		d.DrivesTouched = 1
+	}
+	inj.mu.Lock()
+	if !inj.seriesSeen[id] {
+		inj.seriesSeen[id] = true
+		inj.stats.add(d)
+	}
+	inj.mu.Unlock()
+	return out, lastDay, nil
+}

@@ -1,0 +1,332 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/smart"
+)
+
+// fakeSource serves deterministic synthetic series: cell (drive, feat,
+// day) = id*1000 + day + kind/10, regenerated fresh on every call.
+type fakeSource struct {
+	days   int
+	drives []dataset.DriveRef
+	feats  []smart.Feature
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{
+		days: 60,
+		drives: []dataset.DriveRef{
+			{ID: 1, Model: smart.MA1, FailDay: -1},
+			{ID: 2, Model: smart.MA1, FailDay: 40},
+			{ID: 3, Model: smart.MC1, FailDay: 55},
+			{ID: 4, Model: smart.MC1, FailDay: -1},
+		},
+		feats: []smart.Feature{
+			{Attr: smart.MWI, Kind: smart.Raw},
+			{Attr: smart.MWI, Kind: smart.Normalized},
+			{Attr: smart.RSC, Kind: smart.Raw},
+			{Attr: smart.RSC, Kind: smart.Normalized},
+		},
+	}
+}
+
+func (f *fakeSource) Days() int { return f.days }
+
+func (f *fakeSource) DrivesOf(m smart.ModelID) []dataset.DriveRef {
+	var out []dataset.DriveRef
+	for _, d := range f.drives {
+		if d.Model == m {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (f *fakeSource) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	cols := make(map[smart.Feature][]float64, len(f.feats))
+	for _, ft := range f.feats {
+		col := make([]float64, f.days)
+		for day := range col {
+			col[day] = float64(ref.ID*1000+day) + float64(ft.Kind)/10
+		}
+		cols[ft] = col
+	}
+	return cols, f.days - 1, nil
+}
+
+func TestDisabledPassthrough(t *testing.T) {
+	src := newFakeSource()
+	inj := New(src, Config{})
+	ref := src.drives[0]
+	want, _, _ := src.Series(ref)
+	got, lastDay, err := inj.Series(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDay != src.days-1 {
+		t.Errorf("lastDay = %d, want %d", lastDay, src.days-1)
+	}
+	for ft, col := range want {
+		for day, v := range col {
+			if got[ft][day] != v {
+				t.Fatalf("disabled injector altered %v day %d", ft, day)
+			}
+		}
+	}
+	refs := inj.DrivesOf(smart.MA1)
+	for i, r := range refs {
+		if r != src.DrivesOf(smart.MA1)[i] {
+			t.Errorf("disabled injector altered DriveRef %v", r)
+		}
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Errorf("disabled injector reported stats %+v", s)
+	}
+}
+
+func TestDeterministicAcrossOrder(t *testing.T) {
+	cfg := Config{
+		Seed: 7, GapRate: 0.05, NaNRate: 0.02, SentinelRate: 0.01,
+		StuckRate: 0.5, DupRate: 0.05, SwapRate: 0.05,
+	}
+	a := New(newFakeSource(), cfg)
+	b := New(newFakeSource(), cfg)
+	drives := newFakeSource().drives
+	// Query a front-to-back, b back-to-front (and twice).
+	seriesA := make(map[int]map[smart.Feature][]float64)
+	for _, d := range drives {
+		s, _, err := a.Series(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seriesA[d.ID] = s
+	}
+	for i := len(drives) - 1; i >= 0; i-- {
+		for pass := 0; pass < 2; pass++ {
+			s, _, err := b.Series(drives[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ft, col := range seriesA[drives[i].ID] {
+				for day, v := range col {
+					w := s[ft][day]
+					if v != w && !(v != v && w != w) {
+						t.Fatalf("drive %d %v day %d: %v vs %v (order-dependent injection)",
+							drives[i].ID, ft, day, v, w)
+					}
+				}
+			}
+		}
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		t.Errorf("stats differ across query order: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestOperatorCountsMatchOutput(t *testing.T) {
+	src := newFakeSource()
+	cfg := Config{Seed: 3, GapRate: 0.1, NaNRate: 0.05}
+	inj := New(src, cfg)
+	nanCells := 0
+	for _, d := range src.drives {
+		s, _, err := inj.Series(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range s {
+			for _, v := range col {
+				if v != v {
+					nanCells++
+				}
+			}
+		}
+	}
+	st := inj.Stats()
+	if st.GapDays == 0 || st.NaNCells == 0 {
+		t.Fatalf("expected nonzero gap and nan counts, got %+v", st)
+	}
+	// Every NaN in the output is accounted for: gap days blank all 4
+	// features; NaN cells are counted only when they newly corrupt.
+	if want := st.GapDays*4 + st.NaNCells; nanCells != want {
+		t.Errorf("output has %d NaN cells, stats account for %d (%+v)", nanCells, want, st)
+	}
+	if st.DrivesTouched == 0 || st.DrivesTouched > len(src.drives) {
+		t.Errorf("DrivesTouched = %d, want in (0, %d]", st.DrivesTouched, len(src.drives))
+	}
+	// Re-querying must not double count.
+	if _, _, err := inj.Series(src.drives[0]); err != nil {
+		t.Fatal(err)
+	}
+	if again := inj.Stats(); again != st {
+		t.Errorf("stats drifted on repeat query: %+v vs %+v", again, st)
+	}
+}
+
+func TestDropoutBlanksModelAttribute(t *testing.T) {
+	src := newFakeSource()
+	inj := New(src, Config{Seed: 1, Dropout: []Dropout{{Model: smart.MA1, Attr: smart.MWI, Rate: 1}}})
+	for _, d := range src.drives {
+		s, _, err := inj.Series(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []smart.Kind{smart.Raw, smart.Normalized} {
+			col := s[smart.Feature{Attr: smart.MWI, Kind: k}]
+			gotNaN := col[0] != col[0]
+			wantNaN := d.Model == smart.MA1
+			if gotNaN != wantNaN {
+				t.Errorf("drive %d (%v) MWI_%v NaN = %v, want %v", d.ID, d.Model, k, gotNaN, wantNaN)
+			}
+		}
+		// RSC untouched for everyone.
+		if col := s[smart.Feature{Attr: smart.RSC, Kind: smart.Raw}]; col[5] != col[5] {
+			t.Errorf("drive %d: dropout leaked into RSC", d.ID)
+		}
+	}
+	if st := inj.Stats(); st.DropoutColumns != 4 { // 2 MA1 drives x 2 kinds
+		t.Errorf("DropoutColumns = %d, want 4", st.DropoutColumns)
+	}
+}
+
+func TestStuckFreezesTail(t *testing.T) {
+	src := newFakeSource()
+	inj := New(src, Config{Seed: 5, StuckRate: 1})
+	s, _, err := inj.Series(src.drives[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := false
+	for _, col := range s {
+		if col[len(col)-1] == col[len(col)-2] {
+			frozen = true
+		}
+	}
+	if !frozen {
+		t.Error("StuckRate=1 froze no feature tail")
+	}
+	if st := inj.Stats(); st.StuckRuns != 1 {
+		t.Errorf("StuckRuns = %d, want 1", st.StuckRuns)
+	}
+}
+
+func TestTicketDelayAndDrop(t *testing.T) {
+	src := newFakeSource()
+	delay := New(src, Config{Seed: 2, TicketDelayDays: 3})
+	for _, m := range []smart.ModelID{smart.MA1, smart.MC1} {
+		for _, r := range delay.DrivesOf(m) {
+			var orig dataset.DriveRef
+			for _, o := range src.drives {
+				if o.ID == r.ID {
+					orig = o
+				}
+			}
+			if !orig.Failed() {
+				if r.FailDay != -1 {
+					t.Errorf("healthy drive %d gained FailDay %d", r.ID, r.FailDay)
+				}
+			} else if r.FailDay != orig.FailDay+3 {
+				t.Errorf("drive %d FailDay = %d, want %d", r.ID, r.FailDay, orig.FailDay+3)
+			}
+		}
+	}
+	if st := delay.Stats(); st.TicketsDelayed != 2 {
+		t.Errorf("TicketsDelayed = %d, want 2", st.TicketsDelayed)
+	}
+
+	drop := New(src, Config{Seed: 2, TicketDropRate: 1})
+	for _, m := range []smart.ModelID{smart.MA1, smart.MC1} {
+		drop.DrivesOf(m)
+		drop.DrivesOf(m) // repeat must not double count
+		for _, r := range drop.DrivesOf(m) {
+			if r.Failed() {
+				t.Errorf("drive %d still has a ticket under TicketDropRate=1", r.ID)
+			}
+		}
+	}
+	if st := drop.Stats(); st.TicketsDropped != 2 {
+		t.Errorf("TicketsDropped = %d, want 2", st.TicketsDropped)
+	}
+	// Series content is never affected by ticket faults.
+	s, _, err := drop.Series(src.drives[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := src.Series(src.drives[1])
+	for ft, col := range want {
+		for day, v := range col {
+			if s[ft][day] != v {
+				t.Fatalf("ticket fault altered series at %v day %d", ft, day)
+			}
+		}
+	}
+}
+
+func TestSentinelInjectsKnownValues(t *testing.T) {
+	src := newFakeSource()
+	inj := New(src, Config{Seed: 9, SentinelRate: 0.1})
+	s, _, err := inj.Series(src.drives[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, col := range s {
+		for _, v := range col {
+			for _, sv := range sentinelValues {
+				if v == sv {
+					found++
+				}
+			}
+		}
+	}
+	st := inj.Stats()
+	if st.SentinelCells == 0 || found < st.SentinelCells {
+		t.Errorf("found %d sentinel cells in output, stats say %d", found, st.SentinelCells)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("gaps=0.02,dropout=MA1:wear,nan=0.01,tickets-delay=3d,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GapRate != 0.02 || cfg.NaNRate != 0.01 || cfg.TicketDelayDays != 3 || cfg.Seed != 11 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if len(cfg.Dropout) != 1 || cfg.Dropout[0].Model != smart.MA1 ||
+		cfg.Dropout[0].Attr != smart.MWI || cfg.Dropout[0].Rate != 1 {
+		t.Errorf("dropout parsed as %+v", cfg.Dropout)
+	}
+	if !cfg.Enabled() {
+		t.Error("parsed config not Enabled")
+	}
+
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Errorf("empty spec: cfg %+v err %v", cfg, err)
+	}
+	if cfg, err := ParseSpec("dropout=MC2:RER:0.25,tickets-drop=0.5"); err != nil {
+		t.Fatal(err)
+	} else if cfg.Dropout[0].Rate != 0.25 || cfg.TicketDropRate != 0.5 {
+		t.Errorf("parsed %+v", cfg)
+	}
+
+	bad := []string{
+		"gaps=2",          // rate out of range
+		"gaps=",           // empty value
+		"bogus=1",         // unknown operator
+		"nan=abc",         // not a number
+		"gaps=NaN",        // non-finite rate
+		"dropout=MA1",     // missing attr
+		"dropout=MX9:MWI", // unknown model
+		"dropout=MA1:ZZZ", // unknown attr
+		"tickets-delay=x",
+		"tickets-delay=-1d",
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted bad input", s)
+		}
+	}
+}

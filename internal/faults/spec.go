@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/smart"
+)
+
+// attrAliases maps informal attribute names accepted in -faults specs
+// to catalog attributes, beyond the canonical short names of Table I.
+var attrAliases = map[string]smart.AttrID{
+	"WEAR":    smart.MWI,
+	"WEAROUT": smart.MWI,
+	"TEMP":    smart.ET,
+}
+
+// ParseSpec parses the -faults flag syntax: a comma-separated list of
+// key=value operators, e.g.
+//
+//	gaps=0.02,dropout=MA1:MWI,nan=0.01,tickets-delay=3d
+//
+// Keys: seed=<int>, gaps=<rate>, nan=<rate>, sentinel=<rate>,
+// stuck=<rate>, dup=<rate>, swap=<rate>, tickets-drop=<rate>,
+// tickets-delay=<N>d, and dropout=<MODEL>:<ATTR>[:<rate>] (repeatable;
+// rate defaults to 1, dropping the attribute from the whole model, as
+// in Table I; "wear" is accepted as an alias for MWI). Rates must lie
+// in [0, 1]. An empty spec returns a zero (disabled) Config.
+func ParseSpec(s string) (Config, error) {
+	var cfg Config
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok || val == "" {
+			return Config{}, fmt.Errorf("faults: malformed operator %q, want key=value", part)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			cfg.Seed = n
+		case "gaps":
+			if err := parseRate(key, val, &cfg.GapRate); err != nil {
+				return Config{}, err
+			}
+		case "nan":
+			if err := parseRate(key, val, &cfg.NaNRate); err != nil {
+				return Config{}, err
+			}
+		case "sentinel":
+			if err := parseRate(key, val, &cfg.SentinelRate); err != nil {
+				return Config{}, err
+			}
+		case "stuck":
+			if err := parseRate(key, val, &cfg.StuckRate); err != nil {
+				return Config{}, err
+			}
+		case "dup":
+			if err := parseRate(key, val, &cfg.DupRate); err != nil {
+				return Config{}, err
+			}
+		case "swap":
+			if err := parseRate(key, val, &cfg.SwapRate); err != nil {
+				return Config{}, err
+			}
+		case "tickets-drop":
+			if err := parseRate(key, val, &cfg.TicketDropRate); err != nil {
+				return Config{}, err
+			}
+		case "tickets-delay":
+			days, err := parseDays(val)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.TicketDelayDays = days
+		case "dropout":
+			d, err := parseDropout(val)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.Dropout = append(cfg.Dropout, d)
+		default:
+			return Config{}, fmt.Errorf("faults: unknown operator %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+func parseRate(key, val string, dst *float64) error {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("faults: bad %s rate %q: %v", key, val, err)
+	}
+	if !(r >= 0 && r <= 1) { // rejects NaN too
+		return fmt.Errorf("faults: %s rate %v out of [0, 1]", key, r)
+	}
+	*dst = r
+	return nil
+}
+
+// parseDays accepts "3d" or a bare integer day count.
+func parseDays(val string) (int, error) {
+	v := strings.TrimSuffix(val, "d")
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("faults: bad tickets-delay %q, want e.g. \"3d\"", val)
+	}
+	return n, nil
+}
+
+// parseDropout parses "<MODEL>:<ATTR>[:<rate>]".
+func parseDropout(val string) (Dropout, error) {
+	parts := strings.Split(val, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Dropout{}, fmt.Errorf("faults: bad dropout %q, want MODEL:ATTR[:rate]", val)
+	}
+	model, err := smart.ParseModel(strings.ToUpper(strings.TrimSpace(parts[0])))
+	if err != nil {
+		return Dropout{}, fmt.Errorf("faults: dropout %q: %v", val, err)
+	}
+	attrName := strings.ToUpper(strings.TrimSpace(parts[1]))
+	attr, err := smart.ParseAttr(attrName)
+	if err != nil {
+		alias, ok := attrAliases[attrName]
+		if !ok {
+			return Dropout{}, fmt.Errorf("faults: dropout %q: %v", val, err)
+		}
+		attr = alias
+	}
+	d := Dropout{Model: model, Attr: attr, Rate: 1}
+	if len(parts) == 3 {
+		if err := parseRate("dropout", parts[2], &d.Rate); err != nil {
+			return Dropout{}, err
+		}
+	}
+	return d, nil
+}

@@ -72,11 +72,12 @@ func (c Config) withDefaults() Config {
 // regNode is one node of a Newton regression tree. Leaves have
 // feature == -1 and carry the leaf weight.
 type regNode struct {
-	feature   int
-	threshold float64
-	left      int
-	right     int
-	weight    float64
+	feature     int
+	threshold   float64
+	left        int
+	right       int
+	weight      float64
+	defaultLeft bool // where rows with a missing (NaN) value go
 }
 
 // regTree is one fitted booster stage.
@@ -91,7 +92,8 @@ func (t *regTree) predict(x []float64) float64 {
 		if nd.feature < 0 {
 			return nd.weight
 		}
-		if x[nd.feature] <= nd.threshold {
+		v := x[nd.feature]
+		if v <= nd.threshold || (v != v && nd.defaultLeft) {
 			i = nd.left
 		} else {
 			i = nd.right
@@ -197,11 +199,12 @@ func (m *Model) growTree(cols [][]float64, order [][]int32, grad, hess []float64
 		// n x features times per level, so a map lookup per sample
 		// would dominate the whole fit.
 		type split struct {
-			feature   int
-			threshold float64
-			gain      float64
-			gl, hl    float64
-			sizeL     int
+			feature     int
+			threshold   float64
+			gain        float64
+			gl, hl      float64
+			sizeL       int
+			defaultLeft bool
 		}
 		// slotOf maps a node id to its frontier slot + 1 (0 = not in
 		// the frontier).
@@ -221,47 +224,132 @@ func (m *Model) growTree(cols [][]float64, order [][]int32, grad, hess []float64
 			has   bool
 		}
 		accs := make([]acc, len(frontier))
+		// Per-node grad/hess/count of the rows whose current feature is
+		// missing (NaN). Missing rows sit in a contiguous tail of each
+		// presorted order, so they are summed in one pass before the
+		// finite scan and each candidate cut is tried with the missing
+		// mass routed to either child (XGBoost's sparsity-aware split).
+		missG := make([]float64, len(frontier))
+		missH := make([]float64, len(frontier))
+		missCnt := make([]int, len(frontier))
 		for f := range cols {
 			col := cols[f]
+			ord := order[f]
+			fin := len(ord)
+			for fin > 0 {
+				v := col[ord[fin-1]]
+				if v == v {
+					break
+				}
+				fin--
+			}
 			for s := range accs {
 				accs[s] = acc{}
 			}
-			for _, i := range order[f] {
+			if fin == len(ord) {
+				// All-finite fast path: identical to the scan that
+				// predates missing-value support, bit for bit.
+				for _, i := range ord {
+					s := slotOf[nodeOf[i]] - 1
+					if s < 0 {
+						continue // sample not in a frontier node
+					}
+					a := &accs[s]
+					fs := &frontier[s]
+					v := col[i]
+					// A split boundary exists before i when the value
+					// changes and both sides are non-empty.
+					if a.has && v != a.lastV && a.cnt > 0 && a.cnt < fs.size {
+						gl, hl := a.g, a.h
+						gr, hr := fs.g-gl, fs.h-hl
+						if hl >= cfg.MinChildWeight && hr >= cfg.MinChildWeight {
+							gain := splitGain(gl, hl, gr, hr, cfg.Lambda) - cfg.Gamma
+							if gain > 0 {
+								if cur := &best[s]; cur.feature < 0 || gain > cur.gain {
+									// For adjacent floats the midpoint
+									// rounds up to v itself, which would
+									// route v-valued rows left while their
+									// grad/hess were summed right; fall
+									// back to lastV so the cut stays
+									// strictly left of v.
+									thr := (a.lastV + v) / 2
+									if thr >= v {
+										thr = a.lastV
+									}
+									*cur = split{
+										feature:   f,
+										threshold: thr,
+										gain:      gain,
+										gl:        gl, hl: hl,
+										sizeL: a.cnt,
+									}
+								}
+							}
+						}
+					}
+					a.g += grad[i]
+					a.h += hess[i]
+					a.cnt++
+					a.lastV = v
+					a.has = true
+				}
+				continue
+			}
+
+			// Missing-aware path. Sum the NaN tail per frontier node…
+			for s := range missG {
+				missG[s], missH[s], missCnt[s] = 0, 0, 0
+			}
+			for _, i := range ord[fin:] {
 				s := slotOf[nodeOf[i]] - 1
 				if s < 0 {
-					continue // sample not in a frontier node
+					continue
+				}
+				missG[s] += grad[i]
+				missH[s] += hess[i]
+				missCnt[s]++
+			}
+			// tryCut records a candidate with the given left-child mass
+			// and missing direction.
+			tryCut := func(s int32, f int, thr, gl, hl float64, sizeL int, missLeft bool) {
+				fs := &frontier[s]
+				gr, hr := fs.g-gl, fs.h-hl
+				if hl < cfg.MinChildWeight || hr < cfg.MinChildWeight {
+					return
+				}
+				gain := splitGain(gl, hl, gr, hr, cfg.Lambda) - cfg.Gamma
+				if gain <= 0 {
+					return
+				}
+				if cur := &best[s]; cur.feature < 0 || gain > cur.gain {
+					*cur = split{
+						feature:   f,
+						threshold: thr,
+						gain:      gain,
+						gl:        gl, hl: hl,
+						sizeL:       sizeL,
+						defaultLeft: missLeft,
+					}
+				}
+			}
+			// …then scan the finite prefix, trying each boundary with
+			// the missing mass on the right (default) and on the left.
+			for _, i := range ord[:fin] {
+				s := slotOf[nodeOf[i]] - 1
+				if s < 0 {
+					continue
 				}
 				a := &accs[s]
 				fs := &frontier[s]
 				v := col[i]
-				// A split boundary exists before i when the value
-				// changes and both sides are non-empty.
-				if a.has && v != a.lastV && a.cnt > 0 && a.cnt < fs.size {
-					gl, hl := a.g, a.h
-					gr, hr := fs.g-gl, fs.h-hl
-					if hl >= cfg.MinChildWeight && hr >= cfg.MinChildWeight {
-						gain := splitGain(gl, hl, gr, hr, cfg.Lambda) - cfg.Gamma
-						if gain > 0 {
-							if cur := &best[s]; cur.feature < 0 || gain > cur.gain {
-								// For adjacent floats the midpoint
-								// rounds up to v itself, which would
-								// route v-valued rows left while their
-								// grad/hess were summed right; fall
-								// back to lastV so the cut stays
-								// strictly left of v.
-								thr := (a.lastV + v) / 2
-								if thr >= v {
-									thr = a.lastV
-								}
-								*cur = split{
-									feature:   f,
-									threshold: thr,
-									gain:      gain,
-									gl:        gl, hl: hl,
-									sizeL: a.cnt,
-								}
-							}
-						}
+				if a.has && v != a.lastV && a.cnt > 0 && a.cnt+missCnt[s] < fs.size {
+					thr := (a.lastV + v) / 2
+					if thr >= v {
+						thr = a.lastV
+					}
+					tryCut(s, f, thr, a.g, a.h, a.cnt, false)
+					if missCnt[s] > 0 {
+						tryCut(s, f, thr, a.g+missG[s], a.h+missH[s], a.cnt+missCnt[s], true)
 					}
 				}
 				a.g += grad[i]
@@ -269,6 +357,15 @@ func (m *Model) growTree(cols [][]float64, order [][]int32, grad, hess []float64
 				a.cnt++
 				a.lastV = v
 				a.has = true
+			}
+			// The finite/missing boundary: every finite value left,
+			// missing right, cut at the node's largest finite value.
+			for s := range accs {
+				a := &accs[s]
+				if !a.has || missCnt[s] == 0 {
+					continue
+				}
+				tryCut(int32(s), f, a.lastV, a.g, a.h, a.cnt, false)
 			}
 		}
 
@@ -293,6 +390,7 @@ func (m *Model) growTree(cols [][]float64, order [][]int32, grad, hess []float64
 			nd.threshold = sp.threshold
 			nd.left = l
 			nd.right = l + 1
+			nd.defaultLeft = sp.defaultLeft
 			childOf[fs.id] = [2]int32{int32(l), int32(l + 1)}
 			split2++
 			m.gain[sp.feature] += sp.gain
@@ -313,7 +411,8 @@ func (m *Model) growTree(cols [][]float64, order [][]int32, grad, hess []float64
 				continue
 			}
 			nd := &t.nodes[id]
-			if cols[nd.feature][i] <= nd.threshold {
+			v := cols[nd.feature][i]
+			if v <= nd.threshold || (v != v && nd.defaultLeft) {
 				nodeOf[i] = ch[0]
 			} else {
 				nodeOf[i] = ch[1]
@@ -402,7 +501,8 @@ func (t *regTree) predictBatchAdd(cols [][]float64, scale float64, out []float64
 				out[i] += scale * nd.weight
 				break
 			}
-			if cols[nd.feature][i] <= nd.threshold {
+			v := cols[nd.feature][i]
+			if v <= nd.threshold || (v != v && nd.defaultLeft) {
 				k = int(nd.left)
 			} else {
 				k = int(nd.right)

@@ -21,6 +21,10 @@ type encodedRegTree struct {
 	Left      []int
 	Right     []int
 	Weight    []float64
+	// DefaultLeft records each internal node's missing-value routing.
+	// Nil in encodings predating missing-value support, which routed
+	// missing right.
+	DefaultLeft []bool
 }
 
 // ErrBadEncoding indicates serialized bytes that do not decode into a
@@ -43,6 +47,7 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 			et.Left = append(et.Left, nd.left)
 			et.Right = append(et.Right, nd.right)
 			et.Weight = append(et.Weight, nd.weight)
+			et.DefaultLeft = append(et.DefaultLeft, nd.defaultLeft)
 		}
 		enc.Trees = append(enc.Trees, et)
 	}
@@ -73,6 +78,9 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		if n == 0 || len(et.Threshold) != n || len(et.Left) != n || len(et.Right) != n || len(et.Weight) != n {
 			return nil, fmt.Errorf("%w: tree %d misaligned", ErrBadEncoding, ti)
 		}
+		if et.DefaultLeft != nil && len(et.DefaultLeft) != n {
+			return nil, fmt.Errorf("%w: tree %d misaligned", ErrBadEncoding, ti)
+		}
 		t := &regTree{nodes: make([]regNode, n)}
 		for i := 0; i < n; i++ {
 			f := et.Feature[i]
@@ -91,6 +99,9 @@ func UnmarshalModel(data []byte) (*Model, error) {
 				left:      et.Left[i],
 				right:     et.Right[i],
 				weight:    et.Weight[i],
+			}
+			if et.DefaultLeft != nil {
+				t.nodes[i].defaultLeft = et.DefaultLeft[i]
 			}
 		}
 		m.trees = append(m.trees, t)

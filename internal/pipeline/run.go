@@ -57,6 +57,9 @@ type Config struct {
 	Workers int
 	// Seed drives the prediction model's randomness.
 	Seed int64
+	// Robust, when non-nil, hardens the run against dirty data (see
+	// RobustOpts). Nil reproduces the legacy pipeline exactly.
+	Robust *RobustOpts
 }
 
 func (c Config) predictor() Predictor {
@@ -198,7 +201,7 @@ func PreparePhase(src dataset.Source, model smart.ModelID, ph Phase, cfg Config)
 
 	selFrame, err := dataset.Frame(src, dataset.FrameOpts{
 		Model: model, DayLo: ph.TrainLo, DayHi: fitHi, NegEvery: cfg.NegEvery,
-		Workers: cfg.Workers,
+		Workers: cfg.Workers, Sanitize: cfg.sanitizeOpts(false),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: selection frame: %w", err)
@@ -227,6 +230,15 @@ func (pd *PhaseData) RunSelector(sel Selector) (PhaseResult, error) {
 	selRes, err := sel.Select(pd.SelFrame, pd.Curve)
 	if err != nil {
 		return PhaseResult{}, err
+	}
+	if rep := pd.cfg.report(); rep != nil {
+		ctx := fmt.Sprintf("model %v test [%d, %d]", pd.model, pd.ph.TestLo, pd.ph.TestHi)
+		for _, entry := range selRes.Dropped {
+			rep.NoteRankerDropped(ctx, entry)
+		}
+		for _, note := range selRes.Notes {
+			rep.NoteFallback(ctx + ": " + note)
+		}
 	}
 	return pd.RunSelection(sel.Name(), selRes)
 }
@@ -257,7 +269,7 @@ func (pd *PhaseData) RunSelection(name string, selRes SelectorResult) (PhaseResu
 			Model: model, DayLo: ph.TrainLo, DayHi: pd.fitHi,
 			NegEvery: groupNegEvery, Features: g.feats, Expand: true,
 			Windows: cfg.Windows, MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
-			Workers: cfg.Workers,
+			Workers: cfg.Workers, Sanitize: cfg.sanitizeOpts(true),
 		})
 		if err != nil && !errors.Is(err, dataset.ErrNoSamples) {
 			return PhaseResult{}, fmt.Errorf("pipeline: training frame: %w", err)
@@ -269,6 +281,7 @@ func (pd *PhaseData) RunSelection(name string, selRes SelectorResult) (PhaseResu
 				Model: model, DayLo: ph.TrainLo, DayHi: pd.fitHi,
 				NegEvery: cfg.NegEvery, Features: g.feats, Expand: true,
 				Windows: cfg.Windows, Workers: cfg.Workers,
+				Sanitize: cfg.sanitizeOpts(true),
 			})
 			if err != nil {
 				return PhaseResult{}, fmt.Errorf("pipeline: fallback training frame: %w", err)
@@ -297,6 +310,7 @@ func (pd *PhaseData) RunSelection(name string, selRes SelectorResult) (PhaseResu
 		return PhaseResult{}, fmt.Errorf("pipeline: test scoring: %w", err)
 	}
 	outcomes := finalizeOutcomes(testOutcomes, thresholds, ph.TestHi)
+	cfg.report().NotePhase(true)
 	return PhaseResult{
 		Selector:   name,
 		Model:      model,
@@ -400,7 +414,7 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 			Model: model, DayLo: lo, DayHi: hi, NegEvery: 1,
 			Features: g.feats, Expand: true, Windows: cfg.Windows,
 			MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
-			Workers: cfg.Workers,
+			Workers: cfg.Workers, Sanitize: cfg.sanitizeOpts(true),
 		})
 		if errors.Is(err, dataset.ErrNoSamples) {
 			continue
@@ -625,16 +639,58 @@ func EvaluateLowMWI(outcomes []DriveOutcome, threshold float64) metrics.Confusio
 // Run executes RunPhase over several phases and merges the drive-level
 // confusions (summing counts, as the paper aggregates its three
 // testing phases).
+//
+// With a robust config, a phase whose selection fails retries with the
+// previous phase's feature selection before the phase is skipped
+// entirely, and every degradation is recorded in the run report; the
+// run errs only when no phase completes. Without one, the first phase
+// error aborts the run (the legacy behavior).
 func Run(src dataset.Source, model smart.ModelID, sel Selector, phases []Phase, cfg Config) ([]PhaseResult, metrics.Confusion, error) {
 	var results []PhaseResult
 	var total metrics.Confusion
+	rep := cfg.report()
+	var prevSel *SelectorResult
+	var firstErr error
 	for _, ph := range phases {
-		res, err := RunPhase(src, model, sel, ph, cfg)
+		res, err := runPhaseWithFallback(src, model, sel, ph, cfg, prevSel)
 		if err != nil {
-			return nil, metrics.Confusion{}, fmt.Errorf("pipeline: model %v phase test [%d, %d]: %w", model, ph.TestLo, ph.TestHi, err)
+			if cfg.Robust == nil {
+				return nil, metrics.Confusion{}, fmt.Errorf("pipeline: model %v phase test [%d, %d]: %w", model, ph.TestLo, ph.TestHi, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			rep.NoteFallback(fmt.Sprintf("model %v test [%d, %d]: phase skipped: %v", model, ph.TestLo, ph.TestHi, err))
+			rep.NotePhase(false)
+			continue
 		}
 		results = append(results, res)
 		total.Merge(res.Confusion)
+		selCopy := res.Selection
+		prevSel = &selCopy
+	}
+	if len(results) == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("no phases")
+		}
+		return nil, metrics.Confusion{}, fmt.Errorf("pipeline: model %v: every phase failed: %w", model, firstErr)
 	}
 	return results, total, nil
+}
+
+// runPhaseWithFallback runs one phase; in robust mode a selection
+// failure retries with the previous phase's selection (recorded as a
+// fallback) before giving up on the phase.
+func runPhaseWithFallback(src dataset.Source, model smart.ModelID, sel Selector, ph Phase, cfg Config, prevSel *SelectorResult) (PhaseResult, error) {
+	pd, err := PreparePhase(src, model, ph, cfg)
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	res, err := pd.RunSelector(sel)
+	if err != nil && cfg.Robust != nil && prevSel != nil {
+		cfg.report().NoteFallback(fmt.Sprintf(
+			"model %v test [%d, %d]: selection failed (%v); reusing previous phase's selection", model, ph.TestLo, ph.TestHi, err))
+		return pd.RunSelection(sel.Name(), *prevSel)
+	}
+	return res, err
 }

@@ -32,6 +32,11 @@ type SelectorResult struct {
 	All []string
 	// Split, when non-nil, assigns per-wear-group feature sets.
 	Split *GroupFeatures
+	// Dropped lists preliminary approaches discarded for failure in
+	// robust mode, each as "<ranker>: <reason>". Empty on clean runs.
+	Dropped []string
+	// Notes lists degradation decisions taken during selection.
+	Notes []string
 }
 
 // Selector abstracts a feature-selection strategy so Exp#1 can compare
@@ -122,12 +127,26 @@ func (w WEFR) Select(fr *frame.Frame, curve survival.Curve) (SelectorResult, err
 	if err != nil {
 		return SelectorResult{}, fmt.Errorf("pipeline: wefr: %w", err)
 	}
-	out := SelectorResult{All: res.Global.Features}
+	out := SelectorResult{All: res.Global.Features, Notes: res.Notes}
+	collectDropped := func(scope string, sel core.Selection) {
+		for _, rr := range sel.Rankers {
+			if rr.Failed {
+				out.Dropped = append(out.Dropped, fmt.Sprintf("%s%s: %s", scope, rr.Name, rr.Err))
+			}
+		}
+	}
+	collectDropped("", res.Global)
 	if res.Split != nil {
 		out.Split = &GroupFeatures{
 			ThresholdMWI: res.Split.ThresholdMWI,
 			Low:          res.Split.Low.Features,
 			High:         res.Split.High.Features,
+		}
+		if res.Split.LowRefit {
+			collectDropped("low group: ", res.Split.Low)
+		}
+		if res.Split.HighRefit {
+			collectDropped("high group: ", res.Split.High)
 		}
 	}
 	return out, nil

@@ -50,12 +50,15 @@ func ArgsortInto(idx []int32, col []float64) {
 	}
 	// Small columns: comparison sort with an index tie-break, which
 	// makes the (unstable) pdqsort result unique and deterministic.
+	// Comparing the floatKey images (not the raw floats) keeps this
+	// path's total order — including NaN placement — identical to the
+	// radix path's, so the cutoff never changes results.
 	slices.SortFunc(idx, func(a, b int32) int {
-		va, vb := col[a], col[b]
+		ka, kb := floatKey(col[a]), floatKey(col[b])
 		switch {
-		case va < vb:
+		case ka < kb:
 			return -1
-		case va > vb:
+		case ka > kb:
 			return 1
 		default:
 			return int(a - b)
@@ -65,8 +68,10 @@ func ArgsortInto(idx []int32, col []float64) {
 
 // floatKey maps a float64 to a uint64 whose unsigned order matches the
 // float's total order: flip all bits of negatives, flip only the sign
-// bit of non-negatives. (NaNs map above +Inf — deterministic, though
-// the pipeline never produces them.)
+// bit of non-negatives. Quiet NaNs map above +Inf, which is the
+// invariant the missing-value-aware tree learners rely on: rows with a
+// missing (NaN) value always form a contiguous tail of each presorted
+// segment.
 func floatKey(v float64) uint64 {
 	u := math.Float64bits(v)
 	if u&(1<<63) != 0 {

@@ -24,7 +24,10 @@ var _ Ranker = MutualInfo{}
 // Name implements Ranker.
 func (MutualInfo) Name() string { return "Mutual Information" }
 
-// Rank implements Ranker. Constant features score 0.
+// Rank implements Ranker. Constant and all-missing features score 0;
+// rows whose value is missing (non-finite) are excluded from that
+// feature's histogram, with the class prior re-estimated over the
+// surviving rows so probabilities stay normalized.
 func (mi MutualInfo) Rank(fr *frame.Frame) (Result, error) {
 	if err := validate(fr); err != nil {
 		return Result{}, err
@@ -34,16 +37,21 @@ func (mi MutualInfo) Rank(fr *frame.Frame) (Result, error) {
 		bins = 16
 	}
 	labels := fr.Labels()
-	n := fr.NumRows()
-	pos := fr.Positives()
-	pY := [2]float64{float64(n-pos) / float64(n), float64(pos) / float64(n)}
 
 	scores := make([]float64, fr.NumFeatures())
 	joint := make([][2]float64, bins)
 	for f := range scores {
 		col := fr.Col(f)
-		minV, maxV := col[0], col[0]
-		for _, v := range col[1:] {
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		finite, posFin := 0, 0
+		for i, v := range col {
+			if v-v != 0 { // non-finite
+				continue
+			}
+			finite++
+			if labels[i] == 1 {
+				posFin++
+			}
 			if v < minV {
 				minV = v
 			}
@@ -51,22 +59,27 @@ func (mi MutualInfo) Rank(fr *frame.Frame) (Result, error) {
 				maxV = v
 			}
 		}
-		if maxV == minV {
+		if finite == 0 || maxV == minV {
+			// All-missing or constant: no information, worst rank.
 			scores[f] = 0
 			continue
 		}
+		pY := [2]float64{float64(finite-posFin) / float64(finite), float64(posFin) / float64(finite)}
 		for b := range joint {
 			joint[b] = [2]float64{}
 		}
 		width := (maxV - minV) / float64(bins)
 		for i, v := range col {
+			if v-v != 0 {
+				continue
+			}
 			b := int((v - minV) / width)
 			if b >= bins {
 				b = bins - 1
 			}
 			joint[b][labels[i]]++
 		}
-		total := float64(n)
+		total := float64(finite)
 		score := 0.0
 		for b := range joint {
 			pX := (joint[b][0] + joint[b][1]) / total

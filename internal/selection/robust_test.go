@@ -1,0 +1,93 @@
+package selection
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// dirtyFrame builds a frame with one informative feature, one constant
+// feature, one all-NaN feature, and one partially missing feature.
+func dirtyFrame(t *testing.T) *frame.Frame {
+	t.Helper()
+	n := 40
+	names := []string{"signal", "constant", "allnan", "partial"}
+	cols := make([][]float64, len(names))
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 1 {
+			labels[i] = 1
+		}
+		signal := float64(i%2)*10 + float64(i%5)
+		partial := signal
+		if i%4 == 0 {
+			partial = math.NaN()
+		}
+		cols[0][i] = signal
+		cols[1][i] = 3.25
+		cols[2][i] = math.NaN()
+		cols[3][i] = partial
+	}
+	fr, err := frame.New(names, cols, labels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// Regression for the satellite fix: constant and all-missing columns
+// must receive a defined worst rank from every ranker — never a NaN
+// rank, which would silently poison the mean-rank aggregation.
+func TestRankersTolerateDegenerateColumns(t *testing.T) {
+	fr := dirtyFrame(t)
+	rankers := append(DefaultRankers(7), MutualInfo{})
+	for _, r := range rankers {
+		res, err := r.Rank(fr)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if len(res.Ranks) != fr.NumFeatures() {
+			t.Fatalf("%s: got %d ranks, want %d", r.Name(), len(res.Ranks), fr.NumFeatures())
+		}
+		for i, rank := range res.Ranks {
+			if rank != rank {
+				t.Errorf("%s: rank[%d] is NaN", r.Name(), i)
+			}
+		}
+		for i, s := range res.Scores {
+			if s != s && i != 2 {
+				// Scores may legitimately be 0 but never NaN; the
+				// all-NaN column (index 2) must score exactly 0.
+				t.Errorf("%s: score[%d] is NaN", r.Name(), i)
+			}
+		}
+		if res.Scores[2] != 0 {
+			t.Errorf("%s: all-NaN column score = %v, want 0", r.Name(), res.Scores[2])
+		}
+		// The informative feature must outrank both degenerate ones.
+		if res.Ranks[0] >= res.Ranks[1] || res.Ranks[0] >= res.Ranks[2] {
+			t.Errorf("%s: signal rank %v not better than degenerate ranks %v, %v",
+				r.Name(), res.Ranks[0], res.Ranks[1], res.Ranks[2])
+		}
+	}
+}
+
+// Statistical rankers must drop missing rows pairwise rather than let a
+// few NaNs zero out an otherwise informative column.
+func TestRankersPairwiseDeletion(t *testing.T) {
+	fr := dirtyFrame(t)
+	for _, r := range []Ranker{Pearson{}, Spearman{}, JIndex{}, MutualInfo{}} {
+		res, err := r.Rank(fr)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if res.Scores[3] <= 0 {
+			t.Errorf("%s: partially missing informative column score = %v, want > 0",
+				r.Name(), res.Scores[3])
+		}
+	}
+}

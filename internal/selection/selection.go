@@ -83,6 +83,35 @@ func resultFromScores(scores []float64) Result {
 	return Result{Scores: scores, Ranks: stats.ScoresToRanks(scores)}
 }
 
+// finiteRows restricts a feature column and the paired target to the
+// rows where the feature value is finite (pairwise deletion). When the
+// column is entirely finite it returns the inputs unchanged — the clean
+// path allocates nothing and is bit-identical to unfiltered behaviour.
+// The buffers are reused across features to avoid per-column allocation.
+func finiteRows(col, y []float64, xbuf, ybuf *[]float64) (xs, ys []float64, filtered bool) {
+	clean := true
+	for _, v := range col {
+		if v-v != 0 { // non-finite (NaN or ±Inf)
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return col, y, false
+	}
+	xs = (*xbuf)[:0]
+	ys = (*ybuf)[:0]
+	for i, v := range col {
+		if v-v != 0 {
+			continue
+		}
+		xs = append(xs, v)
+		ys = append(ys, y[i])
+	}
+	*xbuf, *ybuf = xs, ys
+	return xs, ys, true
+}
+
 // Pearson ranks features by the absolute Pearson correlation between
 // the feature and the target variable.
 type Pearson struct{}
@@ -92,15 +121,23 @@ var _ Ranker = Pearson{}
 // Name implements Ranker.
 func (Pearson) Name() string { return "Pearson" }
 
-// Rank implements Ranker. Constant features score 0.
+// Rank implements Ranker. Constant, all-missing, and otherwise
+// degenerate features score 0 (the defined worst rank); missing values
+// in partially observed features are dropped pairwise.
 func (Pearson) Rank(fr *frame.Frame) (Result, error) {
 	if err := validate(fr); err != nil {
 		return Result{}, err
 	}
 	y := fr.LabelsFloat()
 	scores := make([]float64, fr.NumFeatures())
+	var xbuf, ybuf []float64
 	for i := range scores {
-		r, err := stats.Pearson(fr.Col(i), y)
+		xs, ys, _ := finiteRows(fr.Col(i), y, &xbuf, &ybuf)
+		if len(xs) == 0 {
+			scores[i] = 0
+			continue
+		}
+		r, err := stats.Pearson(xs, ys)
 		switch {
 		case errors.Is(err, stats.ErrZeroVariance):
 			scores[i] = 0
@@ -123,7 +160,10 @@ var _ Ranker = Spearman{}
 // Name implements Ranker.
 func (Spearman) Name() string { return "Spearman" }
 
-// Rank implements Ranker. Constant features score 0.
+// Rank implements Ranker. Constant, all-missing, and otherwise
+// degenerate features score 0 (the defined worst rank); missing values
+// in partially observed features are dropped pairwise, with the target
+// re-ranked over the surviving rows.
 func (Spearman) Rank(fr *frame.Frame) (Result, error) {
 	if err := validate(fr); err != nil {
 		return Result{}, err
@@ -131,8 +171,18 @@ func (Spearman) Rank(fr *frame.Frame) (Result, error) {
 	y := fr.LabelsFloat()
 	yRanks := stats.Ranks(y)
 	scores := make([]float64, fr.NumFeatures())
+	var xbuf, ybuf []float64
 	for i := range scores {
-		r, err := stats.Pearson(stats.Ranks(fr.Col(i)), yRanks)
+		xs, ys, filtered := finiteRows(fr.Col(i), y, &xbuf, &ybuf)
+		if len(xs) == 0 {
+			scores[i] = 0
+			continue
+		}
+		yr := yRanks
+		if filtered {
+			yr = stats.Ranks(ys)
+		}
+		r, err := stats.Pearson(stats.Ranks(xs), yr)
 		switch {
 		case errors.Is(err, stats.ErrZeroVariance):
 			scores[i] = 0
@@ -156,20 +206,33 @@ var _ Ranker = JIndex{}
 // Name implements Ranker.
 func (JIndex) Name() string { return "J-index" }
 
-// Rank implements Ranker.
+// Rank implements Ranker. Rows with a missing (non-finite) value are
+// excluded from that feature's sweep; a feature whose finite rows are
+// single-class or empty scores 0, the defined worst rank.
 func (JIndex) Rank(fr *frame.Frame) (Result, error) {
 	if err := validate(fr); err != nil {
 		return Result{}, err
 	}
 	labels := fr.Labels()
-	pos := fr.Positives()
-	neg := fr.NumRows() - pos
 	scores := make([]float64, fr.NumFeatures())
-	idx := make([]int, fr.NumRows())
+	idx := make([]int, 0, fr.NumRows())
 	for i := range scores {
 		col := fr.Col(i)
-		for k := range idx {
-			idx[k] = k
+		idx = idx[:0]
+		pos := 0
+		for k := range col {
+			if col[k]-col[k] != 0 { // non-finite: not comparable to any threshold
+				continue
+			}
+			idx = append(idx, k)
+			if labels[k] == 1 {
+				pos++
+			}
+		}
+		neg := len(idx) - pos
+		if pos == 0 || neg == 0 {
+			scores[i] = 0
+			continue
 		}
 		sort.Slice(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
 		// Sweep thresholds between distinct values; at each cut,

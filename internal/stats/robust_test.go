@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: NaN scores must not poison rank aggregation. A NaN score
+// historically received an arbitrary input-order-dependent rank, which
+// then flowed NaN-free but wrong into MeanRanks; now NaN always takes
+// the worst ranks.
+func TestScoresToRanksNaNWorst(t *testing.T) {
+	scores := []float64{0.9, math.NaN(), 0.5, math.NaN(), 0.7}
+	ranks := ScoresToRanks(scores)
+	for i, r := range ranks {
+		if r != r {
+			t.Fatalf("rank[%d] is NaN; ranks must always be defined", i)
+		}
+	}
+	// Finite scores rank by importance: 0.9 → 1, 0.7 → 2, 0.5 → 3.
+	if ranks[0] != 1 || ranks[4] != 2 || ranks[2] != 3 {
+		t.Errorf("finite ranks = %v, want [1 _ 3 _ 2]", ranks)
+	}
+	// The two NaNs tie for the worst ranks (4 and 5 → 4.5 each).
+	if ranks[1] != 4.5 || ranks[3] != 4.5 {
+		t.Errorf("NaN ranks = %v, %v, want 4.5, 4.5", ranks[1], ranks[3])
+	}
+}
+
+func TestRanksNaNOrdering(t *testing.T) {
+	xs := []float64{math.NaN(), 2, math.Inf(1), 1, math.NaN()}
+	ranks := Ranks(xs)
+	want := []float64{4.5, 2, 3, 1, 4.5}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks(%v) = %v, want %v", xs, ranks, want)
+		}
+	}
+}
+
+func TestPearsonNonFiniteInput(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3, 4}
+	ys := []float64{0, 1, 0, 1}
+	if _, err := Pearson(xs, ys); err != ErrZeroVariance {
+		t.Errorf("Pearson with NaN input: err = %v, want ErrZeroVariance", err)
+	}
+	if _, err := Pearson([]float64{math.Inf(1), 1, 2}, []float64{0, 1, 0}); err != ErrZeroVariance {
+		t.Errorf("Pearson with Inf input: err = %v, want ErrZeroVariance", err)
+	}
+}
+
+func TestRollingRangeSkipsNonFinite(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3, math.Inf(1), 5}
+	out, err := Rolling(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window at position 2 is {1, NaN, 3}: stats over {1, 3}.
+	if out[2].Mean != 2 || out[2].Min != 1 || out[2].Max != 3 {
+		t.Errorf("window stats = %+v, want mean 2, min 1, max 3", out[2])
+	}
+	// WMA weights keyed to window position: 1*1 + 3*3 over 1+3.
+	if out[2].WMA != 10.0/4 {
+		t.Errorf("WMA = %v, want 2.5", out[2].WMA)
+	}
+	// Window at position 3 is {NaN, 3, +Inf}: stats over {3} alone.
+	if out[3].Mean != 3 || out[3].Std != 0 || out[3].Range != 0 {
+		t.Errorf("window stats = %+v, want degenerate singleton at 3", out[3])
+	}
+}
+
+func TestRollingRangeAllMissingWindow(t *testing.T) {
+	xs := []float64{math.NaN(), math.NaN(), 7}
+	out, err := Rolling(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out[1] // window {NaN, NaN}
+	for name, v := range map[string]float64{
+		"Max": s.Max, "Min": s.Min, "Mean": s.Mean,
+		"Std": s.Std, "Range": s.Range, "WMA": s.WMA,
+	} {
+		if v == v {
+			t.Errorf("all-missing window %s = %v, want NaN", name, v)
+		}
+	}
+	if out[2].Mean != 7 {
+		t.Errorf("window {NaN, 7} mean = %v, want 7", out[2].Mean)
+	}
+}

@@ -173,19 +173,31 @@ func ZScores(xs []float64) ([]float64, error) {
 
 // Ranks returns 1-based fractional ranks of xs, assigning tied values the
 // average of the ranks they span (the convention Spearman correlation
-// requires). The smallest value receives rank 1.
+// requires). The smallest value receives rank 1. NaN values sort after
+// every finite value (and +Inf) and tie with each other, so they always
+// occupy the worst ranks instead of producing an input-order-dependent
+// interleaving.
 func Ranks(xs []float64) []float64 {
 	n := len(xs)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	sort.SliceStable(idx, func(a, b int) bool {
+		xa, xb := xs[idx[a]], xs[idx[b]]
+		if xa != xa {
+			return false // NaN never sorts before anything
+		}
+		if xb != xb {
+			return true // everything else sorts before NaN
+		}
+		return xa < xb
+	})
 
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && sameRankValue(xs[idx[j+1]], xs[idx[i]]) {
 			j++
 		}
 		// Average rank for the tie group spanning positions i..j.
@@ -196,6 +208,12 @@ func Ranks(xs []float64) []float64 {
 		i = j + 1
 	}
 	return ranks
+}
+
+// sameRankValue reports whether a and b belong to the same tie group for
+// ranking purposes: equal, or both NaN.
+func sameRankValue(a, b float64) bool {
+	return a == b || (a != a && b != b)
 }
 
 // Pearson returns the Pearson product-moment correlation between xs and
@@ -220,7 +238,13 @@ func Pearson(xs, ys []float64) (float64, error) {
 	if sxx == 0 || syy == 0 {
 		return 0, ErrZeroVariance
 	}
-	return sxy / math.Sqrt(sxx*syy), nil
+	r := sxy / math.Sqrt(sxx*syy)
+	if r != r {
+		// Non-finite input poisoned the accumulators; a correlation is
+		// undefined, which callers treat exactly like zero dispersion.
+		return 0, ErrZeroVariance
+	}
+	return r, nil
 }
 
 // Spearman returns the Spearman rank correlation between xs and ys: the
@@ -292,6 +316,11 @@ func Rolling(xs []float64, window int) ([]RollingStats, error) {
 // requested positions are computed, which is what lets a scoring pass
 // over a short day range skip re-deriving statistics for the entire
 // series history.
+//
+// Non-finite samples (NaN, ±Inf) are skipped: each window's statistics
+// summarize only its finite samples, with weights keyed to the sample's
+// position in the window. A window with no finite samples yields
+// all-NaN stats, which downstream consumers treat as missing.
 func RollingRange(xs []float64, window, from, to int) ([]RollingStats, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrInvalidWindow, window)
@@ -306,10 +335,13 @@ func RollingRange(xs []float64, window, from, to int) ([]RollingStats, error) {
 			lo = 0
 		}
 		var w Welford
-		minV, maxV := xs[lo], xs[lo]
+		minV, maxV := math.Inf(1), math.Inf(-1)
 		var num, den float64
 		for j := lo; j <= i; j++ {
 			x := xs[j]
+			if x-x != 0 { // non-finite
+				continue
+			}
 			w.Add(x)
 			if x < minV {
 				minV = x
@@ -320,6 +352,11 @@ func RollingRange(xs []float64, window, from, to int) ([]RollingStats, error) {
 			wt := float64(j - lo + 1)
 			num += x * wt
 			den += wt
+		}
+		if w.Count() == 0 {
+			nan := math.NaN()
+			out[i-from] = RollingStats{Max: nan, Min: nan, Mean: nan, Std: nan, Range: nan, WMA: nan}
+			continue
 		}
 		out[i-from] = RollingStats{
 			Max:   maxV,

@@ -88,14 +88,22 @@ func ComputeAsOf(src dataset.Source, model smart.ModelID, minDrives, asOfDay int
 			col = col[:asOfDay+1]
 		}
 		failed := ref.Failed() && ref.FailDay <= asOfDay
-		lo, hi := col[0], col[0]
-		for _, v := range col[1:] {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range col {
+			if v-v != 0 { // missing (non-finite) observation
+				continue
+			}
 			if v < lo {
 				lo = v
 			}
 			if v > hi {
 				hi = v
 			}
+		}
+		if hi < lo {
+			// No finite MWI observation through asOfDay; the drive
+			// contributes nothing to the curve.
+			continue
 		}
 		lov := int(math.Max(0, math.Floor(lo)))
 		hiv := int(math.Min(levels-1, math.Floor(hi)))

@@ -14,7 +14,11 @@ type Encoded struct {
 	Left      []int
 	Right     []int
 	Prob      []float64
-	NFeatures int
+	// DefaultLeft records, per internal node, where rows with a missing
+	// (NaN) split-feature value are routed. Omitted (nil) in encodings
+	// predating missing-value support, which routed missing right.
+	DefaultLeft []bool
+	NFeatures   int
 }
 
 // ErrBadEncoding indicates an Encoded value that does not describe a
@@ -27,12 +31,13 @@ var ErrBadEncoding = errors.New("tree: bad encoding")
 func (t *Classifier) Export() Encoded {
 	n := len(t.nodes)
 	e := Encoded{
-		Feature:   make([]int, n),
-		Threshold: make([]float64, n),
-		Left:      make([]int, n),
-		Right:     make([]int, n),
-		Prob:      make([]float64, n),
-		NFeatures: t.nFeatures,
+		Feature:     make([]int, n),
+		Threshold:   make([]float64, n),
+		Left:        make([]int, n),
+		Right:       make([]int, n),
+		Prob:        make([]float64, n),
+		DefaultLeft: make([]bool, n),
+		NFeatures:   t.nFeatures,
 	}
 	for i, nd := range t.nodes {
 		e.Feature[i] = nd.feature
@@ -40,6 +45,7 @@ func (t *Classifier) Export() Encoded {
 		e.Left[i] = nd.left
 		e.Right[i] = nd.right
 		e.Prob[i] = nd.prob
+		e.DefaultLeft[i] = nd.defaultLeft
 	}
 	return e
 }
@@ -53,6 +59,9 @@ func Import(e Encoded) (*Classifier, error) {
 		return nil, fmt.Errorf("%w: no nodes", ErrBadEncoding)
 	}
 	if len(e.Threshold) != n || len(e.Left) != n || len(e.Right) != n || len(e.Prob) != n {
+		return nil, fmt.Errorf("%w: misaligned arrays", ErrBadEncoding)
+	}
+	if e.DefaultLeft != nil && len(e.DefaultLeft) != n {
 		return nil, fmt.Errorf("%w: misaligned arrays", ErrBadEncoding)
 	}
 	if e.NFeatures <= 0 {
@@ -81,6 +90,9 @@ func Import(e Encoded) (*Classifier, error) {
 			left:      e.Left[i],
 			right:     e.Right[i],
 			prob:      e.Prob[i],
+		}
+		if e.DefaultLeft != nil {
+			t.nodes[i].defaultLeft = e.DefaultLeft[i]
 		}
 	}
 	return t, nil

@@ -71,12 +71,13 @@ func (c Config) minSplit() int {
 
 // node is one tree node. Leaves have feature == -1.
 type node struct {
-	feature   int     // split feature index, or -1 for a leaf
-	threshold float64 // go left when x[feature] <= threshold
-	left      int     // index of left child in nodes
-	right     int     // index of right child in nodes
-	prob      float64 // leaf: fraction of positive samples
-	samples   int     // training samples that reached this node
+	feature     int     // split feature index, or -1 for a leaf
+	threshold   float64 // go left when x[feature] <= threshold
+	left        int     // index of left child in nodes
+	right       int     // index of right child in nodes
+	prob        float64 // leaf: fraction of positive samples
+	samples     int     // training samples that reached this node
+	defaultLeft bool    // where rows with a missing (NaN) value go
 }
 
 // Classifier is a fitted binary classification tree. It predicts the
@@ -313,7 +314,7 @@ func (b *builder) grow(lo, hi, wTotal, wPos, depth int) int {
 		return nodeIdx
 	}
 
-	feature, threshold, gain, wLeft, wPosLeft := b.bestSplit(lo, hi, wTotal, wPos)
+	feature, threshold, gain, wLeft, wPosLeft, defaultLeft := b.bestSplit(lo, hi, wTotal, wPos)
 	if feature < 0 {
 		return nodeIdx
 	}
@@ -326,6 +327,14 @@ func (b *builder) grow(lo, hi, wTotal, wPos, depth int) int {
 	// mask, and every other feature partitions against the mask (one L1
 	// byte load per row instead of a random float64 column load).
 	//
+	// Rows whose split-feature value is missing (NaN) occupy a
+	// contiguous tail of the segment (floatKey sorts NaN above +Inf);
+	// they follow the node's learned default direction, so the binary
+	// search runs over the finite prefix only and the tail's side mask
+	// is set wholesale. When the default is right, the split feature's
+	// left half is still exactly its prefix and its own partition can be
+	// skipped as in the all-finite case.
+	//
 	// When both children are guaranteed leaves (pure, under the split
 	// minimum, or at the depth limit) no descendant ever reads the
 	// orders, so the partition is skipped outright — for depth-capped
@@ -333,17 +342,42 @@ func (b *builder) grow(lo, hi, wTotal, wPos, depth int) int {
 	wRight, wPosRight := wTotal-wLeft, wPos-wPosLeft
 	col := b.cols[feature]
 	fo := b.ord[feature]
-	nlRows := sort.Search(hi-lo, func(k int) bool { return col[fo[lo+k]] > threshold })
+	missRows := 0
+	for hi-missRows > lo {
+		v := col[fo[hi-missRows-1]]
+		if v == v {
+			break
+		}
+		missRows++
+	}
+	fhi := hi - missRows
+	nlRows := sort.Search(fhi-lo, func(k int) bool { return col[fo[lo+k]] > threshold })
+	if defaultLeft {
+		nlRows += missRows
+	}
 	if !(b.isLeaf(wLeft, wPosLeft, depth+1) && b.isLeaf(wRight, wPosRight, depth+1)) {
-		for k := lo; k < lo+nlRows; k++ {
+		nlFinite := nlRows
+		if defaultLeft {
+			nlFinite -= missRows
+		}
+		for k := lo; k < lo+nlFinite; k++ {
 			b.side[fo[k]] = 1
 		}
-		for k := lo + nlRows; k < hi; k++ {
+		for k := lo + nlFinite; k < fhi; k++ {
 			b.side[fo[k]] = 0
 		}
+		if missRows > 0 {
+			var sv byte
+			if defaultLeft {
+				sv = 1
+			}
+			for k := fhi; k < hi; k++ {
+				b.side[fo[k]] = sv
+			}
+		}
 		for f := range b.ord {
-			if f == feature {
-				continue
+			if f == feature && !(defaultLeft && missRows > 0) {
+				continue // the left half is already this order's prefix
 			}
 			presort.PartitionBySide(b.ord[f], lo, hi, b.side, b.buf)
 		}
@@ -357,6 +391,7 @@ func (b *builder) grow(lo, hi, wTotal, wPos, depth int) int {
 	b.t.nodes[nodeIdx].threshold = threshold
 	b.t.nodes[nodeIdx].left = l
 	b.t.nodes[nodeIdx].right = r
+	b.t.nodes[nodeIdx].defaultLeft = defaultLeft
 	return nodeIdx
 }
 
@@ -373,11 +408,19 @@ func (b *builder) isLeaf(wTotal, wPos, depth int) bool {
 // bestSplit searches the (possibly subsampled) features for the split
 // that maximizes Gini-impurity decrease, scanning each candidate's
 // presorted segment once. It returns feature -1 when no split improves
-// impurity, otherwise the split plus the left half's weighted totals.
-func (b *builder) bestSplit(lo, hi, wTotal, wPos int) (feature int, threshold, gain float64, wLeft, wPosLeft int) {
+// impurity, otherwise the split plus the left half's weighted totals
+// and the default direction for missing values.
+//
+// Features with missing (NaN) values get XGBoost-style sparsity-aware
+// routing: the missing rows sit in a contiguous tail of the presorted
+// segment, and every candidate cut over the finite prefix is evaluated
+// twice — missing routed left and missing routed right — keeping
+// whichever direction yields the larger impurity decrease. A feature
+// with no finite values in the segment is never split on.
+func (b *builder) bestSplit(lo, hi, wTotal, wPos int) (feature int, threshold, gain float64, wLeft, wPosLeft int, defaultLeft bool) {
 	parentImpurity := gini(wPos, wTotal)
 	if parentImpurity == 0 {
-		return -1, 0, 0, 0, 0
+		return -1, 0, 0, 0, 0, false
 	}
 
 	nCand := b.cfg.MaxFeatures
@@ -394,15 +437,96 @@ func (b *builder) bestSplit(lo, hi, wTotal, wPos int) (feature int, threshold, g
 	bestGain := 1e-12 // require strictly positive improvement
 	minLeaf := b.cfg.minLeaf()
 
+	// consider records a candidate cut with the given left totals and
+	// missing-value direction. Shared by the missing-aware scan only;
+	// the all-finite fast path keeps its branch-free inline form.
+	consider := func(f int, thr float64, nl, posL int, missLeft bool) {
+		nr := wTotal - nl
+		if nl < minLeaf || nr < minLeaf {
+			return
+		}
+		g := parentImpurity -
+			(float64(nl)*gini(posL, nl)+float64(nr)*gini(wPos-posL, nr))/float64(wTotal)
+		if g > bestGain {
+			bestGain = g
+			feature = f
+			threshold = thr
+			wLeft = nl
+			wPosLeft = posL
+			defaultLeft = missLeft
+		}
+	}
+
 	for c := 0; c < nCand; c++ {
 		f := b.feat[c]
 		col := b.cols[f]
 		o := b.ord[f]
 
-		// Prefix scan over the presorted segment: after row k, the left
-		// candidate holds every row up to and including k.
+		// Weighted totals of the missing (NaN) tail, if any.
+		missW, missPos := 0, 0
+		fhi := hi
+		for fhi > lo {
+			i := o[fhi-1]
+			if col[i] == col[i] {
+				break
+			}
+			wyv := b.wy[i]
+			wi := int(wyv >> 1)
+			missW += wi
+			missPos += wi * int(wyv&1)
+			fhi--
+		}
+
+		if missW == 0 {
+			// All-finite fast path: identical to the pre-missing-value
+			// scan, so clean data costs (and produces) exactly the same.
+			leftW, leftPos := 0, 0
+			for k := lo; k < hi-1; k++ {
+				i := o[k]
+				wyv := b.wy[i]
+				wi := int(wyv >> 1)
+				leftW += wi
+				leftPos += wi * int(wyv&1)
+				v := col[i]
+				next := col[o[k+1]]
+				if v == next {
+					continue // can't split between equal values
+				}
+				nl := leftW
+				nr := wTotal - leftW
+				if nl < minLeaf || nr < minLeaf {
+					continue
+				}
+				g := parentImpurity -
+					(float64(nl)*gini(leftPos, nl)+float64(nr)*gini(wPos-leftPos, nr))/float64(wTotal)
+				if g > bestGain {
+					bestGain = g
+					feature = f
+					// Midpoint threshold is robust to unseen values
+					// between the two training points. For adjacent
+					// floats the midpoint rounds up to next itself, which
+					// would route next-valued rows left while the scan
+					// counted them right; fall back to v so the cut
+					// always lands strictly left of next.
+					threshold = (v + next) / 2
+					if threshold >= next {
+						threshold = v
+					}
+					wLeft = leftW
+					wPosLeft = leftPos
+					defaultLeft = false
+				}
+			}
+			continue
+		}
+
+		if fhi == lo {
+			continue // every value missing: nothing to split on
+		}
+
+		// Cuts between finite values, trying both default directions.
 		leftW, leftPos := 0, 0
-		for k := lo; k < hi-1; k++ {
+		for k := lo; k < fhi-1; k++ {
 			i := o[k]
 			wyv := b.wy[i]
 			wi := int(wyv >> 1)
@@ -411,37 +535,23 @@ func (b *builder) bestSplit(lo, hi, wTotal, wPos int) (feature int, threshold, g
 			v := col[i]
 			next := col[o[k+1]]
 			if v == next {
-				continue // can't split between equal values
-			}
-			nl := leftW
-			nr := wTotal - leftW
-			if nl < minLeaf || nr < minLeaf {
 				continue
 			}
-			g := parentImpurity -
-				(float64(nl)*gini(leftPos, nl)+float64(nr)*gini(wPos-leftPos, nr))/float64(wTotal)
-			if g > bestGain {
-				bestGain = g
-				feature = f
-				// Midpoint threshold is robust to unseen values
-				// between the two training points. For adjacent
-				// floats the midpoint rounds up to next itself, which
-				// would route next-valued rows left while the scan
-				// counted them right; fall back to v so the cut
-				// always lands strictly left of next.
-				threshold = (v + next) / 2
-				if threshold >= next {
-					threshold = v
-				}
-				wLeft = leftW
-				wPosLeft = leftPos
+			thr := (v + next) / 2
+			if thr >= next {
+				thr = v
 			}
+			consider(f, thr, leftW, leftPos, false)
+			consider(f, thr, leftW+missW, leftPos+missPos, true)
 		}
+		// The finite/missing boundary itself: every finite value left,
+		// missing right, cut at the largest finite value.
+		consider(f, col[o[fhi-1]], wTotal-missW, wPos-missPos, false)
 	}
 	if feature < 0 {
-		return -1, 0, 0, 0, 0
+		return -1, 0, 0, 0, 0, false
 	}
-	return feature, threshold, bestGain, wLeft, wPosLeft
+	return feature, threshold, bestGain, wLeft, wPosLeft, defaultLeft
 }
 
 // gini returns the Gini impurity of a node with pos positives among n.
@@ -454,7 +564,8 @@ func gini(pos, n int) float64 {
 }
 
 // PredictProba returns the positive-class probability for one sample
-// given as a row-major feature vector of length NumFeatures.
+// given as a row-major feature vector of length NumFeatures. Missing
+// (NaN) feature values follow each node's learned default direction.
 func (t *Classifier) PredictProba(x []float64) float64 {
 	i := 0
 	for {
@@ -462,7 +573,8 @@ func (t *Classifier) PredictProba(x []float64) float64 {
 		if nd.feature < 0 {
 			return nd.prob
 		}
-		if x[nd.feature] <= nd.threshold {
+		v := x[nd.feature]
+		if v <= nd.threshold || (v != v && nd.defaultLeft) {
 			i = nd.left
 		} else {
 			i = nd.right
@@ -495,7 +607,8 @@ func (t *Classifier) PredictProbaBatchAdd(cols [][]float64, out []float64) {
 				out[i] += nd.prob
 				break
 			}
-			if cols[nd.feature][i] <= nd.threshold {
+			v := cols[nd.feature][i]
+			if v <= nd.threshold || (v != v && nd.defaultLeft) {
 				k = nd.left
 			} else {
 				k = nd.right
