@@ -8,12 +8,19 @@
 //	bench -out results.json        # explicit output path
 //	bench -baseline BENCH_old.json # embed a prior run and report speedups
 //	bench -bench forest-fit        # run a single benchmark
+//	bench -quick                   # one iteration per bench (CI smoke)
 //
-// Benchmarks cover the training hot loop (forest-fit, gbdt-fit), batch
-// scoring (forest-predict-batch), the daily fleet-scoring path the
-// pipeline runs per testing phase (phase-score: frame materialization
-// with feature expansion plus model scoring), and the simulator's
-// series generation (series-gen).
+// Benchmarks cover the training hot loop (forest-fit, gbdt-fit, and
+// their histogram-binned variants forest-fit-hist / gbdt-fit-hist),
+// batch scoring (forest-predict-batch), the daily fleet-scoring path
+// the pipeline runs per testing phase (phase-score: frame
+// materialization with feature expansion plus model scoring), and the
+// simulator's series generation (series-gen, series-gen-batch).
+//
+// After a run, the report is diffed against the most recent prior
+// BENCH_*.json in the working directory (by modification time) and a
+// per-benchmark delta table is printed, flagging any benchmark whose
+// ns/op or allocs/op regressed by more than 10%.
 package main
 
 import (
@@ -22,7 +29,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -30,8 +39,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/forest"
 	"repro/internal/gbdt"
+	"repro/internal/hist"
 	"repro/internal/simulate"
 	"repro/internal/smart"
+	"repro/internal/textplot"
 )
 
 // Result is one benchmark's measurement.
@@ -55,12 +66,22 @@ type Report struct {
 }
 
 func main() {
+	// Register the testing flags (test.benchtime et al.) so -quick can
+	// shorten the measurement loop through the standard mechanism.
+	testing.Init()
 	var (
-		out      = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		out      = flag.String("out", "", "output path (default BENCH_<date>.json, suffixed to avoid clobbering)")
 		baseline = flag.String("baseline", "", "prior report to embed and compare against")
 		only     = flag.String("bench", "", "run only the named benchmark")
+		quick    = flag.Bool("quick", false, "run each benchmark for a single iteration (CI smoke test; numbers are noisy)")
 	)
 	flag.Parse()
+	if *quick {
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if err := run(*out, *baseline, *only); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -95,7 +116,7 @@ func run(out, baselinePath, only string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
 		}
-		if base, ok := rep.Baseline[bm.name]; ok && res.NsPerOp > 0 {
+		if base, ok := rep.Baseline[bm.baselineName()]; ok && res.NsPerOp > 0 {
 			res.Speedup = float64(base.NsPerOp) / float64(res.NsPerOp)
 		}
 		rep.Benchmarks[bm.name] = res
@@ -114,7 +135,11 @@ func run(out, baselinePath, only string) error {
 	}
 
 	if out == "" {
-		out = fmt.Sprintf("BENCH_%s.json", rep.Date)
+		out = freshOutPath(rep.Date)
+	}
+	if prior, path, err := latestPriorReport(out); err == nil && prior != nil {
+		fmt.Printf("\ndelta vs %s:\n", path)
+		fmt.Print(deltaTable(rep.Benchmarks, prior.Benchmarks))
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -125,6 +150,95 @@ func run(out, baselinePath, only string) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// freshOutPath picks the default output name, appending a numeric
+// suffix when a same-day report already exists so prior runs are never
+// clobbered.
+func freshOutPath(date string) string {
+	out := fmt.Sprintf("BENCH_%s.json", date)
+	for n := 2; ; n++ {
+		if _, err := os.Stat(out); os.IsNotExist(err) {
+			return out
+		}
+		out = fmt.Sprintf("BENCH_%s.%d.json", date, n)
+	}
+}
+
+// latestPriorReport loads the most recently modified BENCH_*.json in
+// the working directory, excluding the upcoming output path. A nil
+// report (with nil error) means there is no prior run to diff against.
+func latestPriorReport(out string) (*Report, string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return nil, "", err
+	}
+	best := ""
+	var bestMod time.Time
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(out) {
+			continue
+		}
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if best == "" || fi.ModTime().After(bestMod) {
+			best, bestMod = m, fi.ModTime()
+		}
+	}
+	if best == "" {
+		return nil, "", nil
+	}
+	rep, err := readReport(best)
+	if err != nil {
+		return nil, "", err
+	}
+	return &rep, best, nil
+}
+
+// deltaTable renders the per-benchmark comparison against a prior
+// report. Histogram variants (absent from older reports) fall back to
+// their exact-split counterpart's entry. A benchmark whose time or
+// allocation count got more than 10% worse is flagged as a regression.
+func deltaTable(cur, prior map[string]Result) string {
+	var names []string
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows [][]string
+	for _, name := range names {
+		res := cur[name]
+		baseName := name
+		base, ok := prior[baseName]
+		if !ok {
+			baseName = strings.TrimSuffix(name, "-hist")
+			base, ok = prior[baseName]
+		}
+		if !ok || base.NsPerOp <= 0 {
+			rows = append(rows, []string{name, "-", fmt.Sprintf("%d", res.NsPerOp), "-",
+				"-", fmt.Sprintf("%d", res.AllocsPerOp), "-", "new"})
+			continue
+		}
+		nsDelta := 100 * (float64(res.NsPerOp) - float64(base.NsPerOp)) / float64(base.NsPerOp)
+		allocDelta := 0.0
+		if base.AllocsPerOp > 0 {
+			allocDelta = 100 * (float64(res.AllocsPerOp) - float64(base.AllocsPerOp)) / float64(base.AllocsPerOp)
+		}
+		note := ""
+		if baseName != name {
+			note = "vs " + baseName
+		}
+		if nsDelta > 10 || allocDelta > 10 {
+			note = strings.TrimSpace(note + " REGRESSION")
+		}
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%d", base.NsPerOp), fmt.Sprintf("%d", res.NsPerOp), fmt.Sprintf("%+.1f%%", nsDelta),
+			fmt.Sprintf("%d", base.AllocsPerOp), fmt.Sprintf("%d", res.AllocsPerOp), fmt.Sprintf("%+.1f%%", allocDelta),
+			note})
+	}
+	return textplot.Table([]string{"Benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs", ""}, rows)
 }
 
 func readReport(path string) (Report, error) {
@@ -139,16 +253,31 @@ func readReport(path string) (Report, error) {
 
 // --- benchmark definitions ---
 
-var benches = []struct {
+// bench pairs a benchmark with an optional baseline alias: histogram
+// variants compare against their exact-split counterpart's entry in
+// older reports that predate the hist path.
+type bench struct {
 	name string
 	fn   func(b *testing.B)
-}{
-	{"forest-fit", benchForestFit},
-	{"forest-predict-batch", benchForestPredictBatch},
-	{"gbdt-fit", benchGBDTFit},
-	{"phase-score", benchPhaseScore},
-	{"series-gen", benchSeriesGen},
-	{"series-gen-batch", benchSeriesGenBatch},
+	base string
+}
+
+func (bm bench) baselineName() string {
+	if bm.base != "" {
+		return bm.base
+	}
+	return bm.name
+}
+
+var benches = []bench{
+	{name: "forest-fit", fn: benchForestFit},
+	{name: "forest-fit-hist", fn: benchForestFitHist, base: "forest-fit"},
+	{name: "forest-predict-batch", fn: benchForestPredictBatch},
+	{name: "gbdt-fit", fn: benchGBDTFit},
+	{name: "gbdt-fit-hist", fn: benchGBDTFitHist, base: "gbdt-fit"},
+	{name: "phase-score", fn: benchPhaseScore},
+	{name: "series-gen", fn: benchSeriesGen},
+	{name: "series-gen-batch", fn: benchSeriesGenBatch},
 }
 
 // synthData builds a deterministic frame-shaped dataset: one signal
@@ -197,6 +326,20 @@ func benchForestFit(b *testing.B) {
 	}
 }
 
+// benchForestFitHist measures the same forest training with the
+// histogram-binned split search (internal/hist).
+func benchForestFitHist(b *testing.B) {
+	cols, y := synthData(4000, 60, 1)
+	cfg := forest.Config{NumTrees: 30, MaxDepth: 12, Seed: 1, SplitMethod: hist.SplitHist}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Fit(cols, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchForestPredictBatch measures fleet-wide batch scoring with a
 // fitted forest.
 func benchForestPredictBatch(b *testing.B) {
@@ -219,6 +362,20 @@ func benchForestPredictBatch(b *testing.B) {
 func benchGBDTFit(b *testing.B) {
 	cols, y := synthData(3000, 60, 4)
 	cfg := gbdt.Config{NumRounds: 25, MaxDepth: 6, Eta: 0.3, Lambda: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbdt.Fit(cols, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGBDTFitHist measures the same boosted-tree training with the
+// histogram-binned split search (internal/hist).
+func benchGBDTFitHist(b *testing.B) {
+	cols, y := synthData(3000, 60, 4)
+	cfg := gbdt.Config{NumRounds: 25, MaxDepth: 6, Eta: 0.3, Lambda: 1, SplitMethod: hist.SplitHist}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -296,10 +453,11 @@ func benchSeriesGen(b *testing.B) {
 	}
 }
 
-// benchSeriesGenBatch measures SeriesAll: the same generation fanned
-// across GOMAXPROCS workers with all series materialized at once. On a
-// single-CPU host it degenerates to the serial loop plus the cost of
-// holding the whole fleet's series live.
+// benchSeriesGenBatch measures SeriesAllBuf in the steady state of a
+// repeated whole-fleet regeneration (the phase loop's usage): the same
+// generation fanned across GOMAXPROCS workers with all series
+// materialized at once, regenerating into a reused SeriesBuf so the
+// fleet's column storage is allocated once, not per batch.
 func benchSeriesGenBatch(b *testing.B) {
 	fleet, err := simulate.New(simulate.Config{TotalDrives: 600, Seed: 9})
 	if err != nil {
@@ -309,10 +467,11 @@ func benchSeriesGenBatch(b *testing.B) {
 	for _, m := range smart.AllModels() {
 		drives = append(drives, fleet.DrivesOf(m)...)
 	}
+	var buf simulate.SeriesBuf
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, s := range fleet.SeriesAll(drives, 0) {
+		for _, s := range fleet.SeriesAllBuf(drives, 0, &buf) {
 			if s.LastDay < -1 {
 				b.Fatal("bad series")
 			}

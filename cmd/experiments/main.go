@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/hist"
 	"repro/internal/smart"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		depth     = flag.Int("depth", 0, "prediction forest depth override (paper: 13)")
 		phases    = flag.Int("phases", 0, "testing phase count (0 = all three)")
 		workers   = flag.Int("workers", 0, "parallel workers for extraction/fitting/scoring (0 = GOMAXPROCS, 1 = serial; results identical)")
+		splitStr  = flag.String("split-method", "exact", "tree split search: exact (presorted, bit-stable) or hist (histogram-binned, faster)")
 		models    = flag.String("models", "", "comma-separated drive models to restrict to (empty = all six)")
 		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "gaps=0.02,dropout=MA1:wear,nan=0.01,tickets-delay=3d" (implies -robust)`)
 		robust    = flag.Bool("robust", false, "run pipelines in robust (sanitizing, degrading) mode")
@@ -74,6 +76,7 @@ func main() {
 		drives: *drives, rounds: *rounds, trees: *trees, depth: *depth,
 		phases: *phases, workers: *workers,
 		models: *models, faults: *faultSpec, report: *report, robust: *robust,
+		splitMethod: *splitStr,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -89,7 +92,7 @@ func main() {
 // exercised by tests without a flag.FlagSet.
 type flagValues struct {
 	drives, rounds, trees, depth, phases, workers int
-	models, faults, report                        string
+	models, faults, report, splitMethod           string
 	robust                                        bool
 }
 
@@ -111,6 +114,11 @@ func applyFlags(cfg *experiments.Config, fv flagValues) error {
 	case fv.workers < 0:
 		return fmt.Errorf("-workers must be >= 0, got %d", fv.workers)
 	}
+	sm, err := hist.ParseSplitMethod(fv.splitMethod)
+	if err != nil {
+		return err
+	}
+	cfg.SplitMethod = sm
 	cfg.Robust = fv.robust
 	if fv.models != "" {
 		ms, err := parseModels(fv.models)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/forest"
 	"repro/internal/gbdt"
+	"repro/internal/hist"
 	"repro/internal/pipeline"
 	"repro/internal/selection"
 	"repro/internal/simulate"
@@ -38,17 +39,22 @@ func main() {
 		trees    = flag.Int("trees", 100, "prediction forest size")
 		depth    = flag.Int("depth", 13, "prediction forest depth")
 		useGBDT  = flag.Bool("gbdt", false, "use the gradient-boosted predictor instead of Random Forest")
+		splitStr = flag.String("split-method", "exact", "tree split search: exact (presorted, bit-stable) or hist (histogram-binned, faster)")
 	)
 	flag.Parse()
 
-	if err := run(*model, *selName, *percent, *drives, *seed, *afrScale, *trees, *depth, *useGBDT); err != nil {
+	if err := run(*model, *selName, *percent, *drives, *seed, *afrScale, *trees, *depth, *useGBDT, *splitStr); err != nil {
 		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, selName string, percent float64, drives int, seed int64, afrScale float64, trees, depth int, useGBDT bool) error {
+func run(modelName, selName string, percent float64, drives int, seed int64, afrScale float64, trees, depth int, useGBDT bool, splitMethod string) error {
 	model, err := smart.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	sm, err := hist.ParseSplitMethod(splitMethod)
 	if err != nil {
 		return err
 	}
@@ -64,8 +70,9 @@ func run(modelName, selName string, percent float64, drives int, seed int64, afr
 	src := dataset.NewCachedSource(dataset.FleetSource{Fleet: fleet})
 
 	cfg := pipeline.Config{
-		Forest: forest.Config{NumTrees: trees, MaxDepth: depth, Seed: seed},
-		Seed:   seed,
+		Forest:      forest.Config{NumTrees: trees, MaxDepth: depth, Seed: seed},
+		SplitMethod: sm,
+		Seed:        seed,
 	}
 	if useGBDT {
 		cfg.Predictor = pipeline.PredictorGBDT

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/hist"
 	"repro/internal/simulate"
 	"repro/internal/smart"
 	"repro/internal/survival"
@@ -42,17 +43,22 @@ func main() {
 		negEvery  = flag.Int("neg-every", 15, "negative drive-day sampling stride")
 		noUpdate  = flag.Bool("no-update", false, "skip the wear-out-updating step")
 		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "gaps=0.02,nan=0.01" (enables robust mode)`)
+		splitStr  = flag.String("split-method", "exact", "tree split search for the ranker ensembles: exact (presorted, bit-stable) or hist (histogram-binned, faster)")
 	)
 	flag.Parse()
 
-	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate, *faultSpec); err != nil {
+	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate, *faultSpec, *splitStr); err != nil {
 		fmt.Fprintf(os.Stderr, "wefr: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool, faultSpec string) error {
+func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool, faultSpec, splitMethod string) error {
 	model, err := smart.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	sm, err := hist.ParseSplitMethod(splitMethod)
 	if err != nil {
 		return err
 	}
@@ -83,7 +89,7 @@ func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, t
 	}
 
 	var injector *faults.Injector
-	coreCfg := core.Config{Seed: seed}
+	coreCfg := core.Config{Seed: seed, SplitMethod: sm}
 	frameOpts := dataset.FrameOpts{Model: model, NegEvery: negEvery}
 	var counter dataset.DefectCounter
 	if faultCfg.Enabled() {

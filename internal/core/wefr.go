@@ -30,6 +30,7 @@ import (
 	"repro/internal/changepoint"
 	"repro/internal/complexity"
 	"repro/internal/frame"
+	"repro/internal/hist"
 	"repro/internal/selection"
 	"repro/internal/stats"
 	"repro/internal/survival"
@@ -119,6 +120,10 @@ type Config struct {
 	// Seed seeds the default rankers and any randomized ranker
 	// settings.
 	Seed int64
+	// SplitMethod selects the split search of the default tree-based
+	// rankers (exact default, histogram-binned opt-in; see
+	// internal/hist). Ignored when Rankers is set explicitly.
+	SplitMethod hist.SplitMethod
 	// Robust, when non-nil, hardens selection against dirty data: each
 	// preliminary ranker runs under panic recovery and an optional
 	// timeout, and a failing ranker is dropped from the ensemble like a
@@ -140,7 +145,7 @@ type RobustConfig struct {
 
 func (c Config) withDefaults() Config {
 	if c.Rankers == nil {
-		c.Rankers = selection.DefaultRankers(c.Seed)
+		c.Rankers = selection.DefaultRankersSplit(c.Seed, c.SplitMethod)
 	}
 	if c.OutlierZ <= 0 {
 		c.OutlierZ = DefaultOutlierZ

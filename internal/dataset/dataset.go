@@ -21,6 +21,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/simulate"
 	"repro/internal/smart"
+	"repro/internal/stats"
 )
 
 // Errors returned by dataset operations.
@@ -244,9 +245,12 @@ func Frame(src Source, opts FrameOpts) (*frame.Frame, error) {
 	if total == 0 {
 		return nil, fmt.Errorf("%w: model %v days [%d, %d]", ErrNoSamples, opts.Model, opts.DayLo, opts.DayHi)
 	}
+	// One slab for every concatenated column: the chunk lengths are
+	// known, so per-column growth reallocation is pure waste.
 	cols := make([][]float64, len(names))
+	slab := make([]float64, len(names)*total)
 	for i := range cols {
-		cols[i] = make([]float64, 0, total)
+		cols[i] = slab[i*total : i*total : (i+1)*total]
 	}
 	labels := make([]int, 0, total)
 	meta := make([]frame.Meta, 0, total)
@@ -291,32 +295,20 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 		series, missing = sanitizeSeries(series, opts)
 	}
 
-	nCols := len(opts.Features)
-	if opts.Expand {
-		nCols += len(opts.Features) * featgen.NumGenerated(opts.Windows)
-	}
-	maskCols := opts.Sanitize != nil && opts.Sanitize.MissMask
-	if maskCols {
-		nCols += len(opts.Features)
-	}
-	ch := &driveChunk{cols: make([][]float64, nCols)}
-
-	// Expanded columns are generated lazily, only when some sample day
-	// of this drive survives the filters — and only for the requested
-	// day range, not the drive's whole history: a 30-day scoring pass
-	// over a two-year series skips ~96% of the rolling-window work.
-	var expanded [][]float64
-	haveExpanded := false
-
+	// Pass 1: find the surviving sample days. Knowing the row count up
+	// front lets pass 2 fill one exact-size column-major slab instead of
+	// growing every column by per-day appends — previously the dominant
+	// allocation cost of extraction.
 	mwiFeat := smart.Feature{Attr: smart.MWI, Kind: smart.Normalized}
+	mwiCol := series[mwiFeat]
+	var days []int
 	for day := opts.DayLo; day <= hi; day++ {
-		label := ref.Label(day)
-		if label == 0 && (day-ref.ID)%opts.NegEvery != 0 {
+		if ref.Label(day) == 0 && (day-ref.ID)%opts.NegEvery != 0 {
 			continue
 		}
 		mwi := 0.0
-		if mcol, ok := series[mwiFeat]; ok {
-			mwi = mcol[day]
+		if mwiCol != nil {
+			mwi = mwiCol[day]
 		}
 		if opts.MWIBelow > 0 && mwi >= opts.MWIBelow {
 			continue
@@ -328,63 +320,111 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 		if opts.MWIAtLeast > 0 && !(mwi >= opts.MWIAtLeast) {
 			continue
 		}
-		if opts.Expand && !haveExpanded {
-			expanded, err = expandSeriesRange(series, opts.Features, opts.Windows, opts.DayLo, hi)
-			if err != nil {
-				return nil, err
-			}
-			haveExpanded = true
-		}
+		days = append(days, day)
+	}
+	if len(days) == 0 {
+		return nil, nil
+	}
 
-		c := 0
+	// Expanded columns are generated only when some sample day of this
+	// drive survived the filters — and only for the requested day range,
+	// not the drive's whole history: a 30-day scoring pass over a
+	// two-year series skips ~96% of the rolling-window work.
+	var expanded [][]float64
+	if opts.Expand {
+		expanded, err = expandSeriesRange(series, opts.Features, opts.Windows, opts.DayLo, hi)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nCols := len(opts.Features)
+	if opts.Expand {
+		nCols += len(opts.Features) * featgen.NumGenerated(opts.Windows)
+	}
+	maskCols := opts.Sanitize != nil && opts.Sanitize.MissMask
+	if maskCols {
+		nCols += len(opts.Features)
+	}
+	rows := len(days)
+	slab := make([]float64, nCols*rows)
+	ch := &driveChunk{
+		cols:   make([][]float64, nCols),
+		labels: make([]int, rows),
+		meta:   make([]frame.Meta, rows),
+	}
+	for c := range ch.cols {
+		ch.cols[c] = slab[c*rows : (c+1)*rows : (c+1)*rows]
+	}
+
+	// Pass 2: column-major fill.
+	c := 0
+	for _, ft := range opts.Features {
+		col, ok := series[ft]
+		if !ok {
+			return nil, fmt.Errorf("dataset: model %v missing feature %v", opts.Model, ft)
+		}
+		dst := ch.cols[c]
+		for k, day := range days {
+			dst[k] = col[day]
+		}
+		c++
+	}
+	for _, ecol := range expanded {
+		dst := ch.cols[c]
+		for k, day := range days {
+			dst[k] = ecol[day-opts.DayLo]
+		}
+		c++
+	}
+	if maskCols {
 		for _, ft := range opts.Features {
-			col, ok := series[ft]
-			if !ok {
-				return nil, fmt.Errorf("dataset: model %v missing feature %v", opts.Model, ft)
+			dst := ch.cols[c]
+			m := missing[ft]
+			for k, day := range days {
+				if day < len(m) && m[day] {
+					dst[k] = 1
+				}
 			}
-			ch.cols[c] = append(ch.cols[c], col[day])
 			c++
 		}
-		if opts.Expand {
-			for _, ecol := range expanded {
-				ch.cols[c] = append(ch.cols[c], ecol[day-opts.DayLo])
-				c++
-			}
-		}
-		if maskCols {
-			for _, ft := range opts.Features {
-				v := 0.0
-				if m := missing[ft]; day < len(m) && m[day] {
-					v = 1
-				}
-				ch.cols[c] = append(ch.cols[c], v)
-				c++
-			}
-		}
-		ch.labels = append(ch.labels, label)
-		ch.meta = append(ch.meta, frame.Meta{DriveID: ref.ID, Day: day, MWI: mwi})
 	}
-	if len(ch.labels) == 0 {
-		return nil, nil
+	for k, day := range days {
+		mwi := 0.0
+		if mwiCol != nil {
+			mwi = mwiCol[day]
+		}
+		ch.labels[k] = ref.Label(day)
+		ch.meta[k] = frame.Meta{DriveID: ref.ID, Day: day, MWI: mwi}
 	}
 	return ch, nil
 }
 
 // expandSeriesRange generates the statistical columns for each original
 // feature of one drive, restricted to days from..to (column index t is
-// day from+t), ordered per feature then per generated stat.
+// day from+t), ordered per feature then per generated stat. All columns
+// are carved from one slab and the rolling-stats buffer is shared
+// across features, so the per-drive allocation count is constant in the
+// feature count.
 func expandSeriesRange(series map[smart.Feature][]float64, feats []smart.Feature, windows []int, from, to int) ([][]float64, error) {
-	var out [][]float64
-	for _, ft := range feats {
+	nGen := featgen.NumGenerated(windows)
+	width := to - from + 1
+	slab := make([]float64, len(feats)*nGen*width)
+	out := make([][]float64, len(feats)*nGen)
+	for i := range out {
+		out[i] = slab[i*width : (i+1)*width : (i+1)*width]
+	}
+	var scratch []stats.RollingStats
+	for fi, ft := range feats {
 		col, ok := series[ft]
 		if !ok {
 			return nil, fmt.Errorf("dataset: missing feature %v for expansion", ft)
 		}
-		gen, err := featgen.GenerateRange(col, windows, from, to)
+		var err error
+		scratch, err = featgen.GenerateRangeInto(out[fi*nGen:(fi+1)*nGen], col, windows, from, to, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: expand %v: %w", ft, err)
 		}
-		out = append(out, gen...)
 	}
 	return out, nil
 }

@@ -140,7 +140,7 @@ func (h *Harness) Exp1() (Exp1Result, error) {
 
 // wefrConfig assembles the WEFR core configuration from the harness.
 func (h *Harness) wefrConfig() core.Config {
-	cfg := core.Config{Seed: h.cfg.Seed}
+	cfg := core.Config{Seed: h.cfg.Seed, SplitMethod: h.cfg.SplitMethod}
 	if h.cfg.Robust {
 		cfg.Robust = &core.RobustConfig{}
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/forest"
+	"repro/internal/hist"
 	"repro/internal/pipeline"
 	"repro/internal/simulate"
 	"repro/internal/smart"
@@ -47,6 +48,11 @@ type Config struct {
 	// PhaseCount restricts how many of the paper's three testing
 	// phases run (taking the latest ones); 0 means all three.
 	PhaseCount int
+	// SplitMethod selects the tree learners' split search everywhere
+	// the harness trains trees — the prediction models and the
+	// tree-based rankers (exact default, histogram-binned opt-in; see
+	// internal/hist).
+	SplitMethod hist.SplitMethod
 	// Workers bounds the parallelism of frame extraction, forest
 	// fitting, and scoring; 0 means GOMAXPROCS. Results are identical
 	// for any value.
@@ -180,10 +186,11 @@ func (h *Harness) Models() []smart.ModelID { return h.cfg.Models }
 // pipelineConfig assembles the shared pipeline settings.
 func (h *Harness) pipelineConfig() pipeline.Config {
 	cfg := pipeline.Config{
-		Forest:   h.cfg.Forest,
-		NegEvery: h.cfg.NegEvery,
-		Workers:  h.cfg.Workers,
-		Seed:     h.cfg.Seed,
+		Forest:      h.cfg.Forest,
+		NegEvery:    h.cfg.NegEvery,
+		SplitMethod: h.cfg.SplitMethod,
+		Workers:     h.cfg.Workers,
+		Seed:        h.cfg.Seed,
 	}
 	if h.cfg.Robust {
 		cfg.Robust = &pipeline.RobustOpts{

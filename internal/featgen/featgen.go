@@ -89,6 +89,40 @@ func GenerateRange(series []float64, windows []int, from, to int) ([][]float64, 
 	return out, nil
 }
 
+// GenerateRangeInto is GenerateRange writing into caller-provided
+// storage: dst must hold NumGenerated(windows) columns, each of length
+// to-from+1, and scratch (which may be nil) is a reusable rolling-stats
+// buffer that is returned, possibly regrown, for the next call. Other
+// than growing scratch on first use, it allocates nothing.
+func GenerateRangeInto(dst [][]float64, series []float64, windows []int, from, to int, scratch []stats.RollingStats) ([]stats.RollingStats, error) {
+	if len(windows) == 0 {
+		return scratch, ErrNoWindows
+	}
+	width := to - from + 1
+	if len(dst) != NumGenerated(windows) {
+		return scratch, fmt.Errorf("featgen: %d destination columns, need %d", len(dst), NumGenerated(windows))
+	}
+	if cap(scratch) < width {
+		scratch = make([]stats.RollingStats, width)
+	}
+	rs := scratch[:width]
+	for wi, w := range windows {
+		if err := stats.RollingRangeInto(rs, series, w, from, to); err != nil {
+			return scratch, fmt.Errorf("featgen: window %d: %w", w, err)
+		}
+		cols := dst[wi*StatsPerWindow : (wi+1)*StatsPerWindow]
+		for t, r := range rs {
+			cols[0][t] = r.Max
+			cols[1][t] = r.Min
+			cols[2][t] = r.Mean
+			cols[3][t] = r.Std
+			cols[4][t] = r.Range
+			cols[5][t] = r.WMA
+		}
+	}
+	return scratch, nil
+}
+
 // NumGenerated returns the number of generated features per original
 // feature for the given windows.
 func NumGenerated(windows []int) int { return len(windows) * StatsPerWindow }

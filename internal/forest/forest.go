@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/hist"
 	"repro/internal/tree"
 )
 
@@ -44,6 +45,14 @@ type Config struct {
 	Workers int
 	// Seed makes the fit deterministic.
 	Seed int64
+	// SplitMethod selects exact presorted split search (the zero value,
+	// bit-identical to earlier releases) or the histogram-binned path
+	// (see internal/hist), which quantizes the data once and is
+	// typically several times faster at fleet scale.
+	SplitMethod hist.SplitMethod
+	// MaxBins caps per-feature histogram bins (including the missing
+	// bin) on the hist path; 0 means hist.DefaultMaxBins.
+	MaxBins int
 }
 
 // DefaultConfig returns the paper's prediction-model settings: 100
@@ -117,8 +126,20 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
 		seeds[t] = rng.Int63()
 	}
 
-	// Sort every feature once; all trees partition this shared order.
-	ps := tree.Presort(cols)
+	// Shared per-fit training structure: the exact path sorts every
+	// feature once and all trees partition that order; the hist path
+	// quantizes every feature once and all trees share the binned
+	// matrix. Either way the O(features x n log n) preprocessing is
+	// amortized across the whole forest.
+	var (
+		ps *tree.Presorted
+		bm *hist.Matrix
+	)
+	if cfg.SplitMethod == hist.SplitHist {
+		bm = hist.Bin(cols, cfg.MaxBins)
+	} else {
+		ps = tree.Presort(cols)
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -139,9 +160,19 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
 		go func() {
 			defer wg.Done()
 			// One scratch arena per worker, reused across its trees, so
-			// per-tree working orders are allocated workers times total
-			// instead of NumTrees times.
-			sc := tree.NewScratch()
+			// per-tree working memory is allocated workers times total
+			// instead of NumTrees times. Trees depend only on their
+			// pre-drawn bootstrap and seed, so results are bit-identical
+			// at any worker count on both paths.
+			var (
+				sc  *tree.Scratch
+				hsc *tree.HistScratch
+			)
+			if bm != nil {
+				hsc = tree.NewHistScratch()
+			} else {
+				sc = tree.NewScratch()
+			}
 			for t := range work {
 				tc := tree.Config{
 					MaxDepth:       cfg.MaxDepth,
@@ -149,7 +180,15 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Forest, error) {
 					MaxFeatures:    maxFeat,
 					Seed:           seeds[t],
 				}
-				tr, err := tree.FitClassifierPresorted(ps, y, boots[t], tc, sc)
+				var (
+					tr  *tree.Classifier
+					err error
+				)
+				if bm != nil {
+					tr, err = tree.FitClassifierBinned(bm, y, boots[t], tc, hsc)
+				} else {
+					tr, err = tree.FitClassifierPresorted(ps, y, boots[t], tc, sc)
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/hist"
 	"repro/internal/presort"
 )
 
@@ -42,6 +43,14 @@ type Config struct {
 	Gamma float64
 	// MinChildWeight is the minimum hessian sum per child; 0 means 1.
 	MinChildWeight float64
+	// SplitMethod selects exact presorted split search (the zero value,
+	// bit-identical to earlier releases) or the histogram-binned path
+	// (see internal/hist), which quantizes the data once and reuses the
+	// binning across every boosting round.
+	SplitMethod hist.SplitMethod
+	// MaxBins caps per-feature histogram bins (including the missing
+	// bin) on the hist path; 0 means hist.DefaultMaxBins.
+	MaxBins int
 }
 
 // DefaultConfig returns 100 rounds of depth-6 trees with eta 0.3,
@@ -142,6 +151,11 @@ func Fit(cols [][]float64, y []int, cfg Config) (*Model, error) {
 		nFeatures: len(cols),
 		gain:      make([]float64, len(cols)),
 		splits:    make([]int, len(cols)),
+	}
+
+	if cfg.SplitMethod == hist.SplitHist {
+		m.fitHist(cols, y)
+		return m, nil
 	}
 
 	// Presort row indices per feature once (shared sort machinery with

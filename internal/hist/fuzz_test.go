@@ -1,0 +1,112 @@
+package hist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// bytesToFloats decodes a fuzz payload into a float64 column, keeping
+// whatever bit patterns the fuzzer produces — including NaNs (quiet and
+// signaling), ±Inf, and negative zero.
+func bytesToFloats(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out
+}
+
+func floatsToBytes(vals []float64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzBin checks the quantile-cut builder's invariants on arbitrary bit
+// patterns: thresholds strictly increase and end at the column maximum,
+// every row's stored bin matches BinOf, NaNs land in the missing bin,
+// finite rows land in finite bins, and bin order agrees with value
+// order.
+func FuzzBin(f *testing.F) {
+	f.Add(floatsToBytes([]float64{3, 1, 2}), 256)
+	f.Add(floatsToBytes([]float64{math.NaN(), 0, math.Inf(1), math.Inf(-1), math.NaN()}), 4)
+	f.Add(floatsToBytes([]float64{math.Copysign(0, -1), 0, -0.5, math.MaxFloat64}), 2)
+	f.Add(floatsToBytes(make([]float64, 300)), 16) // all-constant
+	f.Add(floatsToBytes([]float64{1, math.Nextafter(1, 2), math.Nextafter(1, 0)}), 256)
+	f.Fuzz(func(t *testing.T, data []byte, maxBins int) {
+		col := bytesToFloats(data)
+		m := Bin([][]float64{col}, maxBins)
+
+		nb := m.FiniteBins(0)
+		maxFinite := math.Inf(-1)
+		nFinite := 0
+		for _, v := range col {
+			if v == v {
+				nFinite++
+				if v > maxFinite {
+					maxFinite = v
+				}
+			}
+		}
+		if nFinite == 0 {
+			if nb != 0 {
+				t.Fatalf("FiniteBins = %d for all-missing column", nb)
+			}
+		} else {
+			if nb == 0 {
+				t.Fatalf("FiniteBins = 0 with %d finite rows", nFinite)
+			}
+			if last := m.Threshold(0, nb-1); last != maxFinite {
+				t.Fatalf("last threshold %v, want column max %v", last, maxFinite)
+			}
+		}
+		for b := 1; b < nb; b++ {
+			if !(m.Threshold(0, b-1) < m.Threshold(0, b)) {
+				t.Fatalf("thresholds not strictly increasing at %d: %v >= %v",
+					b, m.Threshold(0, b-1), m.Threshold(0, b))
+			}
+		}
+
+		bins := m.Bins(0)
+		for i, v := range col {
+			got := int(bins[i])
+			if want := m.BinOf(0, v); got != want {
+				t.Fatalf("row %d (%v): stored bin %d, BinOf %d", i, v, got, want)
+			}
+			if v != v {
+				if got != m.MissingBin(0) {
+					t.Fatalf("NaN row %d in bin %d, want missing %d", i, got, m.MissingBin(0))
+				}
+				continue
+			}
+			if got >= nb {
+				t.Fatalf("finite row %d (%v) in bin %d, finite bins %d", i, v, got, nb)
+			}
+			// Threshold semantics: v <= thr[b] exactly when bin(v) <= b.
+			for b := 0; b < nb; b++ {
+				if (v <= m.Threshold(0, b)) != (got <= b) {
+					t.Fatalf("row %d (%v, bin %d): threshold %d (%v) routing disagrees",
+						i, v, got, b, m.Threshold(0, b))
+				}
+			}
+		}
+
+		// Bin order must agree with value order on finite rows.
+		for i, u := range col {
+			if u != u {
+				continue
+			}
+			for j, v := range col {
+				if v != v {
+					continue
+				}
+				if u < v && bins[i] > bins[j] {
+					t.Fatalf("order violated: %v (bin %d) < %v (bin %d)", u, bins[i], v, bins[j])
+				}
+			}
+		}
+	})
+}

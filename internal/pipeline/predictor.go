@@ -83,7 +83,10 @@ func fitModel(fr *frame.Frame, cfg Config) (probModel, error) {
 	case PredictorGBDT:
 		g := cfg.GBDT
 		if g.NumRounds == 0 {
-			g = gbdt.DefaultConfig()
+			d := gbdt.DefaultConfig()
+			d.SplitMethod = g.SplitMethod
+			d.MaxBins = g.MaxBins
+			g = d
 		}
 		m, err := gbdt.Fit(cols, fr.Labels(), g)
 		if err != nil {

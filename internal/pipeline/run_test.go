@@ -2,12 +2,15 @@ package pipeline
 
 import (
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/forest"
 	"repro/internal/gbdt"
+	"repro/internal/hist"
 	"repro/internal/metrics"
 	"repro/internal/selection"
 	"repro/internal/simulate"
@@ -450,5 +453,58 @@ func TestAUCFromOutcomes(t *testing.T) {
 	// Single class errs.
 	if _, err := AUC(outcomes[:2]); err == nil {
 		t.Error("single-class AUC should fail")
+	}
+}
+
+// TestHistExactEquivalence pins the accuracy contract of the binned
+// split path at pipeline level: running the full WEFR phase with
+// histogram splits must select nearly the same features (top-k overlap
+// >= 0.9) and reach the same drive-level ranking quality (AUC within
+// 0.01) as the exact path.
+func TestHistExactEquivalence(t *testing.T) {
+	src := smallSource(t)
+	ph := StandardPhases(src.Days())[2]
+
+	run := func(m hist.SplitMethod) PhaseResult {
+		cfg := smallCfg()
+		cfg.SplitMethod = m
+		sel := WEFR{Config: core.Config{SplitMethod: m}}
+		res, err := RunPhase(src, smart.MC1, sel, ph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact, binned := run(hist.SplitExact), run(hist.SplitHist)
+
+	inter := 0
+	in := make(map[string]bool, len(exact.Selection.All))
+	for _, f := range exact.Selection.All {
+		in[f] = true
+	}
+	for _, f := range binned.Selection.All {
+		if in[f] {
+			inter++
+		}
+	}
+	denom := len(exact.Selection.All)
+	if len(binned.Selection.All) > denom {
+		denom = len(binned.Selection.All)
+	}
+	if overlap := float64(inter) / float64(denom); overlap < 0.9 {
+		t.Errorf("selection overlap = %v (%d of %d), want >= 0.9\nexact:  %v\nbinned: %v",
+			overlap, inter, denom, exact.Selection.All, binned.Selection.All)
+	}
+
+	aucE, err := AUC(exact.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aucB, err := AUC(binned.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(aucE - aucB); d > 0.01 {
+		t.Errorf("AUC diverged: exact %v, hist %v (|delta| = %v, want <= 0.01)", aucE, aucB, d)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/frame"
 	"repro/internal/gbdt"
+	"repro/internal/hist"
 	"repro/internal/stats"
 )
 
@@ -271,6 +272,9 @@ type RandomForest struct {
 	MaxDepth int
 	// Seed makes ranking deterministic.
 	Seed int64
+	// SplitMethod selects the forest's split search (exact default,
+	// histogram-binned opt-in; see internal/hist).
+	SplitMethod hist.SplitMethod
 }
 
 var _ Ranker = RandomForest{}
@@ -296,7 +300,7 @@ func (r RandomForest) Rank(fr *frame.Frame) (Result, error) {
 		cols[i] = fr.Col(i)
 	}
 	f, err := forest.Fit(cols, fr.Labels(), forest.Config{
-		NumTrees: trees, MaxDepth: depth, Seed: r.Seed,
+		NumTrees: trees, MaxDepth: depth, Seed: r.Seed, SplitMethod: r.SplitMethod,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("selection: random forest: %w", err)
@@ -315,6 +319,9 @@ type XGBoost struct {
 	Rounds int
 	// MaxDepth limits tree depth; 0 means 5.
 	MaxDepth int
+	// SplitMethod selects the booster's split search (exact default,
+	// histogram-binned opt-in; see internal/hist).
+	SplitMethod hist.SplitMethod
 }
 
 var _ Ranker = XGBoost{}
@@ -340,7 +347,7 @@ func (x XGBoost) Rank(fr *frame.Frame) (Result, error) {
 		cols[i] = fr.Col(i)
 	}
 	m, err := gbdt.Fit(cols, fr.Labels(), gbdt.Config{
-		NumRounds: rounds, MaxDepth: depth, Eta: 0.3, Lambda: 1,
+		NumRounds: rounds, MaxDepth: depth, Eta: 0.3, Lambda: 1, SplitMethod: x.SplitMethod,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("selection: xgboost: %w", err)
@@ -355,12 +362,18 @@ func (x XGBoost) Rank(fr *frame.Frame) (Result, error) {
 // DefaultRankers returns the paper's five preliminary approaches with
 // deterministic settings derived from seed.
 func DefaultRankers(seed int64) []Ranker {
+	return DefaultRankersSplit(seed, hist.SplitExact)
+}
+
+// DefaultRankersSplit is DefaultRankers with the tree-based approaches
+// using the given split search method.
+func DefaultRankersSplit(seed int64, m hist.SplitMethod) []Ranker {
 	return []Ranker{
 		Pearson{},
 		Spearman{},
 		JIndex{},
-		RandomForest{Seed: seed},
-		XGBoost{},
+		RandomForest{Seed: seed, SplitMethod: m},
+		XGBoost{SplitMethod: m},
 	}
 }
 

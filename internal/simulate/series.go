@@ -45,9 +45,65 @@ var counterAttrs = map[smart.AttrID]bool{
 	smart.CEC: true, smart.PLP: true,
 }
 
+// slabArena hands out column-sized float64 slices carved from large
+// shared blocks. A drive's series holds dozens of columns; carving
+// them from one slab (or, for batch generation, per-worker multi-drive
+// blocks) cuts the live heap object count — and with it GC mark work —
+// by more than an order of magnitude versus one allocation per column.
+// Blocks are retained: reset makes every block available again, so a
+// long-lived arena regenerates a fleet's series with no fresh heap.
+type slabArena struct {
+	blocks [][]float64 // every block ever allocated, reusable after reset
+	next   int         // blocks[next:] are unused since the last reset
+	free   []float64   // remaining space of the block being carved
+}
+
+// arenaBlock is the batch-generation block size: 256 Ki floats (2 MiB),
+// large enough that a worker allocates ~one object per 15 drives.
+const arenaBlock = 1 << 18
+
+func (a *slabArena) alloc(n int) []float64 {
+	if len(a.free) < n {
+		if a.next < len(a.blocks) && len(a.blocks[a.next]) >= n {
+			a.free = a.blocks[a.next]
+		} else {
+			sz := arenaBlock
+			if n > sz {
+				sz = n
+			}
+			a.free = make([]float64, sz)
+			if a.next < len(a.blocks) {
+				a.blocks[a.next] = a.free
+			} else {
+				a.blocks = append(a.blocks, a.free)
+			}
+		}
+		a.next++
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}
+
+// reset makes every retained block available for carving again. Slices
+// previously handed out alias those blocks and are overwritten by
+// subsequent allocs.
+func (a *slabArena) reset() {
+	a.next = 0
+	a.free = nil
+}
+
 // Series generates the drive's full daily trajectory deterministically
 // from the drive's seed. Calling it twice returns equal data.
 func (f *Fleet) Series(d Drive) *Series {
+	return f.series(d, nil, nil)
+}
+
+// series is Series with an optional shared arena for column storage
+// (nil means a private exact-size slab: every attribute present in the
+// model's spec yields a raw and a normalized column) and an optional
+// prior Series whose struct and column map are recycled.
+func (f *Fleet) series(d Drive, arena *slabArena, recycle *Series) *Series {
 	p := paramsOf[d.Model]
 	spec := smart.MustSpec(d.Model)
 
@@ -58,7 +114,19 @@ func (f *Fleet) Series(d Drive) *Series {
 	n := lastDay + 1
 	rng := rand.New(rand.NewSource(d.seed))
 
-	s := &Series{Drive: d, LastDay: lastDay, cols: make(map[smart.Feature][]float64, 2*len(spec.Attrs))}
+	if arena == nil {
+		arena = &slabArena{free: make([]float64, 2*len(spec.AttrList())*n)}
+	}
+	alloc := func() []float64 { return arena.alloc(n) }
+
+	var s *Series
+	if recycle != nil && recycle.cols != nil {
+		s = recycle
+		s.Drive, s.LastDay = d, lastDay
+		clear(s.cols)
+	} else {
+		s = &Series{Drive: d, LastDay: lastDay, cols: make(map[smart.Feature][]float64, 2*len(spec.Attrs))}
+	}
 	put := func(a smart.AttrID, k smart.Kind, v []float64) {
 		s.cols[smart.Feature{Attr: a, Kind: k}] = v
 	}
@@ -116,8 +184,8 @@ func (f *Fleet) Series(d Drive) *Series {
 
 	// --- Wear state (MWI) ---
 	ageWear := float64(d.AgeDays) * AgeWearFactor
-	mwiN := make([]float64, n)
-	mwiR := make([]float64, n)
+	mwiN := alloc()
+	mwiR := alloc()
 	cycleBudget := 3000.0
 	if spec.Flash == smart.TLC {
 		cycleBudget = 1000
@@ -138,8 +206,8 @@ func (f *Fleet) Series(d Drive) *Series {
 
 	// --- Power-on hours / power cycles ---
 	if spec.HasAttr(smart.POH) {
-		pohR := make([]float64, n)
-		pohN := make([]float64, n)
+		pohR := alloc()
+		pohN := alloc()
 		for t := 0; t < n; t++ {
 			pohR[t] = float64(d.AgeDays+t)*24 + math.Abs(rng.NormFloat64())*2
 			nv := 100 - math.Floor(float64(d.AgeDays+t)/150)
@@ -152,12 +220,12 @@ func (f *Fleet) Series(d Drive) *Series {
 		put(smart.POH, smart.Normalized, pohN)
 	}
 	if spec.HasAttr(smart.PCC) {
-		pccR := make([]float64, n)
+		pccR := alloc()
 		// Power cycles depend on the rack's maintenance history, not
 		// the drive's age: keeping them age-independent prevents PCC
 		// from shadowing POH as an age proxy.
 		cnt := 2 + math.Floor(lognormal(rng, 8, 0.7))
-		pccN := make([]float64, n)
+		pccN := alloc()
 		for t := 0; t < n; t++ {
 			if rng.Float64() < 0.01 {
 				cnt++
@@ -172,8 +240,8 @@ func (f *Fleet) Series(d Drive) *Series {
 	// --- Temperatures ---
 	phase := rng.Float64() * 365
 	genTemp := func() ([]float64, []float64) {
-		raw := make([]float64, n)
-		norm := make([]float64, n)
+		raw := alloc()
+		norm := alloc()
 		base := 32 + rng.NormFloat64()*1.5
 		for t := 0; t < n; t++ {
 			v := base + 4*math.Sin(2*math.Pi*(float64(t)+phase)/365) + rng.NormFloat64()*1.2
@@ -207,8 +275,8 @@ func (f *Fleet) Series(d Drive) *Series {
 		readRate = writeRate * 3
 	}
 	if spec.HasAttr(smart.TLW) {
-		tlw := make([]float64, n)
-		tlwN := make([]float64, n)
+		tlw := alloc()
+		tlwN := alloc()
 		cum := writeRate * float64(d.AgeDays)
 		for t := 0; t < n; t++ {
 			cum += writeRate * (0.5 + rng.Float64())
@@ -219,8 +287,8 @@ func (f *Fleet) Series(d Drive) *Series {
 		put(smart.TLW, smart.Normalized, tlwN)
 	}
 	if spec.HasAttr(smart.TLR) {
-		tlr := make([]float64, n)
-		tlrN := make([]float64, n)
+		tlr := alloc()
+		tlrN := alloc()
 		cum := readRate * float64(d.AgeDays)
 		for t := 0; t < n; t++ {
 			cum += readRate * (0.5 + rng.Float64())
@@ -241,15 +309,18 @@ func (f *Fleet) Series(d Drive) *Series {
 		switch {
 		case a == smart.ARS:
 			if !trivial[smart.ARS] {
-				arsConsumed = counterSeries(rng, n, strength[smart.ARS], scareStrength[smart.ARS], onset, d.FailDay, scareStart, scareEnd, 0)
+				arsConsumed = make([]float64, n) // transient; not part of the returned columns
+				counterSeries(rng, arsConsumed, strength[smart.ARS], scareStrength[smart.ARS], onset, d.FailDay, scareStart, scareEnd, 0)
 			}
 		case trivial[a]:
-			raw, norm := trivialCounter(rng, n, normScale(a))
+			raw, norm := alloc(), alloc()
+			trivialCounter(rng, raw, norm, normScale(a))
 			put(a, smart.Raw, raw)
 			put(a, smart.Normalized, norm)
 		default:
-			raw := counterSeries(rng, n, strength[a], scareStrength[a], onset, d.FailDay, scareStart, scareEnd, backgroundRate(a))
-			norm := make([]float64, n)
+			raw := alloc()
+			counterSeries(rng, raw, strength[a], scareStrength[a], onset, d.FailDay, scareStart, scareEnd, backgroundRate(a))
+			norm := alloc()
 			sc := normScale(a)
 			for t := 0; t < n; t++ {
 				nv := 100 - math.Floor(sc*math.Log1p(raw[t]))
@@ -265,8 +336,8 @@ func (f *Fleet) Series(d Drive) *Series {
 
 	// --- Available reserved space (derived from consumption events) ---
 	if spec.HasAttr(smart.ARS) {
-		arsN := make([]float64, n)
-		arsR := make([]float64, n)
+		arsN := alloc()
+		arsR := alloc()
 		for t := 0; t < n; t++ {
 			consumed := 0.0
 			if arsConsumed != nil {
@@ -294,22 +365,63 @@ func (f *Fleet) Series(d Drive) *Series {
 // trajectory derives solely from its own stored seed, so out[i] equals
 // f.Series(drives[i]) exactly, for any worker count.
 func (f *Fleet) SeriesAll(drives []Drive, workers int) []*Series {
-	out := make([]*Series, len(drives))
+	return f.SeriesAllBuf(drives, workers, nil)
+}
+
+// SeriesBuf holds the reusable storage of batch series generation.
+// Passing the same buf to successive SeriesAllBuf calls regenerates
+// into the prior calls' blocks, Series structs, and column maps instead
+// of fresh heap — a whole-fleet regeneration then allocates almost
+// nothing. The caller must be done with every Series from prior calls
+// through the same buf: structs and columns are recycled in place.
+type SeriesBuf struct {
+	arenas []*slabArena
+	out    []*Series
+}
+
+// SeriesAllBuf is SeriesAll with reusable storage. A nil buf behaves
+// exactly like SeriesAll; values are identical either way — storage
+// reuse never changes a trajectory, which derives solely from the
+// drive's seed.
+func (f *Fleet) SeriesAllBuf(drives []Drive, workers int, buf *SeriesBuf) []*Series {
+	if buf == nil {
+		buf = &SeriesBuf{}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(drives) {
 		workers = len(drives)
 	}
-	if workers <= 1 {
+	if workers < 1 {
+		workers = 1
+	}
+	for len(buf.arenas) < workers {
+		buf.arenas = append(buf.arenas, &slabArena{})
+	}
+	for _, a := range buf.arenas[:workers] {
+		a.reset()
+	}
+	if cap(buf.out) < len(drives) {
+		buf.out = make([]*Series, len(drives))
+	}
+	out := buf.out[:len(drives)]
+
+	// Per-worker arenas pack many drives' columns into few large
+	// blocks, so a whole-fleet batch stays a handful of heap objects
+	// per worker instead of dozens per drive. Values are unchanged:
+	// every trajectory still derives solely from its drive's seed.
+	if workers == 1 {
+		arena := buf.arenas[0]
 		for i, d := range drives {
-			out[i] = f.Series(d)
+			out[i] = f.series(d, arena, out[i])
 		}
 		return out
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		arena := buf.arenas[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -318,7 +430,7 @@ func (f *Fleet) SeriesAll(drives []Drive, workers int) []*Series {
 				if i >= len(drives) {
 					return
 				}
-				out[i] = f.Series(drives[i])
+				out[i] = f.series(drives[i], arena, out[i])
 			}
 		}()
 	}
@@ -326,13 +438,12 @@ func (f *Fleet) SeriesAll(drives []Drive, workers int) []*Series {
 	return out
 }
 
-// counterSeries produces a cumulative event counter: a small background
-// rate, a ramp toward the fail day scaled by rampStrength, and a benign
-// bump in the scare window scaled by scareStrength.
-func counterSeries(rng *rand.Rand, n int, rampStrength, scareStrength float64, onset, failDay, scareStart, scareEnd int, bg float64) []float64 {
-	out := make([]float64, n)
+// counterSeries fills out with a cumulative event counter: a small
+// background rate, a ramp toward the fail day scaled by rampStrength,
+// and a benign bump in the scare window scaled by scareStrength.
+func counterSeries(rng *rand.Rand, out []float64, rampStrength, scareStrength float64, onset, failDay, scareStart, scareEnd int, bg float64) {
 	cum := 0.0
-	for t := 0; t < n; t++ {
+	for t := 0; t < len(out); t++ {
 		lambda := bg
 		if onset >= 0 && t >= onset && rampStrength > 0 {
 			pr := rampProgress(t, onset, failDay)
@@ -344,21 +455,18 @@ func counterSeries(rng *rand.Rand, n int, rampStrength, scareStrength float64, o
 		cum += float64(poisson(rng, lambda))
 		out[t] = cum
 	}
-	return out
 }
 
-// trivialCounter produces the pure-noise pattern of a non-predictive
-// attribute: pending-sector-style values that bump up and spontaneously
-// resolve, uncorrelated with failure by construction.
-func trivialCounter(rng *rand.Rand, n int, sc float64) (raw, norm []float64) {
-	raw = make([]float64, n)
-	norm = make([]float64, n)
+// trivialCounter fills raw/norm with the pure-noise pattern of a
+// non-predictive attribute: pending-sector-style values that bump up
+// and spontaneously resolve, uncorrelated with failure by construction.
+func trivialCounter(rng *rand.Rand, raw, norm []float64, sc float64) {
 	cur := 0.0
 	// Per-drive noisiness: some drives are simply chattier on their
 	// non-predictive counters, giving trees spurious structure to
 	// overfit when such features are not filtered out.
 	jumpRate := 0.012 * math.Exp(rng.NormFloat64()*0.8)
-	for t := 0; t < n; t++ {
+	for t := 0; t < len(raw); t++ {
 		switch {
 		case rng.Float64() < jumpRate:
 			cur += float64(1 + rng.Intn(3))
@@ -372,7 +480,6 @@ func trivialCounter(rng *rand.Rand, n int, sc float64) (raw, norm []float64) {
 		}
 		norm[t] = nv
 	}
-	return raw, norm
 }
 
 // rampProgress is the degradation progress in [0, 1] between onset and

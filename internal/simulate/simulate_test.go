@@ -244,6 +244,30 @@ func TestSeriesAllMatchesSeries(t *testing.T) {
 	}
 }
 
+func TestSeriesAllBufReuse(t *testing.T) {
+	// Regenerating into a reused SeriesBuf must reproduce the exact
+	// same values — recycled blocks never leak one batch's data into
+	// the next — at both worker counts, including a shrinking batch.
+	f := testFleet(t)
+	drives := f.DrivesOf(smart.MC1)[:12]
+	var buf SeriesBuf
+	for _, workers := range []int{1, 4, 1} {
+		got := f.SeriesAllBuf(drives, workers, &buf)
+		for k, d := range drives {
+			want := f.Series(d)
+			for _, ft := range want.Features() {
+				cw, cg := want.Col(ft), got[k].Col(ft)
+				for i := range cw {
+					if cw[i] != cg[i] {
+						t.Fatalf("workers=%d drive %d %v day %d: %v != %v", workers, d.ID, ft, i, cg[i], cw[i])
+					}
+				}
+			}
+		}
+		drives = drives[:len(drives)-2]
+	}
+}
+
 func TestCountersMonotone(t *testing.T) {
 	f := testFleet(t)
 	for _, m := range []smart.ModelID{smart.MA1, smart.MC1} {

@@ -329,6 +329,29 @@ func RollingRange(xs []float64, window, from, to int) ([]RollingStats, error) {
 		return nil, fmt.Errorf("%w: [%d, %d] in input of length %d", ErrInvalidRange, from, to, len(xs))
 	}
 	out := make([]RollingStats, to-from+1)
+	rollingRangeInto(out, xs, window, from, to)
+	return out, nil
+}
+
+// RollingRangeInto is RollingRange writing into a caller-provided
+// buffer, which must have length to-from+1; it allocates nothing.
+// Repeated extraction passes (one per feature per drive) reuse one
+// buffer instead of allocating a fresh result slice each call.
+func RollingRangeInto(out []RollingStats, xs []float64, window, from, to int) error {
+	if window <= 0 {
+		return fmt.Errorf("%w: %d", ErrInvalidWindow, window)
+	}
+	if from < 0 || to >= len(xs) || from > to {
+		return fmt.Errorf("%w: [%d, %d] in input of length %d", ErrInvalidRange, from, to, len(xs))
+	}
+	if len(out) != to-from+1 {
+		return fmt.Errorf("%w: buffer length %d for range [%d, %d]", ErrInvalidRange, len(out), from, to)
+	}
+	rollingRangeInto(out, xs, window, from, to)
+	return nil
+}
+
+func rollingRangeInto(out []RollingStats, xs []float64, window, from, to int) {
 	for i := from; i <= to; i++ {
 		lo := i - window + 1
 		if lo < 0 {
@@ -367,7 +390,6 @@ func RollingRange(xs []float64, window, from, to int) ([]RollingStats, error) {
 			WMA:   num / den,
 		}
 	}
-	return out, nil
 }
 
 // Histogram bins xs into the given number of equal-width bins spanning

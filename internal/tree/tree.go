@@ -400,9 +400,15 @@ func (b *builder) grow(lo, hi, wTotal, wPos, depth int) int {
 // depth limit. grow's early return and the partition-skip for
 // guaranteed-leaf children must agree on this exact predicate.
 func (b *builder) isLeaf(wTotal, wPos, depth int) bool {
+	return leafStop(b.cfg, wTotal, wPos, depth)
+}
+
+// leafStop is the leaf predicate shared by the exact and binned
+// builders, so both paths terminate on identical conditions.
+func leafStop(cfg Config, wTotal, wPos, depth int) bool {
 	return wPos == 0 || wPos == wTotal ||
-		wTotal < b.cfg.minSplit() ||
-		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth)
+		wTotal < cfg.minSplit() ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth)
 }
 
 // bestSplit searches the (possibly subsampled) features for the split
