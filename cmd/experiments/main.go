@@ -52,6 +52,7 @@ func main() {
 		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "gaps=0.02,dropout=MA1:wear,nan=0.01,tickets-delay=3d" (implies -robust)`)
 		robust    = flag.Bool("robust", false, "run pipelines in robust (sanitizing, degrading) mode")
 		report    = flag.String("report", "", `write the robustness run report as JSON to this path ("-" = stdout)`)
+		stageRep  = flag.Bool("stage-report", false, "print per-stage timing and row counts after the experiments")
 	)
 	flag.Parse()
 
@@ -82,7 +83,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(cfg, *exp, *rounds, *report); err != nil {
+	if err := run(cfg, *exp, *rounds, *report, *stageRep); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
@@ -160,7 +161,7 @@ func parseModels(list string) ([]smart.ModelID, error) {
 	return out, nil
 }
 
-func run(cfg experiments.Config, expList string, rounds int, reportPath string) error {
+func run(cfg experiments.Config, expList string, rounds int, reportPath string, stageReport bool) error {
 	ids, err := parseIDs(expList)
 	if err != nil {
 		return err
@@ -199,6 +200,13 @@ func run(cfg experiments.Config, expList string, rounds int, reportPath string) 
 		if err := writeReport(h.ReportSnapshot(), reportPath); err != nil {
 			return fmt.Errorf("report: %w", err)
 		}
+	}
+	if stageReport {
+		fmt.Println("Pipeline stages")
+		fmt.Print(h.StageReport().String())
+		c := h.Store().Counters()
+		fmt.Printf("store: %d upstream fetches, %d drive-days ingested, %d appends, %d snapshots\n",
+			c.SeriesFetches, c.DaysIngested, c.Appends, c.Snapshots)
 	}
 	return nil
 }

@@ -9,6 +9,12 @@
 //	predict -model MC1 -selector wefr
 //	predict -model MB1 -selector spearman -percent 0.3
 //	predict -model MA1 -selector none
+//
+// A trained run can be captured as a versioned model snapshot and
+// later re-scored without retraining:
+//
+//	predict -model MC1 -snapshot save -snapshot-dir artifacts
+//	predict -model MC1 -snapshot load -snapshot-dir artifacts
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/forest"
 	"repro/internal/gbdt"
@@ -28,58 +35,126 @@ import (
 	"repro/internal/textplot"
 )
 
+// options are the CLI parameters of one predict run.
+type options struct {
+	Model       string
+	Selector    string
+	Percent     float64
+	Drives      int
+	Seed        int64
+	AFRScale    float64
+	Trees       int
+	Depth       int
+	UseGBDT     bool
+	SplitMethod string
+	Workers     int
+	// Snapshot selects the artifact mode: "" (train and evaluate),
+	// "save" (train, evaluate, save the last phase's trained model),
+	// or "load" (load a saved model and score the held-out window
+	// without retraining).
+	Snapshot string
+	// SnapshotDir is the registry root directory.
+	SnapshotDir string
+	// SnapshotName overrides the artifact name; empty means
+	// "<model>-<selector>".
+	SnapshotName string
+	// SnapshotVersion picks the version to load; <= 0 means latest.
+	SnapshotVersion int
+}
+
 func main() {
-	var (
-		model    = flag.String("model", "MC1", "drive model")
-		selName  = flag.String("selector", "wefr", "wefr | wefr-noupdate | none | pearson | spearman | jindex | rf | xgb")
-		percent  = flag.Float64("percent", 0.3, "kept fraction for single-approach selectors")
-		drives   = flag.Int("drives", 4000, "synthetic fleet size")
-		seed     = flag.Int64("seed", 1, "seed")
-		afrScale = flag.Float64("afr-scale", 3, "failure densifier")
-		trees    = flag.Int("trees", 100, "prediction forest size")
-		depth    = flag.Int("depth", 13, "prediction forest depth")
-		useGBDT  = flag.Bool("gbdt", false, "use the gradient-boosted predictor instead of Random Forest")
-		splitStr = flag.String("split-method", "exact", "tree split search: exact (presorted, bit-stable) or hist (histogram-binned, faster)")
-	)
+	var o options
+	flag.StringVar(&o.Model, "model", "MC1", "drive model")
+	flag.StringVar(&o.Selector, "selector", "wefr", "wefr | wefr-noupdate | none | pearson | spearman | jindex | rf | xgb")
+	flag.Float64Var(&o.Percent, "percent", 0.3, "kept fraction for single-approach selectors")
+	flag.IntVar(&o.Drives, "drives", 4000, "synthetic fleet size")
+	flag.Int64Var(&o.Seed, "seed", 1, "seed")
+	flag.Float64Var(&o.AFRScale, "afr-scale", 3, "failure densifier")
+	flag.IntVar(&o.Trees, "trees", 100, "prediction forest size")
+	flag.IntVar(&o.Depth, "depth", 13, "prediction forest depth")
+	flag.BoolVar(&o.UseGBDT, "gbdt", false, "use the gradient-boosted predictor instead of Random Forest")
+	flag.StringVar(&o.SplitMethod, "split-method", "exact", "tree split search: exact (presorted, bit-stable) or hist (histogram-binned, faster)")
+	flag.IntVar(&o.Workers, "workers", 0, "parallelism (0 = all cores); results are identical for any value")
+	flag.StringVar(&o.Snapshot, "snapshot", "", "model-snapshot mode: save | load (empty = train and evaluate only)")
+	flag.StringVar(&o.SnapshotDir, "snapshot-dir", "artifacts", "model-snapshot registry directory")
+	flag.StringVar(&o.SnapshotName, "snapshot-name", "", "artifact name (default <model>-<selector>)")
+	flag.IntVar(&o.SnapshotVersion, "snapshot-version", 0, "version to load (0 = latest)")
 	flag.Parse()
 
-	if err := run(*model, *selName, *percent, *drives, *seed, *afrScale, *trees, *depth, *useGBDT, *splitStr); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, selName string, percent float64, drives int, seed int64, afrScale float64, trees, depth int, useGBDT bool, splitMethod string) error {
-	model, err := smart.ParseModel(modelName)
+func run(o options) error {
+	model, err := smart.ParseModel(o.Model)
 	if err != nil {
 		return err
 	}
-	sm, err := hist.ParseSplitMethod(splitMethod)
-	if err != nil {
-		return err
+	switch o.Snapshot {
+	case "", "save":
+		return runTrain(o, model)
+	case "load":
+		return runLoad(o, model)
+	default:
+		return fmt.Errorf("unknown -snapshot mode %q (want save or load)", o.Snapshot)
 	}
-	sel, err := selectorByName(selName, percent, seed)
-	if err != nil {
-		return err
-	}
+}
 
-	fleet, err := simulate.New(simulate.Config{TotalDrives: drives, Seed: seed, AFRScale: afrScale})
-	if err != nil {
-		return err
+// snapshotName resolves the registry artifact name.
+func (o options) snapshotName() string {
+	if o.SnapshotName != "" {
+		return o.SnapshotName
 	}
-	src := dataset.NewCachedSource(dataset.FleetSource{Fleet: fleet})
+	return fmt.Sprintf("%s-%s", o.Model, strings.ToLower(o.Selector))
+}
 
+// newSource builds the synthetic fleet source. The engine's fleet
+// store takes care of caching, so the raw source is returned directly.
+func newSource(o options) (dataset.Source, error) {
+	fleet, err := simulate.New(simulate.Config{TotalDrives: o.Drives, Seed: o.Seed, AFRScale: o.AFRScale})
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FleetSource{Fleet: fleet}, nil
+}
+
+func pipelineConfig(o options) (pipeline.Config, error) {
+	sm, err := hist.ParseSplitMethod(o.SplitMethod)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
 	cfg := pipeline.Config{
-		Forest:      forest.Config{NumTrees: trees, MaxDepth: depth, Seed: seed},
+		Forest:      forest.Config{NumTrees: o.Trees, MaxDepth: o.Depth, Seed: o.Seed},
 		SplitMethod: sm,
-		Seed:        seed,
+		Workers:     o.Workers,
+		Seed:        o.Seed,
 	}
-	if useGBDT {
+	if o.UseGBDT {
 		cfg.Predictor = pipeline.PredictorGBDT
-		cfg.GBDT = gbdt.Config{NumRounds: trees, MaxDepth: min(depth, 6), Eta: 0.3, Lambda: 1}
+		cfg.GBDT = gbdt.Config{NumRounds: o.Trees, MaxDepth: min(o.Depth, 6), Eta: 0.3, Lambda: 1}
+	}
+	return cfg, nil
+}
+
+// runTrain trains and evaluates the three standard phases, optionally
+// saving the last phase's trained model as a versioned snapshot.
+func runTrain(o options, model smart.ModelID) error {
+	sel, err := selectorByName(o.Selector, o.Percent, o.Seed)
+	if err != nil {
+		return err
+	}
+	src, err := newSource(o)
+	if err != nil {
+		return err
+	}
+	cfg, err := pipelineConfig(o)
+	if err != nil {
+		return err
 	}
 	phases := pipeline.StandardPhases(src.Days())
-	fmt.Printf("model %v, selector %s, %d drives, %d phases\n\n", model, sel.Name(), drives, len(phases))
+	fmt.Printf("model %v, selector %s, %d drives, %d phases\n\n", model, sel.Name(), o.Drives, len(phases))
 
 	results, total, err := pipeline.Run(src, model, sel, phases, cfg)
 	if err != nil {
@@ -115,14 +190,69 @@ func run(modelName, selName string, percent float64, drives int, seed int64, afr
 		fmt.Printf("Wear split at MWI_N %.0f\n  low:  %v\n  high: %v\n",
 			last.Selection.Split.ThresholdMWI, last.Selection.Split.Low, last.Selection.Split.High)
 	}
+
+	if o.Snapshot == "save" {
+		snap, err := last.Snapshot()
+		if err != nil {
+			return err
+		}
+		reg := &core.Registry{Dir: o.SnapshotDir}
+		version, err := pipeline.SaveSnapshot(reg, o.snapshotName(), snap)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nSaved model snapshot %s v%d (trained through day %d, config %s) to %s\n",
+			o.snapshotName(), version, snap.TrainedThrough, snap.ConfigHash, o.SnapshotDir)
+	}
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// runLoad scores the held-out window with a saved model snapshot — no
+// selection, training, or calibration happens.
+func runLoad(o options, model smart.ModelID) error {
+	reg := &core.Registry{Dir: o.SnapshotDir}
+	snap, err := pipeline.LoadSnapshot(reg, o.snapshotName(), o.SnapshotVersion)
+	if err != nil {
+		return err
 	}
-	return b
+	if snap.Model != model {
+		return fmt.Errorf("snapshot %s is for model %v, not %v", o.snapshotName(), snap.Model, model)
+	}
+	src, err := newSource(o)
+	if err != nil {
+		return err
+	}
+	phases := pipeline.StandardPhases(src.Days())
+	last := phases[len(phases)-1]
+	fmt.Printf("model %v, snapshot %s (selector %s, trained through day %d, config %s)\n",
+		model, o.snapshotName(), snap.Selector, snap.TrainedThrough, snap.ConfigHash)
+	fmt.Printf("scoring days [%d, %d] without retraining\n\n", last.TestLo, last.TestHi)
+
+	outcomes, err := pipeline.ScoreSnapshot(src, snap, last.TestLo, last.TestHi, pipeline.ScoreOpts{Workers: o.Workers})
+	if err != nil {
+		return err
+	}
+	confusion := pipeline.EvaluateOutcomes(outcomes)
+	auc := "n/a"
+	if v, err := pipeline.AUC(outcomes); err == nil {
+		auc = fmt.Sprintf("%.3f", v)
+	}
+	fmt.Print(textplot.Table(
+		[]string{"Window", "Feats", "Thresh", "TP", "FP", "FN", "P", "R", "F0.5", "AUC"},
+		[][]string{{
+			fmt.Sprintf("[%d, %d]", last.TestLo, last.TestHi),
+			fmt.Sprintf("%d", len(snap.Selection.All)),
+			fmt.Sprintf("%.2f", snap.Thresholds[0]),
+			fmt.Sprintf("%d", confusion.TP),
+			fmt.Sprintf("%d", confusion.FP),
+			fmt.Sprintf("%d", confusion.FN),
+			textplot.Percent(confusion.Precision()),
+			textplot.Percent(confusion.Recall()),
+			textplot.Percent(confusion.F05()),
+			auc,
+		}}))
+	fmt.Printf("\nOverall: %s\n", confusion)
+	return nil
 }
 
 func selectorByName(name string, percent float64, seed int64) (pipeline.Selector, error) {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/simulate"
 	"repro/internal/smart"
+	"repro/internal/store"
 	"repro/internal/survival"
 	"repro/internal/textplot"
 )
@@ -98,6 +99,15 @@ func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, t
 		coreCfg.Robust = &core.RobustConfig{}
 		frameOpts.Sanitize = &dataset.SanitizeOpts{Counter: &counter}
 	}
+
+	// All reads go through an append-only fleet store: one upstream
+	// fetch per drive, shared by the selection frame and the survival
+	// curve.
+	st := store.Open(src, store.Options{})
+	if err := st.AppendThrough(src.Days() - 1); err != nil {
+		return err
+	}
+	src = st.Snapshot()
 
 	fr, err := dataset.Frame(src, frameOpts)
 	if err != nil {

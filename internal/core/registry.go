@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNoArtifact indicates a registry name or version that does not
+// exist.
+var ErrNoArtifact = errors.New("core: no such artifact")
+
+// Registry is a versioned artifact store on the local filesystem:
+// each named artifact is a directory of immutable, monotonically
+// versioned JSON files,
+//
+//	<dir>/<name>/v0001.json
+//	<dir>/<name>/v0002.json
+//	...
+//
+// Save never overwrites — it always writes the next version — so a
+// saved model snapshot can be reproduced exactly later.
+type Registry struct {
+	// Dir is the registry root; created on first Save.
+	Dir string
+}
+
+// validName guards against path traversal in artifact names.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("core: empty artifact name")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("core: artifact name %q: only letters, digits, '-', '_', '.' allowed", name)
+		}
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("core: artifact name %q must not start with '.'", name)
+	}
+	return nil
+}
+
+func versionFile(v int) string { return fmt.Sprintf("v%04d.json", v) }
+
+// Versions returns the artifact's existing versions in ascending
+// order; an unknown name yields an empty list.
+func (r *Registry) Versions(name string) ([]int, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(r.Dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		var v int
+		if n, _ := fmt.Sscanf(e.Name(), "v%04d.json", &v); n == 1 && e.Name() == versionFile(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Save writes data as the artifact's next version and returns the
+// version number assigned (starting at 1).
+func (r *Registry) Save(name string, data []byte) (int, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	versions, err := r.Versions(name)
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	dir := filepath.Join(r.Dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(dir, versionFile(next))
+	// Write-then-rename keeps partially written artifacts invisible.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return next, nil
+}
+
+// Load reads one version of the artifact; version <= 0 loads the
+// latest. It returns the data and the concrete version loaded.
+func (r *Registry) Load(name string, version int) ([]byte, int, error) {
+	if err := validName(name); err != nil {
+		return nil, 0, err
+	}
+	if version <= 0 {
+		versions, err := r.Versions(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(versions) == 0 {
+			return nil, 0, fmt.Errorf("%w: %q", ErrNoArtifact, name)
+		}
+		version = versions[len(versions)-1]
+	}
+	data, err := os.ReadFile(filepath.Join(r.Dir, name, versionFile(version)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, fmt.Errorf("%w: %q v%d", ErrNoArtifact, name, version)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, version, nil
+}

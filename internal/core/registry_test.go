@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegistryVersioning(t *testing.T) {
+	reg := &Registry{Dir: t.TempDir()}
+
+	// Unknown artifact: no versions, load fails.
+	if vs, err := reg.Versions("model"); err != nil || len(vs) != 0 {
+		t.Fatalf("fresh versions = %v, %v", vs, err)
+	}
+	if _, _, err := reg.Load("model", 0); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("load of missing artifact: %v", err)
+	}
+
+	// Saves assign monotone versions and never overwrite.
+	for i, payload := range []string{"one", "two", "three"} {
+		v, err := reg.Save("model", []byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i+1 {
+			t.Fatalf("save %d assigned version %d", i, v)
+		}
+	}
+	vs, err := reg.Versions("model")
+	if err != nil || len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+
+	// version <= 0 loads the latest; explicit versions load exactly.
+	data, v, err := reg.Load("model", 0)
+	if err != nil || v != 3 || string(data) != "three" {
+		t.Fatalf("latest = %q v%d, %v", data, v, err)
+	}
+	data, v, err = reg.Load("model", 1)
+	if err != nil || v != 1 || string(data) != "one" {
+		t.Fatalf("v1 = %q v%d, %v", data, v, err)
+	}
+	if _, _, err := reg.Load("model", 9); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("load of missing version: %v", err)
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	reg := &Registry{Dir: t.TempDir()}
+	for _, bad := range []string{"", "a/b", "..", ".hidden", "a b", "x\x00y"} {
+		if _, err := reg.Save(bad, []byte("x")); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"MC1-wefr", "model_v2", "a.b"} {
+		if _, err := reg.Save(good, []byte("x")); err != nil {
+			t.Errorf("name %q rejected: %v", good, err)
+		}
+	}
+}
+
+func TestRegistryIgnoresForeignFiles(t *testing.T) {
+	reg := &Registry{Dir: t.TempDir()}
+	if _, err := reg.Save("m", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Stray files in the artifact directory are not versions.
+	for _, name := range []string{"notes.txt", "v12.json", "v0002.json.tmp"} {
+		if err := os.WriteFile(filepath.Join(reg.Dir, "m", name), []byte("y"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, err := reg.Versions("m")
+	if err != nil || len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+}

@@ -1,4 +1,4 @@
-package pipeline
+package engine
 
 import (
 	"errors"
@@ -9,7 +9,7 @@ import (
 	"repro/internal/gbdt"
 )
 
-// Predictor selects the prediction-model family the pipeline trains on
+// Predictor selects the prediction-model family the engine trains on
 // the selected features. The paper uses Random Forest (as do the prior
 // studies it follows); the gradient-boosted alternative is provided as
 // an extension and exercised by the ablation benchmarks.
@@ -43,6 +43,9 @@ var ErrUnknownPredictor = errors.New("pipeline: unknown predictor")
 // below.
 type probModel interface {
 	predictAll(cols [][]float64) ([]float64, error)
+	// marshal serializes the trained model for a ModelSnapshot,
+	// returning the family that unmarshal dispatches on.
+	marshal() (family Predictor, data []byte, err error)
 }
 
 // forestModel adapts *forest.Forest to probModel.
@@ -50,6 +53,11 @@ type forestModel struct{ f *forest.Forest }
 
 func (m forestModel) predictAll(cols [][]float64) ([]float64, error) {
 	return m.f.PredictProbaAll(cols)
+}
+
+func (m forestModel) marshal() (Predictor, []byte, error) {
+	data, err := m.f.MarshalBinary()
+	return PredictorForest, data, err
 }
 
 // gbdtModel adapts *gbdt.Model to probModel.
@@ -65,6 +73,31 @@ func (g gbdtModel) predictAll(cols [][]float64) ([]float64, error) {
 	out := make([]float64, len(cols[0]))
 	g.m.PredictProbaBatch(cols, out)
 	return out, nil
+}
+
+func (g gbdtModel) marshal() (Predictor, []byte, error) {
+	data, err := g.m.MarshalBinary()
+	return PredictorGBDT, data, err
+}
+
+// unmarshalModel reconstructs a probModel from its snapshot bytes.
+func unmarshalModel(family Predictor, data []byte) (probModel, error) {
+	switch family {
+	case PredictorForest:
+		f, err := forest.UnmarshalForest(data)
+		if err != nil {
+			return nil, err
+		}
+		return forestModel{f: f}, nil
+	case PredictorGBDT:
+		m, err := gbdt.UnmarshalModel(data)
+		if err != nil {
+			return nil, err
+		}
+		return gbdtModel{m: m}, nil
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPredictor, family)
+	}
 }
 
 // fitModel trains the configured prediction model on an expanded frame.

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/gbdt"
+	"repro/internal/hist"
+	"repro/internal/smart"
+)
+
+// SnapshotFormat is the current ModelSnapshot serialization format.
+// Loaders reject snapshots with a different format number.
+const SnapshotFormat = 1
+
+// ErrSnapshotFormat indicates a snapshot with an incompatible format.
+var ErrSnapshotFormat = errors.New("pipeline: incompatible snapshot format")
+
+// ErrNotSnapshotable indicates a phase result that cannot be captured
+// as a ModelSnapshot (robust-mode runs: their miss-mask columns depend
+// on scoring-time sanitization state, so the trained model is not a
+// self-contained artifact).
+var ErrNotSnapshotable = errors.New("pipeline: phase result not snapshotable")
+
+// GroupSnapshot is one trained wear group inside a ModelSnapshot.
+type GroupSnapshot struct {
+	// Features are the group's selected original features by name.
+	Features []string `json:"features"`
+	// MWIBelow / MWIAtLeast bound the group's wear filter (0 = none).
+	MWIBelow   float64 `json:"mwi_below,omitempty"`
+	MWIAtLeast float64 `json:"mwi_at_least,omitempty"`
+	// Predictor is the trained model family.
+	Predictor Predictor `json:"predictor"`
+	// ModelData is the serialized trained model (gob, base64 in JSON).
+	ModelData []byte `json:"model_data"`
+}
+
+// ModelSnapshot is the versioned, self-contained artifact of a trained
+// phase: the feature selection, the per-group trained models, the
+// calibrated alarm thresholds, and the hash of the config that trained
+// them. It is JSON-serializable and can score new days without
+// retraining (ScoreSnapshot).
+type ModelSnapshot struct {
+	// Format is the serialization format number (SnapshotFormat).
+	Format int `json:"format"`
+	// Model is the drive model the snapshot was trained for.
+	Model smart.ModelID `json:"model"`
+	// ModelName is Model's human-readable name (informational).
+	ModelName string `json:"model_name"`
+	// Selector names the selection strategy that chose the features.
+	Selector string `json:"selector"`
+	// Selection is the full selection result.
+	Selection SelectorResult `json:"selection"`
+	// TrainedThrough is the last training day the models saw.
+	TrainedThrough int `json:"trained_through"`
+	// Groups holds one trained model per wear group.
+	Groups []GroupSnapshot `json:"groups"`
+	// Thresholds are the calibrated per-group alarm thresholds,
+	// parallel to Groups.
+	Thresholds []float64 `json:"thresholds"`
+	// Windows are the feature-generation windows used at training time
+	// (nil = the dataset defaults); scoring must use the same.
+	Windows []int `json:"windows,omitempty"`
+	// ConfigHash fingerprints the training configuration (Config.Hash)
+	// so a loaded snapshot can be checked against the config a caller
+	// expects.
+	ConfigHash string `json:"config_hash"`
+}
+
+// Hash fingerprints the semantically relevant training configuration:
+// two configs with equal hashes train bit-identical models on the same
+// data. Parallelism (Workers) is excluded — results are
+// worker-invariant — as are robustness options (robust runs are not
+// snapshotable).
+func (c Config) Hash() string {
+	c = c.withDefaults()
+	h := struct {
+		Predictor    Predictor
+		Forest       forest.Config
+		GBDT         gbdt.Config
+		NegEvery     int
+		TargetRecall float64
+		ValFraction  float64
+		Windows      []int
+		SplitMethod  hist.SplitMethod
+		MaxBins      int
+		Seed         int64
+	}{
+		Predictor:    c.predictor(),
+		Forest:       c.Forest,
+		GBDT:         c.GBDT,
+		NegEvery:     c.NegEvery,
+		TargetRecall: c.TargetRecall,
+		ValFraction:  c.ValFraction,
+		Windows:      c.Windows,
+		SplitMethod:  c.SplitMethod,
+		MaxBins:      c.MaxBins,
+		Seed:         c.Seed,
+	}
+	// Forest workers are parallelism, not semantics.
+	h.Forest.Workers = 0
+	data, err := json.Marshal(h)
+	if err != nil {
+		// The struct is all plain values; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Snapshot captures the phase's trained artifact as a self-contained
+// ModelSnapshot. It errs for robust-mode runs (ErrNotSnapshotable) and
+// for results not produced by a run (zero PhaseResult).
+func (r *PhaseResult) Snapshot() (*ModelSnapshot, error) {
+	if len(r.groups) == 0 {
+		return nil, fmt.Errorf("%w: result has no trained groups", ErrNotSnapshotable)
+	}
+	if r.cfg.Robust != nil {
+		return nil, fmt.Errorf("%w: robust-mode run", ErrNotSnapshotable)
+	}
+	snap := &ModelSnapshot{
+		Format:         SnapshotFormat,
+		Model:          r.Model,
+		ModelName:      r.Model.String(),
+		Selector:       r.Selector,
+		Selection:      r.Selection,
+		TrainedThrough: r.trainHi,
+		Thresholds:     append([]float64(nil), r.Thresholds...),
+		Windows:        append([]int(nil), r.cfg.Windows...),
+		ConfigHash:     r.cfg.Hash(),
+	}
+	for _, g := range r.groups {
+		family, data, err := g.model.marshal()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: marshal group model: %w", err)
+		}
+		snap.Groups = append(snap.Groups, GroupSnapshot{
+			Features:   append([]string(nil), g.names...),
+			MWIBelow:   g.mwiBelow,
+			MWIAtLeast: g.mwiAtLeast,
+			Predictor:  family,
+			ModelData:  data,
+		})
+	}
+	return snap, nil
+}
+
+// groups reconstructs the trained scoring groups from the snapshot.
+func (s *ModelSnapshot) buildGroups() ([]group, error) {
+	if s.Format != SnapshotFormat {
+		return nil, fmt.Errorf("%w: format %d, want %d", ErrSnapshotFormat, s.Format, SnapshotFormat)
+	}
+	if len(s.Groups) == 0 || len(s.Thresholds) != len(s.Groups) {
+		return nil, fmt.Errorf("pipeline: malformed snapshot: %d groups, %d thresholds", len(s.Groups), len(s.Thresholds))
+	}
+	out := make([]group, len(s.Groups))
+	for i, gs := range s.Groups {
+		feats := make([]smart.Feature, len(gs.Features))
+		for j, n := range gs.Features {
+			ft, err := smart.ParseFeature(n)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: snapshot feature %q: %w", n, err)
+			}
+			feats[j] = ft
+		}
+		m, err := unmarshalModel(gs.Predictor, gs.ModelData)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: snapshot group %d: %w", i, err)
+		}
+		out[i] = group{
+			feats:      feats,
+			names:      gs.Features,
+			mwiBelow:   gs.MWIBelow,
+			mwiAtLeast: gs.MWIAtLeast,
+			model:      m,
+		}
+	}
+	return out, nil
+}
+
+// ScoreOpts configures snapshot scoring.
+type ScoreOpts struct {
+	// Workers bounds scoring parallelism; 0 means GOMAXPROCS. Results
+	// are bit-identical for any value.
+	Workers int
+}
+
+// ScoreSnapshot scores days [lo, hi] of src with a loaded snapshot's
+// trained models and calibrated thresholds — no retraining. The
+// outcomes are bit-identical to what the in-memory PhaseResult that
+// produced the snapshot would report for the same window.
+func ScoreSnapshot(src dataset.Source, snap *ModelSnapshot, lo, hi int, opts ScoreOpts) ([]DriveOutcome, error) {
+	groups, err := snap.buildGroups()
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("pipeline: bad scoring window [%d, %d]", lo, hi)
+	}
+	cfg := Config{Windows: append([]int(nil), snap.Windows...), Workers: opts.Workers}
+	scores, _, err := scorePhase(src, snap.Model, groups, lo, hi, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: snapshot scoring: %w", err)
+	}
+	return finalizeOutcomes(scores, snap.Thresholds, hi), nil
+}
+
+// SaveSnapshot serializes the snapshot into the registry under name
+// and returns the assigned version.
+func SaveSnapshot(reg *core.Registry, name string, snap *ModelSnapshot) (int, error) {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: encode snapshot: %w", err)
+	}
+	return reg.Save(name, data)
+}
+
+// LoadSnapshot loads a snapshot version from the registry; version <= 0
+// loads the latest.
+func LoadSnapshot(reg *core.Registry, name string, version int) (*ModelSnapshot, error) {
+	data, _, err := reg.Load(name, version)
+	if err != nil {
+		return nil, err
+	}
+	var snap ModelSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("pipeline: decode snapshot: %w", err)
+	}
+	if snap.Format != SnapshotFormat {
+		return nil, fmt.Errorf("%w: format %d, want %d", ErrSnapshotFormat, snap.Format, SnapshotFormat)
+	}
+	return &snap, nil
+}

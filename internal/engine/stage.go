@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage names, in canonical execution order.
+const (
+	StageIngest    = "ingest"
+	StageFeaturize = "featurize"
+	StageSelect    = "select"
+	StageTrain     = "train"
+	StageCalibrate = "calibrate"
+	StageScore     = "score"
+	StageEvaluate  = "evaluate"
+)
+
+// stageOrder fixes the display order of merged stage reports.
+var stageOrder = []string{
+	StageIngest, StageFeaturize, StageSelect,
+	StageTrain, StageCalibrate, StageScore, StageEvaluate,
+}
+
+// StageStat is one stage execution's accounting: wall-clock duration
+// and the number of rows it processed (ingested days for Ingest, frame
+// rows for Featurize/Train/Calibrate/Score, selected features for
+// Select, drives for Evaluate).
+type StageStat struct {
+	Stage    string
+	Duration time.Duration
+	Rows     int
+}
+
+// timeStage runs fn as the named stage, recording its duration and row
+// count into stats and the config's shared StageReport (when set). fn
+// runs — and its error propagates — regardless of whether anything
+// collects the stat.
+func timeStage(cfg Config, stats *[]StageStat, name string, fn func() (int, error)) error {
+	start := time.Now()
+	rows, err := fn()
+	st := StageStat{Stage: name, Duration: time.Since(start), Rows: rows}
+	*stats = append(*stats, st)
+	cfg.Stages.add(st)
+	return err
+}
+
+// StageReport accumulates stage stats across every phase run with a
+// config that references it. Safe for concurrent use.
+type StageReport struct {
+	mu    sync.Mutex
+	runs  int
+	bySta map[string]*stageAgg
+}
+
+type stageAgg struct {
+	count    int
+	duration time.Duration
+	rows     int
+}
+
+func (r *StageReport) add(st StageStat) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bySta == nil {
+		r.bySta = make(map[string]*stageAgg)
+	}
+	a := r.bySta[st.Stage]
+	if a == nil {
+		a = &stageAgg{}
+		r.bySta[st.Stage] = a
+	}
+	a.count++
+	a.duration += st.Duration
+	a.rows += st.Rows
+}
+
+// StageTotal is one stage's aggregate across a run.
+type StageTotal struct {
+	Stage    string
+	Count    int
+	Duration time.Duration
+	Rows     int
+}
+
+// Totals returns per-stage aggregates in canonical stage order (any
+// unknown stages follow, alphabetically).
+func (r *StageReport) Totals() []StageTotal {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rank := make(map[string]int, len(stageOrder))
+	for i, s := range stageOrder {
+		rank[s] = i
+	}
+	out := make([]StageTotal, 0, len(r.bySta))
+	for name, a := range r.bySta {
+		out = append(out, StageTotal{Stage: name, Count: a.count, Duration: a.duration, Rows: a.rows})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, iKnown := rank[out[i].Stage]
+		rj, jKnown := rank[out[j].Stage]
+		switch {
+		case iKnown && jKnown:
+			return ri < rj
+		case iKnown:
+			return true
+		case jKnown:
+			return false
+		default:
+			return out[i].Stage < out[j].Stage
+		}
+	})
+	return out
+}
+
+// String renders the report as an aligned table for CLI output.
+func (r *StageReport) String() string {
+	totals := r.Totals()
+	if len(totals) == 0 {
+		return "stage report: no stages recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %12s %12s\n", "stage", "runs", "rows", "time")
+	var sum time.Duration
+	for _, t := range totals {
+		fmt.Fprintf(&b, "%-10s %6d %12d %12s\n", t.Stage, t.Count, t.Rows, t.Duration.Round(time.Millisecond))
+		sum += t.Duration
+	}
+	fmt.Fprintf(&b, "%-10s %6s %12s %12s\n", "total", "", "", sum.Round(time.Millisecond))
+	return b.String()
+}

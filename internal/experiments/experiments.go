@@ -19,6 +19,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/simulate"
 	"repro/internal/smart"
+	"repro/internal/store"
 )
 
 // Config scales the harness. The zero value is unusable; use
@@ -127,13 +128,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Harness owns the simulated fleet and reproduces the paper's tables
-// and figures against it.
+// and figures against it. All dataset reads go through one append-only
+// fleet store, so every experiment and phase shares a single ingest of
+// each drive's series.
 type Harness struct {
 	cfg      Config
 	fleet    *simulate.Fleet
 	injector *faults.Injector // nil unless Config.Faults is enabled
 	report   *pipeline.RunReport
-	src      *dataset.CachedSource
+	stages   *pipeline.StageReport
+	store    *store.Store
+	src      *store.Snapshot
 }
 
 // New builds the fleet and the harness.
@@ -149,7 +154,7 @@ func New(cfg Config) (*Harness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	h := &Harness{cfg: cfg, fleet: fleet}
+	h := &Harness{cfg: cfg, fleet: fleet, stages: &pipeline.StageReport{}}
 	var src dataset.Source = dataset.FleetSource{Fleet: fleet}
 	if cfg.Faults.Enabled() {
 		h.injector = faults.New(src, cfg.Faults)
@@ -158,12 +163,24 @@ func New(cfg Config) (*Harness, error) {
 	if cfg.Robust {
 		h.report = &pipeline.RunReport{}
 	}
-	h.src = dataset.NewCachedSource(src)
+	h.store = store.Open(src, store.Options{Workers: cfg.Workers})
+	if err := h.store.AppendThrough(cfg.Days - 1); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	h.src = h.store.Snapshot()
 	return h, nil
 }
 
-// Source exposes the harness's (cached) dataset source.
+// Source exposes the harness's dataset source (a full-horizon store
+// snapshot).
 func (h *Harness) Source() dataset.Source { return h.src }
+
+// Store exposes the harness's fleet store (for ingest counters).
+func (h *Harness) Store() *store.Store { return h.store }
+
+// StageReport exposes the per-stage timing/row accounting accumulated
+// across every pipeline the harness ran.
+func (h *Harness) StageReport() *pipeline.StageReport { return h.stages }
 
 // Fleet exposes the underlying simulated fleet.
 func (h *Harness) Fleet() *simulate.Fleet { return h.fleet }
@@ -191,6 +208,7 @@ func (h *Harness) pipelineConfig() pipeline.Config {
 		SplitMethod: h.cfg.SplitMethod,
 		Workers:     h.cfg.Workers,
 		Seed:        h.cfg.Seed,
+		Stages:      h.stages,
 	}
 	if h.cfg.Robust {
 		cfg.Robust = &pipeline.RobustOpts{

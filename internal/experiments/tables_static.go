@@ -118,13 +118,6 @@ func (h *Harness) Table2() Table2Result {
 	return res
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Render formats the fleet summary as Table II.
 func (r Table2Result) Render() string {
 	header := []string{"Drive model", "Flash", "Total %", "Failures %", "AFR (%)", "Drives", "Failures"}

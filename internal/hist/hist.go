@@ -229,10 +229,3 @@ func binOf(thr []float64, v float64) int {
 	}
 	return b
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

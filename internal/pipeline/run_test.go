@@ -53,45 +53,6 @@ func smallSource(t *testing.T) dataset.FleetSource {
 	return sharedSrc
 }
 
-func TestStandardPhases(t *testing.T) {
-	phases := StandardPhases(730)
-	if len(phases) != 3 {
-		t.Fatalf("phases = %d", len(phases))
-	}
-	for i, ph := range phases {
-		if err := ph.validate(730); err != nil {
-			t.Errorf("phase %d invalid: %v", i, err)
-		}
-		if ph.TestHi-ph.TestLo != 29 {
-			t.Errorf("phase %d test span = %d days", i, ph.TestHi-ph.TestLo+1)
-		}
-		if ph.TrainHi != ph.TestLo-1 || ph.TrainLo != 0 {
-			t.Errorf("phase %d train = [%d, %d]", i, ph.TrainLo, ph.TrainHi)
-		}
-	}
-	// Non-overlapping, consecutive, ending at the dataset end.
-	if phases[0].TestLo != 730-90 || phases[2].TestHi != 729 {
-		t.Errorf("phase layout: %+v", phases)
-	}
-	if phases[1].TestLo != phases[0].TestHi+1 {
-		t.Error("phases overlap")
-	}
-}
-
-func TestPhaseValidate(t *testing.T) {
-	cases := []Phase{
-		{TrainLo: -1, TrainHi: 100, TestLo: 101, TestHi: 110},
-		{TrainLo: 0, TrainHi: 0, TestLo: 1, TestHi: 2},
-		{TrainLo: 0, TrainHi: 100, TestLo: 90, TestHi: 110},  // test inside train
-		{TrainLo: 0, TrainHi: 100, TestLo: 101, TestHi: 800}, // past end
-	}
-	for i, ph := range cases {
-		if err := ph.validate(730); !errors.Is(err, ErrBadPhase) {
-			t.Errorf("case %d error = %v", i, err)
-		}
-	}
-}
-
 func TestRunPhaseNoSelection(t *testing.T) {
 	src := smallSource(t)
 	ph := StandardPhases(src.Days())[2]
@@ -249,110 +210,6 @@ func TestEvaluateLowMWI(t *testing.T) {
 	all := EvaluateOutcomes(outcomes)
 	if all.TP != 1 || all.TN != 1 {
 		t.Errorf("all confusion = %+v", all)
-	}
-}
-
-func TestCalibrateThresholds(t *testing.T) {
-	mk := func(failed bool, failDay int, maxProb float64, group int) *driveScore {
-		ref := dataset.DriveRef{ID: 1, FailDay: -1}
-		if failed {
-			ref.FailDay = failDay
-		}
-		return &driveScore{ref: ref, days: []int{0}, probs: []float64{maxProb}, group: []int{group}}
-	}
-	scores := map[int]*driveScore{
-		1: mk(true, 10, 0.9, 0),
-		2: mk(true, 10, 0.6, 0),
-		3: mk(true, 10, 0.3, 0),
-		4: mk(false, 0, 0.2, 0),
-	}
-	// Target recall 0.34 over 3 failing drives: 1 of 3 is recall 0.33
-	// (short of target), so 2 must be covered; the threshold centers
-	// in the feasible interval between the 2nd and 3rd scores.
-	if want := (float64(0.6) + 0.3) / 2; calibrateThresholds(scores, 1, 0.34)[0] != want {
-		t.Errorf("threshold = %v, want %v", calibrateThresholds(scores, 1, 0.34), want)
-	}
-	// Target recall 0.67: need 3 of 3 covered -> the lowest failing
-	// max, with no lower neighbor to center against.
-	if got := calibrateThresholds(scores, 1, 0.67); got[0] != 0.3 {
-		t.Errorf("threshold = %v, want 0.3", got)
-	}
-	// No failing drives: default.
-	none := map[int]*driveScore{4: mk(false, 0, 0.2, 0)}
-	if got := calibrateThresholds(none, 1, 0.3); got[0] != 0.5 {
-		t.Errorf("threshold = %v, want 0.5", got)
-	}
-}
-
-func TestCalibrateThresholdsPerGroup(t *testing.T) {
-	mk := func(id int, failDay int, prob float64, group int) *driveScore {
-		return &driveScore{
-			ref:  dataset.DriveRef{ID: id, FailDay: failDay},
-			days: []int{0}, probs: []float64{prob}, group: []int{group},
-		}
-	}
-	// Group 0: three failing drives with high probabilities. Group 1:
-	// three failing drives with low probabilities (a weaker model).
-	scores := map[int]*driveScore{
-		1: mk(1, 5, 0.9, 0), 2: mk(2, 5, 0.8, 0), 3: mk(3, 5, 0.7, 0),
-		4: mk(4, 5, 0.3, 1), 5: mk(5, 5, 0.25, 1), 6: mk(6, 5, 0.2, 1),
-	}
-	got := calibrateThresholds(scores, 2, 0.5)
-	if got[0] <= got[1] {
-		t.Errorf("group thresholds = %v; group 0 should calibrate higher", got)
-	}
-	// A group with too few failing drives inherits the pooled value.
-	scores = map[int]*driveScore{
-		1: mk(1, 5, 0.9, 0), 2: mk(2, 5, 0.8, 0), 3: mk(3, 5, 0.7, 0),
-		4: mk(4, 5, 0.3, 1),
-	}
-	got = calibrateThresholds(scores, 2, 0.5)
-	if got[1] != got[0] && got[1] == 0.3 {
-		t.Errorf("sparse group should inherit pooled threshold, got %v", got)
-	}
-}
-
-func TestFinalizeOutcomesWindowing(t *testing.T) {
-	scores := map[int]*driveScore{
-		// Fails 10 days past the phase end: still in the 30-day window.
-		1: {ref: dataset.DriveRef{ID: 1, FailDay: 110}, days: []int{95, 96}, probs: []float64{0.9, 0.1}, mwis: []float64{50, 49}, group: []int{0, 0}, lastDay: 96, lastMWI: 49},
-		// Fails 40 days past the end: out of scope for this phase.
-		2: {ref: dataset.DriveRef{ID: 2, FailDay: 140}, days: []int{95}, probs: []float64{0.1}, mwis: []float64{70}, group: []int{0}, lastDay: 95, lastMWI: 70},
-	}
-	out := finalizeOutcomes(scores, []float64{0.5}, 100)
-	if len(out) != 2 {
-		t.Fatalf("outcomes = %d", len(out))
-	}
-	if out[0].Pred.FirstAlarmDay != 95 || out[0].Pred.FailDay != 110 {
-		t.Errorf("outcome[0] = %+v", out[0].Pred)
-	}
-	if out[0].MWI != 50 {
-		t.Errorf("outcome[0].MWI = %v, want MWI at alarm", out[0].MWI)
-	}
-	if out[1].Pred.FailDay != -1 {
-		t.Errorf("far-future failure should be treated as healthy, got %+v", out[1].Pred)
-	}
-	if out[1].MWI != 70 {
-		t.Errorf("outcome[1].MWI = %v", out[1].MWI)
-	}
-}
-
-func TestBuildGroups(t *testing.T) {
-	res := SelectorResult{All: []string{"UCE_R", "MWI_N"}}
-	gs, err := buildGroups(res)
-	if err != nil || len(gs) != 1 {
-		t.Fatalf("groups = %v, %v", gs, err)
-	}
-	res.Split = &GroupFeatures{ThresholdMWI: 40, Low: []string{"MWI_N"}, High: []string{"UCE_R"}}
-	gs, err = buildGroups(res)
-	if err != nil || len(gs) != 2 {
-		t.Fatalf("split groups = %v, %v", gs, err)
-	}
-	if gs[0].mwiBelow != 40 || gs[1].mwiAtLeast != 40 {
-		t.Errorf("group filters: %+v", gs)
-	}
-	if _, err := buildGroups(SelectorResult{All: []string{"NOT_A_FEATURE"}}); err == nil {
-		t.Error("bad feature name should fail")
 	}
 }
 

@@ -1,11 +1,3 @@
-// Package pipeline implements the offline SSD failure-prediction
-// workflow of Section V-A of the WEFR paper: training/validation/test
-// phases split by time, feature selection on the training period,
-// statistical feature generation for the selected features, a Random
-// Forest prediction model (100 trees, depth 13 in the paper), an alarm
-// threshold calibrated on the validation period to a fixed target
-// recall (the paper compares methods "subject to a fixed recall"), and
-// drive-level first-alarm evaluation over a testing phase.
 package pipeline
 
 import (
@@ -16,40 +8,6 @@ import (
 	"repro/internal/selection"
 	"repro/internal/survival"
 )
-
-// GroupFeatures is a wear-split feature assignment: drives below the
-// MWI threshold use Low, the rest High.
-type GroupFeatures struct {
-	ThresholdMWI float64
-	Low, High    []string
-}
-
-// SelectorResult is a selection strategy's output: the feature set for
-// all drives, and optionally a wear-out split.
-type SelectorResult struct {
-	// All is the selected original-feature list (used for every drive
-	// when Split is nil, and as a fallback).
-	All []string
-	// Split, when non-nil, assigns per-wear-group feature sets.
-	Split *GroupFeatures
-	// Dropped lists preliminary approaches discarded for failure in
-	// robust mode, each as "<ranker>: <reason>". Empty on clean runs.
-	Dropped []string
-	// Notes lists degradation decisions taken during selection.
-	Notes []string
-}
-
-// Selector abstracts a feature-selection strategy so Exp#1 can compare
-// WEFR against no-selection and the five single-approach baselines
-// under one pipeline.
-type Selector interface {
-	// Name identifies the strategy in result tables.
-	Name() string
-	// Select chooses features from a training frame of original
-	// features. The survival curve (computed from training data only)
-	// is provided for wear-aware strategies; others ignore it.
-	Select(fr *frame.Frame, curve survival.Curve) (SelectorResult, error)
-}
 
 // NoSelection uses every learning feature — the paper's "no feature
 // selection" baseline.

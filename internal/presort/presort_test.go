@@ -254,10 +254,3 @@ func BenchmarkPartition(b *testing.B) {
 		PartitionByThreshold(work, 0, len(work), col, 0, scratch)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

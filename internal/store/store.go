@@ -1,0 +1,370 @@
+// Package store provides an append-only, day-partitioned columnar
+// fleet store between a raw dataset.Source and the staged prediction
+// engine. A Store ingests drive series from its upstream source once —
+// one Series fetch per drive, counted — and serves immutable Snapshot
+// views bounded by an ingest horizon that only ever advances
+// (AppendDay / AppendThrough). A phase advance therefore reuses every
+// already-ingested day instead of regenerating the fleet, which the
+// ingest counters make assertable.
+//
+// Snapshots implement dataset.Source, so every existing consumer
+// (frame extraction, survival curves, the selectors) reads through the
+// store unchanged, and additionally cache the per-model drive-ref
+// index that scoring passes previously rebuilt on every call.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/smart"
+)
+
+// ErrHorizonRetreat indicates an append that would move the ingest
+// horizon backwards; the store is append-only.
+var ErrHorizonRetreat = errors.New("store: horizon cannot retreat")
+
+// Counters accounts the store's ingest work. All counts are cumulative
+// since Open.
+type Counters struct {
+	// SeriesFetches is the number of upstream Source.Series calls.
+	// Once every tracked drive is ingested it stays flat: snapshots
+	// serve reads from the store, and appending more days never
+	// re-fetches a drive.
+	SeriesFetches int64
+	// DaysIngested is the number of (drive, day) cells made visible by
+	// horizon advances, counted exactly once per cell.
+	DaysIngested int64
+	// Appends is the number of AppendDay/AppendThrough calls that
+	// advanced the horizon.
+	Appends int64
+	// Snapshots is the number of Snapshot views taken.
+	Snapshots int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// Workers bounds per-drive ingest parallelism during AppendThrough
+	// and Track; 0 means GOMAXPROCS. The ingested data is identical
+	// for any value.
+	Workers int
+}
+
+// Store is the append-only fleet store. Safe for concurrent use; all
+// mutation is append-only, so Snapshot views stay valid forever.
+type Store struct {
+	src  dataset.Source
+	opts Options
+
+	mu      sync.RWMutex
+	horizon int // days visible to new snapshots
+	parts   map[smart.ModelID]*partition
+
+	seriesFetches atomic.Int64
+	daysIngested  atomic.Int64
+	appends       atomic.Int64
+	snapshots     atomic.Int64
+}
+
+// partition holds one drive model's inventory and columnar series.
+type partition struct {
+	refs     []dataset.DriveRef
+	refIndex map[int]dataset.DriveRef
+	byID     map[int]*driveCols
+	drives   []*driveCols
+}
+
+// driveCols is one drive's ingested columns. Columns hold the full
+// fetched series; visibility is bounded by the snapshot horizon, and
+// visible (drive, day) cells are accounted exactly once in
+// Counters.DaysIngested.
+type driveCols struct {
+	lastDay   int
+	visible   atomic.Int64 // days already accounted as ingested
+	cols      map[smart.Feature][]float64
+	fetchOnce sync.Once
+	fetchErr  error
+}
+
+// Open wraps an upstream source in an empty store (horizon 0, nothing
+// ingested). Models are tracked lazily on first access, or eagerly via
+// Track.
+func Open(src dataset.Source, opts Options) *Store {
+	return &Store{src: src, opts: opts, parts: make(map[smart.ModelID]*partition)}
+}
+
+// SourceDays returns the upstream dataset span, independent of how
+// much has been ingested.
+func (st *Store) SourceDays() int { return st.src.Days() }
+
+// Horizon returns the current ingest horizon in days: snapshots taken
+// now observe days [0, Horizon()-1].
+func (st *Store) Horizon() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.horizon
+}
+
+// Counters returns a snapshot of the cumulative ingest counters.
+func (st *Store) Counters() Counters {
+	return Counters{
+		SeriesFetches: st.seriesFetches.Load(),
+		DaysIngested:  st.daysIngested.Load(),
+		Appends:       st.appends.Load(),
+		Snapshots:     st.snapshots.Load(),
+	}
+}
+
+// Track creates the model's partition (fetching the upstream drive
+// inventory) and ingests its drives through the current horizon. It is
+// idempotent; untracked models are also tracked implicitly by the
+// first Snapshot access that touches them.
+func (st *Store) Track(m smart.ModelID) error {
+	st.mu.RLock()
+	horizon := st.horizon
+	p := st.parts[m]
+	st.mu.RUnlock()
+	if p == nil {
+		p = st.createPartition(m)
+	}
+	return st.ingest(p, horizon)
+}
+
+// createPartition installs the model's partition, fetching the
+// upstream inventory exactly once.
+func (st *Store) createPartition(m smart.ModelID) *partition {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p, ok := st.parts[m]; ok {
+		return p
+	}
+	refs := st.src.DrivesOf(m)
+	p := &partition{
+		refs:     refs,
+		refIndex: make(map[int]dataset.DriveRef, len(refs)),
+		byID:     make(map[int]*driveCols, len(refs)),
+		drives:   make([]*driveCols, len(refs)),
+	}
+	for i, r := range refs {
+		p.refIndex[r.ID] = r
+		p.drives[i] = &driveCols{lastDay: -1}
+		p.byID[r.ID] = p.drives[i]
+	}
+	st.parts[m] = p
+	return p
+}
+
+// AppendDay advances the ingest horizon by one day.
+func (st *Store) AppendDay() error {
+	st.mu.RLock()
+	horizon := st.horizon
+	st.mu.RUnlock()
+	return st.AppendThrough(horizon)
+}
+
+// AppendThrough advances the ingest horizon so that days [0, day] are
+// visible, ingesting only the not-yet-ingested days of every tracked
+// partition. Re-appending an already-visible day is a no-op; a horizon
+// can never retreat, so snapshots stay immutable.
+func (st *Store) AppendThrough(day int) error {
+	if day < 0 {
+		return fmt.Errorf("%w: day %d", ErrHorizonRetreat, day)
+	}
+	newHorizon := day + 1
+	st.mu.Lock()
+	if newHorizon <= st.horizon {
+		st.mu.Unlock()
+		return nil
+	}
+	st.horizon = newHorizon
+	parts := make([]*partition, 0, len(st.parts))
+	for _, p := range st.parts {
+		parts = append(parts, p)
+	}
+	st.mu.Unlock()
+	st.appends.Add(1)
+
+	for _, p := range parts {
+		if err := st.ingest(p, newHorizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest brings every drive of the partition up to the given horizon,
+// fetching each drive's upstream series at most once ever.
+func (st *Store) ingest(p *partition, horizon int) error {
+	if horizon <= 0 {
+		return nil
+	}
+	workers := st.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.drives) {
+		workers = len(p.drives)
+	}
+	if workers <= 1 {
+		for i := range p.drives {
+			if err := st.ingestDrive(p.refs[i], p.drives[i], horizon); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(p.drives))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.drives) {
+					return
+				}
+				errs[i] = st.ingestDrive(p.refs[i], p.drives[i], horizon)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestDrive fetches the drive's series on first touch and accounts
+// the newly visible days, each (drive, day) cell exactly once.
+func (st *Store) ingestDrive(ref dataset.DriveRef, dc *driveCols, horizon int) error {
+	dc.fetchOnce.Do(func() {
+		cols, lastDay, err := st.src.Series(ref)
+		if err != nil {
+			dc.fetchErr = err
+			return
+		}
+		st.seriesFetches.Add(1)
+		dc.cols = cols
+		dc.lastDay = lastDay
+	})
+	if dc.fetchErr != nil {
+		return dc.fetchErr
+	}
+	want := int64(min(horizon, dc.lastDay+1))
+	for {
+		have := dc.visible.Load()
+		if want <= have {
+			return nil
+		}
+		if dc.visible.CompareAndSwap(have, want) {
+			st.daysIngested.Add(want - have)
+			return nil
+		}
+	}
+}
+
+// Snapshot returns an immutable view of the store as of the current
+// horizon. The snapshot implements dataset.Source: Days reports the
+// horizon, and every drive's series is truncated to it. Snapshots are
+// cheap (no copying) and remain valid as the store keeps appending.
+func (st *Store) Snapshot() *Snapshot {
+	st.mu.RLock()
+	horizon := st.horizon
+	st.mu.RUnlock()
+	st.snapshots.Add(1)
+	return &Snapshot{st: st, days: horizon}
+}
+
+// Snapshot is an immutable, horizon-bounded view of a Store.
+type Snapshot struct {
+	st   *Store
+	days int
+}
+
+var _ dataset.Source = (*Snapshot)(nil)
+
+// Store returns the owning store, letting engines reuse an existing
+// store (and its ingested data) instead of re-wrapping the snapshot.
+func (s *Snapshot) Store() *Store { return s.st }
+
+// Days implements dataset.Source: the ingest horizon at snapshot time.
+func (s *Snapshot) Days() int { return s.days }
+
+// DrivesOf implements dataset.Source. The inventory (including each
+// drive's failure day) comes from the upstream source and is fetched
+// once per model.
+func (s *Snapshot) DrivesOf(m smart.ModelID) []dataset.DriveRef {
+	p, err := s.part(m)
+	if err != nil {
+		return nil
+	}
+	return p.refs
+}
+
+// RefIndex returns the model's drive-ID-to-ref map, built once per
+// model and shared by every snapshot of the store. Scoring passes use
+// it instead of rebuilding the map per call.
+func (s *Snapshot) RefIndex(m smart.ModelID) map[int]dataset.DriveRef {
+	p, err := s.part(m)
+	if err != nil {
+		return nil
+	}
+	return p.refIndex
+}
+
+// part returns the model's partition, tracking and ingesting it up to
+// the snapshot horizon on first access.
+func (s *Snapshot) part(m smart.ModelID) (*partition, error) {
+	s.st.mu.RLock()
+	p := s.st.parts[m]
+	s.st.mu.RUnlock()
+	if p == nil {
+		p = s.st.createPartition(m)
+		if err := s.st.ingest(p, s.st.Horizon()); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Series implements dataset.Source, serving the drive's columns from
+// the store truncated to the snapshot horizon. The returned slices
+// alias the store's append-only buffers; treat them as read-only (as
+// with every other Source).
+func (s *Snapshot) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	p, err := s.part(ref.Model)
+	if err != nil {
+		return nil, 0, err
+	}
+	dc := p.byID[ref.ID]
+	if dc == nil {
+		return nil, 0, fmt.Errorf("store: model %v has no drive %d", ref.Model, ref.ID)
+	}
+	// Idempotent: serves from the store after the first fetch (the
+	// fetch only happens here when the partition was tracked after the
+	// last append).
+	if err := s.st.ingestDrive(ref, dc, s.days); err != nil {
+		return nil, 0, err
+	}
+	lastDay := min(dc.lastDay, s.days-1)
+	if lastDay < 0 {
+		return nil, 0, fmt.Errorf("store: drive %d has no days within horizon %d", ref.ID, s.days)
+	}
+	n := lastDay + 1
+	out := make(map[smart.Feature][]float64, len(dc.cols))
+	for ft, col := range dc.cols {
+		if len(col) < n {
+			return nil, 0, fmt.Errorf("store: drive %d feature %v has %d days, horizon needs %d", ref.ID, ft, len(col), n)
+		}
+		out[ft] = col[:n:n]
+	}
+	return out, lastDay, nil
+}
