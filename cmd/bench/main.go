@@ -137,7 +137,13 @@ func run(out, baselinePath, only string) error {
 	if out == "" {
 		out = freshOutPath(rep.Date)
 	}
-	if prior, path, err := latestPriorReport(out); err == nil && prior != nil {
+	prior, path, err := latestPriorReport(".", out)
+	switch {
+	case err != nil:
+		// A damaged prior report must not sink a benchmark run that
+		// already finished measuring: warn, skip the delta, still write.
+		fmt.Fprintf(os.Stderr, "bench: warning: skipping delta table: %v\n", err)
+	case prior != nil:
 		fmt.Printf("\ndelta vs %s:\n", path)
 		fmt.Print(deltaTable(rep.Benchmarks, prior.Benchmarks))
 	}
@@ -145,10 +151,38 @@ func run(out, baselinePath, only string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(out, append(data, '\n')); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// writeFileAtomic stages the data in a temp file and renames it into
+// place, so a failed or interrupted run never leaves a partial report.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp makes 0600 files; match os.Create's permissions.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
 	return nil
 }
 
@@ -166,10 +200,11 @@ func freshOutPath(date string) string {
 }
 
 // latestPriorReport loads the most recently modified BENCH_*.json in
-// the working directory, excluding the upcoming output path. A nil
-// report (with nil error) means there is no prior run to diff against.
-func latestPriorReport(out string) (*Report, string, error) {
-	matches, err := filepath.Glob("BENCH_*.json")
+// dir, excluding the upcoming output path. A nil report (with nil
+// error) means there is no prior run to diff against; an error names
+// the unreadable or corrupt file so the caller can warn about it.
+func latestPriorReport(dir, out string) (*Report, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return nil, "", err
 	}
@@ -192,7 +227,7 @@ func latestPriorReport(out string) (*Report, string, error) {
 	}
 	rep, err := readReport(best)
 	if err != nil {
-		return nil, "", err
+		return nil, "", fmt.Errorf("prior report %s: %w", best, err)
 	}
 	return &rep, best, nil
 }

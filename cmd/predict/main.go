@@ -15,6 +15,14 @@
 //
 //	predict -model MC1 -snapshot save -snapshot-dir artifacts
 //	predict -model MC1 -snapshot load -snapshot-dir artifacts
+//
+// With -journal, each completed phase is checkpointed (fsync'd run
+// journal + versioned model artifacts); after a crash, -resume reloads
+// the completed phases instead of retraining them, with output
+// identical to an uninterrupted run:
+//
+//	predict -model MC1 -journal runs/mc1
+//	predict -model MC1 -journal runs/mc1 -resume
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/gbdt"
 	"repro/internal/hist"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/selection"
 	"repro/internal/simulate"
@@ -60,6 +69,14 @@ type options struct {
 	SnapshotName string
 	// SnapshotVersion picks the version to load; <= 0 means latest.
 	SnapshotVersion int
+	// Journal, when set, checkpoints each completed phase into this
+	// directory (run journal + per-phase model artifacts) so an
+	// interrupted run can be resumed.
+	Journal string
+	// Resume continues an existing journal: completed phases reload
+	// from their artifacts instead of retraining. Output is identical
+	// to an uninterrupted run.
+	Resume bool
 }
 
 func main() {
@@ -79,6 +96,8 @@ func main() {
 	flag.StringVar(&o.SnapshotDir, "snapshot-dir", "artifacts", "model-snapshot registry directory")
 	flag.StringVar(&o.SnapshotName, "snapshot-name", "", "artifact name (default <model>-<selector>)")
 	flag.IntVar(&o.SnapshotVersion, "snapshot-version", 0, "version to load (0 = latest)")
+	flag.StringVar(&o.Journal, "journal", "", "journal directory for crash-safe runs (empty = no journaling)")
+	flag.BoolVar(&o.Resume, "resume", false, "resume an interrupted journaled run (requires -journal)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -91,6 +110,9 @@ func run(o options) error {
 	model, err := smart.ParseModel(o.Model)
 	if err != nil {
 		return err
+	}
+	if o.Resume && o.Journal == "" {
+		return fmt.Errorf("-resume requires -journal")
 	}
 	switch o.Snapshot {
 	case "", "save":
@@ -156,7 +178,18 @@ func runTrain(o options, model smart.ModelID) error {
 	phases := pipeline.StandardPhases(src.Days())
 	fmt.Printf("model %v, selector %s, %d drives, %d phases\n\n", model, sel.Name(), o.Drives, len(phases))
 
-	results, total, err := pipeline.Run(src, model, sel, phases, cfg)
+	var results []pipeline.PhaseResult
+	var total metrics.Confusion
+	if o.Journal != "" {
+		// Resume notices go to stderr so stdout stays byte-identical to
+		// an uninterrupted (or unjournaled) run.
+		jo := pipeline.JournalOpts{Dir: o.Journal, Resume: o.Resume, Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "predict: "+format+"\n", args...)
+		}}
+		results, total, err = pipeline.RunJournaled(src, model, sel, phases, cfg, jo)
+	} else {
+		results, total, err = pipeline.Run(src, model, sel, phases, cfg)
+	}
 	if err != nil {
 		return err
 	}

@@ -97,17 +97,31 @@ func parseModels(list string) ([]smart.ModelID, error) {
 	return out, nil
 }
 
+// writeFile streams the payload into a temp file and renames it into
+// place, so a failed export never leaves a partial CSV behind.
 func writeFile(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("create %s: %w", path, err)
 	}
+	tmp := f.Name()
 	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("close %s: %w", path, err)
+	}
+	// CreateTemp makes 0600 files; match os.Create's permissions.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("publish %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("publish %s: %w", path, err)
 	}
 	return nil
 }

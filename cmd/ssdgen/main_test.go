@@ -46,6 +46,41 @@ func TestRunWritesFiles(t *testing.T) {
 	}
 }
 
+// TestWriteFileNeverLeavesPartialOutput verifies the failure path of
+// the CSV export: a writer that dies mid-stream must leave neither the
+// target file nor a stale temp file behind.
+func TestWriteFileNeverLeavesPartialOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "smart_X.csv")
+	err := writeFile(path, func(f *os.File) error {
+		f.WriteString("partial,row\n")
+		return os.ErrInvalid // simulated mid-export failure
+	})
+	if err == nil {
+		t.Fatal("failed writer reported success")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("partial output exists after failed export: %v", statErr)
+	}
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d files left in output dir after failed export", len(entries))
+	}
+	// A successful retry into the same path works and is complete.
+	if err := writeFile(path, func(f *os.File) error {
+		_, werr := f.WriteString("ok\n")
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || string(data) != "ok\n" {
+		t.Errorf("retry output = %q, %v", data, err)
+	}
+}
+
 func TestRunBadConfig(t *testing.T) {
 	if err := run(-1, 120, 1, 1, t.TempDir(), ""); err == nil {
 		t.Error("negative drives should fail")

@@ -75,33 +75,76 @@ func (r *Registry) Versions(name string) ([]int, error) {
 
 // Save writes data as the artifact's next version and returns the
 // version number assigned (starting at 1).
+//
+// The payload is staged in a private temp file, written in full and
+// fsynced, then linked into place under the next free version name.
+// Linking is atomic and fails when the name exists, so a version file
+// that exists is always complete and is never overwritten — even under
+// concurrent savers, each of which ends up with its own distinct
+// version.
 func (r *Registry) Save(name string, data []byte) (int, error) {
 	if err := validName(name); err != nil {
 		return 0, err
-	}
-	versions, err := r.Versions(name)
-	if err != nil {
-		return 0, err
-	}
-	next := 1
-	if len(versions) > 0 {
-		next = versions[len(versions)-1] + 1
 	}
 	dir := filepath.Join(r.Dir, name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
-	path := filepath.Join(dir, versionFile(next))
-	// Write-then-rename keeps partially written artifacts invisible.
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, ".save-*.tmp")
+	if err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("core: stage artifact %q: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("core: sync artifact %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	return next, nil
+	// CreateTemp makes 0600 files; keep the 0644 artifacts of prior
+	// releases (the link below shares the inode, hence the mode).
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return 0, fmt.Errorf("core: publish artifact %q: %w", name, err)
+	}
+	for {
+		versions, err := r.Versions(name)
+		if err != nil {
+			return 0, err
+		}
+		next := 1
+		if len(versions) > 0 {
+			next = versions[len(versions)-1] + 1
+		}
+		// os.Link refuses to replace an existing file, so a concurrent
+		// saver that claimed this version first just moves us to the
+		// next one.
+		err = os.Link(tmpName, filepath.Join(dir, versionFile(next)))
+		if err == nil {
+			syncDir(dir)
+			return next, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return 0, fmt.Errorf("core: publish artifact %q v%d: %w", name, next, err)
+		}
+	}
+}
+
+// syncDir fsyncs the directory so a just-linked version name survives
+// a crash. Best-effort: filesystems without directory fsync still get
+// the atomic-link guarantee.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // Load reads one version of the artifact; version <= 0 loads the

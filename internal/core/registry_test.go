@@ -2,8 +2,10 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -58,6 +60,62 @@ func TestRegistryNameValidation(t *testing.T) {
 		if _, err := reg.Save(good, []byte("x")); err != nil {
 			t.Errorf("name %q rejected: %v", good, err)
 		}
+	}
+}
+
+// TestRegistryConcurrentSavers races N savers against one artifact
+// name: every saver must get a distinct version, and every version
+// must load back exactly one saver's complete payload — Save never
+// overwrites, loses, or interleaves a concurrent write.
+func TestRegistryConcurrentSavers(t *testing.T) {
+	reg := &Registry{Dir: t.TempDir()}
+	const savers = 16
+	versions := make([]int, savers)
+	errs := make([]error, savers)
+	var wg sync.WaitGroup
+	for i := 0; i < savers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			versions[i], errs[i] = reg.Save("m", []byte(fmt.Sprintf("payload-%03d", i)))
+		}()
+	}
+	wg.Wait()
+
+	seen := make(map[int]int, savers) // version -> saver index
+	for i := 0; i < savers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("saver %d: %v", i, errs[i])
+		}
+		if prev, dup := seen[versions[i]]; dup {
+			t.Fatalf("savers %d and %d both assigned version %d", prev, i, versions[i])
+		}
+		seen[versions[i]] = i
+	}
+	vs, err := reg.Versions("m")
+	if err != nil || len(vs) != savers {
+		t.Fatalf("versions = %v, %v (want %d)", vs, err, savers)
+	}
+	for _, v := range vs {
+		data, _, err := reg.Load("m", v)
+		if err != nil {
+			t.Fatalf("load v%d: %v", v, err)
+		}
+		saver, ok := seen[v]
+		if !ok {
+			t.Fatalf("version %d not claimed by any saver", v)
+		}
+		if want := fmt.Sprintf("payload-%03d", saver); string(data) != want {
+			t.Errorf("v%d = %q, want %q", v, data, want)
+		}
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Join(reg.Dir, "m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != savers {
+		t.Errorf("%d directory entries, want %d (temp files leaked?)", len(entries), savers)
 	}
 }
 

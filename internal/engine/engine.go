@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/frame"
 	"repro/internal/gbdt"
@@ -30,6 +31,16 @@ import (
 	"repro/internal/smart"
 	"repro/internal/store"
 	"repro/internal/survival"
+)
+
+// Crash points for the process-level fault harness (internal/faults):
+// inert unless armed via WEFR_CRASHPOINT, each marks the instant just
+// after a stage whose work the journal must make recoverable.
+var (
+	crashAfterIngest    = faults.RegisterCrashSite("ingest")
+	crashAfterTrain     = faults.RegisterCrashSite("train")
+	crashAfterCalibrate = faults.RegisterCrashSite("calibrate")
+	crashAfterSave      = faults.RegisterCrashSite("snapshot-save")
 )
 
 // Errors returned by the engine.
@@ -282,8 +293,8 @@ func (e *Engine) PreparePhase(model smart.ModelID, ph Phase) (*PhaseData, error)
 
 	pd := &PhaseData{model: model, ph: ph, cfg: cfg, fitHi: fitHi, valLo: valLo}
 
+	before := e.st.Counters()
 	err := timeStage(cfg, &pd.prep, StageIngest, func() (int, error) {
-		before := e.st.Counters()
 		if err := e.st.Track(model); err != nil {
 			return 0, fmt.Errorf("pipeline: ingest: %w", err)
 		}
@@ -296,6 +307,11 @@ func (e *Engine) PreparePhase(model smart.ModelID, ph Phase) (*PhaseData, error)
 	if err != nil {
 		return nil, err
 	}
+	if n := int(e.st.Counters().FetchRetries - before.FetchRetries); n > 0 {
+		pd.prep[len(pd.prep)-1].Retries = n
+		cfg.Stages.addRetries(StageIngest, n)
+	}
+	faults.CrashPoint(crashAfterIngest)
 
 	err = timeStage(cfg, &pd.prep, StageFeaturize, func() (int, error) {
 		selFrame, err := dataset.Frame(pd.src, dataset.FrameOpts{
@@ -419,6 +435,7 @@ func (pd *PhaseData) runSelection(name string, selRes SelectorResult, stats []St
 	if err != nil {
 		return PhaseResult{}, err
 	}
+	faults.CrashPoint(crashAfterTrain)
 
 	// Calibrate the alarm threshold to the target recall on the
 	// validation period.
@@ -434,6 +451,7 @@ func (pd *PhaseData) runSelection(name string, selRes SelectorResult, stats []St
 	if err != nil {
 		return PhaseResult{}, err
 	}
+	faults.CrashPoint(crashAfterCalibrate)
 
 	// Score the test phase.
 	var testOutcomes map[int]*driveScore

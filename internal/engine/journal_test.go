@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/runlog"
+	"repro/internal/smart"
+	"repro/internal/survival"
+)
+
+// countingSelector wraps a Selector and counts Select calls — resumed
+// phases must not re-select (and therefore not retrain).
+type countingSelector struct {
+	inner Selector
+	calls int
+}
+
+func (c *countingSelector) Name() string { return c.inner.Name() }
+
+func (c *countingSelector) Select(fr *frame.Frame, cv survival.Curve) (SelectorResult, error) {
+	c.calls++
+	return c.inner.Select(fr, cv)
+}
+
+// comparable projection of a result list: everything a caller can
+// observe, minus stage timings (wall-clock is never reproducible).
+func projectResults(results []PhaseResult) []PhaseResult {
+	out := make([]PhaseResult, len(results))
+	for i, r := range results {
+		r.StageStats = nil
+		r.groups = nil
+		r.cfg = Config{}
+		r.trainHi = 0
+		out[i] = r
+	}
+	return out
+}
+
+func journalPhases(src interface{ Days() int }) []Phase {
+	return StandardPhases(src.Days())[1:]
+}
+
+// TestRunJournaledMatchesRun verifies the clean journaled path is
+// bit-identical to the plain engine: same outcomes, thresholds, and
+// confusion per phase, same merged total.
+func TestRunJournaledMatchesRun(t *testing.T) {
+	src := testSource(t)
+	phases := journalPhases(src)
+	cfg := testCfg()
+
+	want, wantTotal, err := Run(testSource(t), smart.MC1, allFeats{}, phases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotTotal, err := RunJournaled(src, smart.MC1, allFeats{}, phases, cfg, JournalOpts{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(projectResults(got), projectResults(want)) {
+		t.Error("journaled results differ from plain Run")
+	}
+	if gotTotal != wantTotal {
+		t.Errorf("total confusion %+v != %+v", gotTotal, wantTotal)
+	}
+}
+
+// TestResumeSkipsCompletedPhases is the core recovery property: after
+// a run that completed only a prefix of the phases, resuming with the
+// full phase list reloads the prefix from its artifacts (no selection,
+// no retraining) and the combined results are bit-identical to an
+// uninterrupted run.
+func TestResumeSkipsCompletedPhases(t *testing.T) {
+	src := testSource(t)
+	phases := journalPhases(src)
+	cfg := testCfg()
+	dir := t.TempDir()
+
+	// "Crashed" run: completes only the first phase.
+	if _, _, err := RunJournaled(testSource(t), smart.MC1, allFeats{}, phases[:1], cfg, JournalOpts{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	sel := &countingSelector{inner: allFeats{}}
+	var resumeLines int
+	got, gotTotal, err := RunJournaled(src, smart.MC1, sel, phases, cfg, JournalOpts{
+		Dir: dir, Resume: true,
+		Log: func(string, ...any) { resumeLines++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.calls != len(phases)-1 {
+		t.Errorf("resume ran selection %d times, want %d (phase 0 must reload)", sel.calls, len(phases)-1)
+	}
+	if resumeLines != 1 {
+		t.Errorf("resume logged %d lines, want 1", resumeLines)
+	}
+
+	want, wantTotal, err := Run(testSource(t), smart.MC1, allFeats{}, phases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(projectResults(got), projectResults(want)) {
+		t.Error("resumed results differ from uninterrupted run")
+	}
+	if gotTotal != wantTotal {
+		t.Errorf("total confusion %+v != %+v", gotTotal, wantTotal)
+	}
+
+	// A resumed result stays a first-class PhaseResult: snapshotable.
+	if _, err := got[0].Snapshot(); err != nil {
+		t.Errorf("snapshot of reloaded phase: %v", err)
+	}
+}
+
+// TestResumeAdoptsUnjournaledArtifact covers the crash window between
+// artifact save and journal append: the artifact exists (published
+// atomically, hence complete) but no phase-done record points at it.
+// Resume must adopt it — no duplicate artifact version — and still
+// reproduce the uninterrupted results.
+func TestResumeAdoptsUnjournaledArtifact(t *testing.T) {
+	src := testSource(t)
+	phases := journalPhases(src)[:1]
+	cfg := testCfg()
+	dir := t.TempDir()
+
+	want, _, err := RunJournaled(testSource(t), smart.MC1, allFeats{}, phases, cfg, JournalOpts{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the journal as if the process died right after the save:
+	// meta record only, artifact left behind.
+	path := filepath.Join(dir, journalFile)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := runlog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := journalMeta{ConfigHash: cfg.Hash(), Model: smart.MC1, Selector: "all"}
+	if err := j.Append(recMeta, meta); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	sel := &countingSelector{inner: allFeats{}}
+	adopted := false
+	got, _, err := RunJournaled(src, smart.MC1, sel, phases, cfg, JournalOpts{
+		Dir: dir, Resume: true,
+		Log: func(format string, _ ...any) {
+			if len(format) >= 15 && format[:15] == "resume: adopted" {
+				adopted = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.calls != 0 {
+		t.Errorf("adoption ran selection %d times, want 0", sel.calls)
+	}
+	if !adopted {
+		t.Error("no adoption logged")
+	}
+	if !reflect.DeepEqual(projectResults(got), projectResults(want)) {
+		t.Error("adopted results differ from original run")
+	}
+	reg := &core.Registry{Dir: filepath.Join(dir, "artifacts")}
+	vs, err := reg.Versions(phaseArtifact(0))
+	if err != nil || len(vs) != 1 {
+		t.Errorf("artifact versions = %v, %v; adoption must not save a duplicate", vs, err)
+	}
+}
+
+// TestJournalRefusesMismatches locks the journal's safety rails: an
+// existing journal without Resume, a resumed journal from a different
+// config, and a journaled phase whose bounds changed are all refused.
+func TestJournalRefusesMismatches(t *testing.T) {
+	src := testSource(t)
+	phases := journalPhases(src)[:1]
+	cfg := testCfg()
+	dir := t.TempDir()
+	if _, _, err := RunJournaled(src, smart.MC1, allFeats{}, phases, cfg, JournalOpts{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err := RunJournaled(testSource(t), smart.MC1, allFeats{}, phases, cfg, JournalOpts{Dir: dir})
+	if !errors.Is(err, ErrJournalExists) {
+		t.Errorf("re-run without Resume: %v, want ErrJournalExists", err)
+	}
+
+	other := cfg
+	other.Seed = 999
+	other.Forest.Seed = 999 // keep the derived seed from masking the change
+	_, _, err = RunJournaled(testSource(t), smart.MC1, allFeats{}, phases, other, JournalOpts{Dir: dir, Resume: true})
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("resume with different config: %v, want ErrJournalMismatch", err)
+	}
+
+	moved := []Phase{{TrainLo: phases[0].TrainLo, TrainHi: phases[0].TrainHi - 1, TestLo: phases[0].TestLo, TestHi: phases[0].TestHi}}
+	_, _, err = RunJournaled(testSource(t), smart.MC1, allFeats{}, moved, cfg, JournalOpts{Dir: dir, Resume: true})
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("resume with shifted phase bounds: %v, want ErrJournalMismatch", err)
+	}
+
+	robust := cfg
+	robust.Robust = &RobustOpts{}
+	_, _, err = RunJournaled(testSource(t), smart.MC1, allFeats{}, phases, robust, JournalOpts{Dir: t.TempDir()})
+	if !errors.Is(err, ErrNotSnapshotable) {
+		t.Errorf("journaled robust run: %v, want ErrNotSnapshotable", err)
+	}
+}

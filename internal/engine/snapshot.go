@@ -22,6 +22,11 @@ const SnapshotFormat = 1
 // ErrSnapshotFormat indicates a snapshot with an incompatible format.
 var ErrSnapshotFormat = errors.New("pipeline: incompatible snapshot format")
 
+// ErrSnapshotCorrupt indicates snapshot bytes that do not decode as a
+// ModelSnapshot — a truncated or damaged artifact, as opposed to a
+// well-formed snapshot of an incompatible format (ErrSnapshotFormat).
+var ErrSnapshotCorrupt = errors.New("pipeline: corrupt snapshot")
+
 // ErrNotSnapshotable indicates a phase result that cannot be captured
 // as a ModelSnapshot (robust-mode runs: their miss-mask columns depend
 // on scoring-time sanitization state, so the trained model is not a
@@ -221,19 +226,32 @@ func SaveSnapshot(reg *core.Registry, name string, snap *ModelSnapshot) (int, er
 	return reg.Save(name, data)
 }
 
-// LoadSnapshot loads a snapshot version from the registry; version <= 0
-// loads the latest.
-func LoadSnapshot(reg *core.Registry, name string, version int) (*ModelSnapshot, error) {
-	data, _, err := reg.Load(name, version)
-	if err != nil {
-		return nil, err
-	}
+// DecodeSnapshot decodes serialized snapshot bytes, distinguishing
+// undecodable input (ErrSnapshotCorrupt) from an incompatible format
+// number (ErrSnapshotFormat). It validates the serialization envelope
+// only; the per-group model payloads are checked when the groups are
+// built for scoring.
+func DecodeSnapshot(data []byte) (*ModelSnapshot, error) {
 	var snap ModelSnapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("pipeline: decode snapshot: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	if snap.Format != SnapshotFormat {
 		return nil, fmt.Errorf("%w: format %d, want %d", ErrSnapshotFormat, snap.Format, SnapshotFormat)
 	}
 	return &snap, nil
+}
+
+// LoadSnapshot loads a snapshot version from the registry; version <= 0
+// loads the latest.
+func LoadSnapshot(reg *core.Registry, name string, version int) (*ModelSnapshot, error) {
+	data, version, err := reg.Load(name, version)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: snapshot %q v%d: %w", name, version, err)
+	}
+	return snap, nil
 }

@@ -28,11 +28,13 @@ var stageOrder = []string{
 // StageStat is one stage execution's accounting: wall-clock duration
 // and the number of rows it processed (ingested days for Ingest, frame
 // rows for Featurize/Train/Calibrate/Score, selected features for
-// Select, drives for Evaluate).
+// Select, drives for Evaluate). Retries counts fault recoveries inside
+// the stage (today: upstream fetch retries during Ingest; 0 elsewhere).
 type StageStat struct {
 	Stage    string
 	Duration time.Duration
 	Rows     int
+	Retries  int
 }
 
 // timeStage runs fn as the named stage, recording its duration and row
@@ -60,6 +62,7 @@ type stageAgg struct {
 	count    int
 	duration time.Duration
 	rows     int
+	retries  int
 }
 
 func (r *StageReport) add(st StageStat) {
@@ -68,17 +71,37 @@ func (r *StageReport) add(st StageStat) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.bySta == nil {
-		r.bySta = make(map[string]*stageAgg)
-	}
-	a := r.bySta[st.Stage]
-	if a == nil {
-		a = &stageAgg{}
-		r.bySta[st.Stage] = a
-	}
+	a := r.agg(st.Stage)
 	a.count++
 	a.duration += st.Duration
 	a.rows += st.Rows
+	a.retries += st.Retries
+}
+
+// addRetries credits fault recoveries to a stage after its StageStat
+// was recorded — retry counts are read from store counters once the
+// stage closure has returned.
+func (r *StageReport) addRetries(stage string, n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.agg(stage).retries += n
+}
+
+// agg returns the stage's aggregate, creating it if needed. Callers
+// hold r.mu.
+func (r *StageReport) agg(stage string) *stageAgg {
+	if r.bySta == nil {
+		r.bySta = make(map[string]*stageAgg)
+	}
+	a := r.bySta[stage]
+	if a == nil {
+		a = &stageAgg{}
+		r.bySta[stage] = a
+	}
+	return a
 }
 
 // StageTotal is one stage's aggregate across a run.
@@ -87,6 +110,7 @@ type StageTotal struct {
 	Count    int
 	Duration time.Duration
 	Rows     int
+	Retries  int
 }
 
 // Totals returns per-stage aggregates in canonical stage order (any
@@ -103,7 +127,7 @@ func (r *StageReport) Totals() []StageTotal {
 	}
 	out := make([]StageTotal, 0, len(r.bySta))
 	for name, a := range r.bySta {
-		out = append(out, StageTotal{Stage: name, Count: a.count, Duration: a.duration, Rows: a.rows})
+		out = append(out, StageTotal{Stage: name, Count: a.count, Duration: a.duration, Rows: a.rows, Retries: a.retries})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ri, iKnown := rank[out[i].Stage]
@@ -129,12 +153,12 @@ func (r *StageReport) String() string {
 		return "stage report: no stages recorded\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %6s %12s %12s\n", "stage", "runs", "rows", "time")
+	fmt.Fprintf(&b, "%-10s %6s %12s %8s %12s\n", "stage", "runs", "rows", "retries", "time")
 	var sum time.Duration
 	for _, t := range totals {
-		fmt.Fprintf(&b, "%-10s %6d %12d %12s\n", t.Stage, t.Count, t.Rows, t.Duration.Round(time.Millisecond))
+		fmt.Fprintf(&b, "%-10s %6d %12d %8d %12s\n", t.Stage, t.Count, t.Rows, t.Retries, t.Duration.Round(time.Millisecond))
 		sum += t.Duration
 	}
-	fmt.Fprintf(&b, "%-10s %6s %12s %12s\n", "total", "", "", sum.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-10s %6s %12s %8s %12s\n", "total", "", "", "", sum.Round(time.Millisecond))
 	return b.String()
 }

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Process-level fault injection: deterministic crash points.
+//
+// A crash point is a named site in the pipeline (registered with
+// RegisterCrashSite) where the process can be made to die abruptly.
+// Setting the WEFR_CRASHPOINT environment variable to "<site>" or
+// "<site>:<n>" makes the n-th execution of that site (1-based,
+// default 1) call os.Exit(CrashExitCode) — no deferred functions, no
+// flushing, the closest portable approximation of a kill -9 at that
+// instant. With the variable unset every CrashPoint call is a cheap
+// no-op, so the sites stay compiled into the production path.
+
+// CrashEnv is the environment variable that arms a crash point.
+const CrashEnv = "WEFR_CRASHPOINT"
+
+// CrashExitCode is the exit status of a process killed by a crash
+// point, distinct from ordinary CLI failures (which exit 1) so
+// harnesses can tell a deliberate crash from a real error.
+const CrashExitCode = 3
+
+var (
+	crashMu    sync.Mutex
+	crashSites = make(map[string]bool)
+
+	// crashArmed caches the parsed CrashEnv spec; nil means disarmed.
+	crashArmed atomic.Pointer[crashSpec]
+	crashInit  sync.Once
+)
+
+type crashSpec struct {
+	site string
+	hit  int64 // fire on the hit-th execution of site (1-based)
+	seen atomic.Int64
+}
+
+// RegisterCrashSite declares a named crash point and returns the name
+// for use at the site, so registration and the CrashPoint call can
+// share one declaration:
+//
+//	var crashAfterTrain = faults.RegisterCrashSite("train")
+//	...
+//	faults.CrashPoint(crashAfterTrain)
+//
+// Registering the same name twice panics: site names are global and a
+// collision would make a crash matrix silently ambiguous.
+func RegisterCrashSite(name string) string {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	if name == "" {
+		panic("faults: empty crash site name")
+	}
+	if crashSites[name] {
+		panic(fmt.Sprintf("faults: crash site %q registered twice", name))
+	}
+	crashSites[name] = true
+	return name
+}
+
+// CrashSites returns every registered crash point name, sorted, for
+// harnesses that iterate the crash matrix.
+func CrashSites() []string {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	out := make([]string, 0, len(crashSites))
+	for name := range crashSites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseCrashSpec parses "<site>" or "<site>:<n>".
+func parseCrashSpec(s string) (*crashSpec, error) {
+	site, hitStr, hasHit := strings.Cut(s, ":")
+	site = strings.TrimSpace(site)
+	if site == "" {
+		return nil, fmt.Errorf("faults: empty %s site", CrashEnv)
+	}
+	spec := &crashSpec{site: site, hit: 1}
+	if hasHit {
+		n, err := strconv.Atoi(strings.TrimSpace(hitStr))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faults: bad %s hit count %q (want a positive integer)", CrashEnv, hitStr)
+		}
+		spec.hit = int64(n)
+	}
+	return spec, nil
+}
+
+// armCrashFromEnv parses CrashEnv once per process. An unparsable
+// value aborts immediately — a misspelled crash spec silently running
+// the pipeline to completion would defeat the harness.
+func armCrashFromEnv() {
+	crashInit.Do(func() {
+		val := os.Getenv(CrashEnv)
+		if val == "" {
+			return
+		}
+		spec, err := parseCrashSpec(val)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		crashArmed.Store(spec)
+	})
+}
+
+// CrashPoint marks the named site: if WEFR_CRASHPOINT armed this site
+// and this is the configured hit, the process exits immediately with
+// CrashExitCode. Sites must be registered (RegisterCrashSite); hitting
+// an unregistered site panics so the registry and the call sites
+// cannot drift apart.
+func CrashPoint(site string) {
+	armCrashFromEnv()
+	spec := crashArmed.Load()
+	if spec == nil {
+		return
+	}
+	crashMu.Lock()
+	known := crashSites[site]
+	crashMu.Unlock()
+	if !known {
+		panic(fmt.Sprintf("faults: crash point at unregistered site %q", site))
+	}
+	if spec.site != site {
+		return
+	}
+	if spec.seen.Add(1) == spec.hit {
+		fmt.Fprintf(os.Stderr, "faults: crash point %s (hit %d) firing\n", site, spec.hit)
+		os.Exit(CrashExitCode)
+	}
+}

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+)
+
+func TestParseCrashSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		site    string
+		hit     int64
+		wantErr bool
+	}{
+		{in: "train", site: "train", hit: 1},
+		{in: "snapshot-save:3", site: "snapshot-save", hit: 3},
+		{in: " ingest : 2 ", site: "ingest", hit: 2},
+		{in: "", wantErr: true},
+		{in: ":2", wantErr: true},
+		{in: "train:0", wantErr: true},
+		{in: "train:-1", wantErr: true},
+		{in: "train:x", wantErr: true},
+	}
+	for _, c := range cases {
+		spec, err := parseCrashSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseCrashSpec(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCrashSpec(%q): %v", c.in, err)
+			continue
+		}
+		if spec.site != c.site || spec.hit != c.hit {
+			t.Errorf("parseCrashSpec(%q) = {%s %d}, want {%s %d}", c.in, spec.site, spec.hit, c.site, c.hit)
+		}
+	}
+}
+
+func TestCrashSiteRegistry(t *testing.T) {
+	name := RegisterCrashSite("test-site-registry")
+	if name != "test-site-registry" {
+		t.Fatalf("RegisterCrashSite returned %q", name)
+	}
+	found := false
+	for _, s := range CrashSites() {
+		if s == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered site missing from CrashSites")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration should panic")
+			}
+		}()
+		RegisterCrashSite("test-site-registry")
+	}()
+	// Disarmed (no env in the test process): a registered site is a
+	// no-op, an unregistered one is indistinguishable because the spec
+	// check short-circuits first.
+	CrashPoint(name)
+}
+
+func testFlakyFleet(t *testing.T) dataset.Source {
+	t.Helper()
+	f, err := simulate.New(simulate.Config{TotalDrives: 60, Days: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.FleetSource{Fleet: f}
+}
+
+// TestFlakyFailFirst verifies the deterministic transient-error shape:
+// the first N fetches of every drive fail with ErrTransient, the next
+// succeeds with data identical to the clean source.
+func TestFlakyFailFirst(t *testing.T) {
+	src := testFlakyFleet(t)
+	fl := NewFlaky(src, FlakyConfig{FailFirst: 2})
+	ref := src.DrivesOf(smart.MC1)[0]
+	for i := 0; i < 2; i++ {
+		if _, _, err := fl.Series(ref); !errors.Is(err, ErrTransient) {
+			t.Fatalf("attempt %d error = %v, want ErrTransient", i+1, err)
+		}
+	}
+	cols, last, err := fl.Series(ref)
+	if err != nil {
+		t.Fatalf("attempt 3: %v", err)
+	}
+	wantCols, wantLast, err := src.Series(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != wantLast || len(cols) != len(wantCols) {
+		t.Errorf("recovered fetch differs: last %d vs %d, %d vs %d cols", last, wantLast, len(cols), len(wantCols))
+	}
+	if fl.Attempts(ref.ID) != 3 {
+		t.Errorf("attempts = %d, want 3", fl.Attempts(ref.ID))
+	}
+}
+
+// TestFlakyFailRateDeterministic verifies the seeded per-attempt
+// stream: two identically configured wrappers fail the same attempts.
+func TestFlakyFailRateDeterministic(t *testing.T) {
+	src := testFlakyFleet(t)
+	refs := src.DrivesOf(smart.MC1)[:10]
+	outcomes := func() []bool {
+		fl := NewFlaky(src, FlakyConfig{Seed: 9, FailRate: 0.5})
+		var out []bool
+		for _, ref := range refs {
+			for i := 0; i < 4; i++ {
+				_, _, err := fl.Series(ref)
+				out = append(out, err != nil)
+			}
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	failed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d nondeterministic", i)
+		}
+		if a[i] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Errorf("FailRate 0.5 failed %d of %d attempts", failed, len(a))
+	}
+}
+
+// TestFlakyHangRelease verifies a hung fetch blocks until released.
+func TestFlakyHangRelease(t *testing.T) {
+	src := testFlakyFleet(t)
+	fl := NewFlaky(src, FlakyConfig{HangFirst: 1})
+	ref := src.DrivesOf(smart.MC1)[0]
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := fl.Series(ref)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung fetch returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fl.ReleaseHung()
+	fl.ReleaseHung() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released fetch failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch still hung after release")
+	}
+}

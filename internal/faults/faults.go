@@ -145,6 +145,11 @@ const (
 	opNaN
 	opSentinel
 	opDropoutBase // + dropout entry index
+
+	// opFlaky seeds the Flaky source's per-attempt failure stream; the
+	// attempt number is added so retries draw independently. Kept well
+	// clear of opDropoutBase's entry-index range.
+	opFlaky uint64 = 1 << 32
 )
 
 // mixSeed derives an operator's RNG seed from the injector seed and

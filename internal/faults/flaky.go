@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/smart"
+)
+
+// ErrTransient is the error a Flaky source returns for injected
+// transient fetch failures, wrapped with drive context. Stores retry
+// it like any other fetch error; it exists so tests can assert the
+// failure they provoked is the one they observed.
+var ErrTransient = errors.New("faults: transient source error")
+
+// FlakyConfig parameterizes process-level source faults: transient
+// errors and slow or hung fetches, the failure modes a remote
+// telemetry backend exhibits in production. All injections are
+// deterministic per (Seed, drive, attempt), independent of fetch order
+// and concurrency.
+type FlakyConfig struct {
+	// Seed drives the FailRate stream.
+	Seed int64
+	// FailFirst makes the first N Series fetches of every drive fail
+	// with ErrTransient — the canonical "retry succeeds" shape.
+	FailFirst int
+	// FailRate additionally fails each attempt with this probability,
+	// drawn from a per-(drive, attempt) stream.
+	FailRate float64
+	// Delay slows every Series fetch by this much — a degraded but
+	// live backend.
+	Delay time.Duration
+	// HangFirst makes the first N Series fetches of every drive block
+	// until ReleaseHung is called (or forever) — a hung backend that
+	// only a per-attempt deadline can step around.
+	HangFirst int
+}
+
+// Flaky wraps a dataset.Source with transient fetch errors, added
+// latency, and hangs per FlakyConfig. The inventory (DrivesOf) and day
+// span pass through untouched; only Series misbehaves. Safe for
+// concurrent use.
+type Flaky struct {
+	inner dataset.Source
+	cfg   FlakyConfig
+
+	mu       sync.Mutex
+	attempts map[int]int
+	released bool
+	releaseC chan struct{}
+}
+
+var _ dataset.Source = (*Flaky)(nil)
+
+// NewFlaky wraps src with the given process-fault configuration.
+func NewFlaky(src dataset.Source, cfg FlakyConfig) *Flaky {
+	return &Flaky{
+		inner:    src,
+		cfg:      cfg,
+		attempts: make(map[int]int),
+		releaseC: make(chan struct{}),
+	}
+}
+
+// ReleaseHung unblocks every fetch currently (or subsequently) hung by
+// HangFirst. Idempotent.
+func (f *Flaky) ReleaseHung() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.released {
+		f.released = true
+		close(f.releaseC)
+	}
+}
+
+// Attempts returns the number of Series fetches seen for the drive.
+func (f *Flaky) Attempts(driveID int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts[driveID]
+}
+
+// Days implements dataset.Source.
+func (f *Flaky) Days() int { return f.inner.Days() }
+
+// DrivesOf implements dataset.Source.
+func (f *Flaky) DrivesOf(m smart.ModelID) []dataset.DriveRef { return f.inner.DrivesOf(m) }
+
+// Series implements dataset.Source, injecting the configured process
+// faults before delegating to the wrapped source.
+func (f *Flaky) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	f.mu.Lock()
+	f.attempts[ref.ID]++
+	attempt := f.attempts[ref.ID]
+	f.mu.Unlock()
+
+	if attempt <= f.cfg.HangFirst {
+		<-f.releaseC
+	}
+	if f.cfg.Delay > 0 {
+		time.Sleep(f.cfg.Delay)
+	}
+	if attempt <= f.cfg.FailFirst {
+		return nil, 0, fmt.Errorf("%w: drive %d attempt %d", ErrTransient, ref.ID, attempt)
+	}
+	if f.cfg.FailRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(f.cfg.Seed, ref.ID, opFlaky+uint64(attempt))))
+		if rng.Float64() < f.cfg.FailRate {
+			return nil, 0, fmt.Errorf("%w: drive %d attempt %d", ErrTransient, ref.ID, attempt)
+		}
+	}
+	return f.inner.Series(ref)
+}

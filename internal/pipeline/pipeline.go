@@ -80,6 +80,12 @@ type (
 	ScoreOpts = engine.ScoreOpts
 )
 
+// Crash-recovery types, re-exported from internal/engine.
+type (
+	// JournalOpts configures a journaled run (RunJournaled).
+	JournalOpts = engine.JournalOpts
+)
+
 // Prediction model families.
 const (
 	// PredictorForest trains the paper's Random Forest (default).
@@ -106,6 +112,13 @@ var (
 	// ErrSnapshotFormat indicates a snapshot with an incompatible
 	// format.
 	ErrSnapshotFormat = engine.ErrSnapshotFormat
+	// ErrSnapshotCorrupt indicates snapshot bytes that do not decode.
+	ErrSnapshotCorrupt = engine.ErrSnapshotCorrupt
+	// ErrJournalExists indicates an existing run journal without
+	// -resume.
+	ErrJournalExists = engine.ErrJournalExists
+	// ErrJournalMismatch indicates a journal from a different run.
+	ErrJournalMismatch = engine.ErrJournalMismatch
 )
 
 // NewEngine builds an engine over the given source; see engine.New.
@@ -131,6 +144,17 @@ func RunPhase(src dataset.Source, model smart.ModelID, sel Selector, ph Phase, c
 func Run(src dataset.Source, model smart.ModelID, sel Selector, phases []Phase, cfg Config) ([]PhaseResult, metrics.Confusion, error) {
 	return engine.Run(src, model, sel, phases, cfg)
 }
+
+// RunJournaled is Run with crash recovery: completed phases are
+// checkpointed to a journal directory, and a rerun with Resume reloads
+// them instead of retraining; see engine.RunJournaled.
+func RunJournaled(src dataset.Source, model smart.ModelID, sel Selector, phases []Phase, cfg Config, jo JournalOpts) ([]PhaseResult, metrics.Confusion, error) {
+	return engine.RunJournaled(src, model, sel, phases, cfg, jo)
+}
+
+// DecodeSnapshot decodes serialized snapshot bytes; see
+// engine.DecodeSnapshot.
+func DecodeSnapshot(data []byte) (*ModelSnapshot, error) { return engine.DecodeSnapshot(data) }
 
 // EvaluateOutcomes computes the drive-level confusion matrix of a set
 // of outcomes.

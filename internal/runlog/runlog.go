@@ -1,0 +1,184 @@
+// Package runlog is a crash-safe, append-only run journal for
+// long-running pipeline jobs. A Journal records typed progress records
+// (phase completions, artifact pointers) in a single file; each record
+// is length-prefixed, CRC32-checksummed, and fsync'd before Append
+// returns, so a record that Append acknowledged survives a process
+// kill or power loss at any later instant.
+//
+// On Open the journal is replayed: records are verified in order and
+// the first invalid record — a torn tail from a crash mid-append, or
+// any later corruption — ends the replay. The file is truncated back
+// to the last valid record, so a journal is always left in a state
+// where appending can continue.
+//
+// The journal stores opaque JSON payloads; callers define the record
+// vocabulary (see internal/engine's journaled runs).
+package runlog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// MaxRecordSize bounds a single record's payload. Journals hold
+// pointers and small metadata, not artifacts; a larger length prefix
+// is treated as corruption rather than honored as an allocation.
+const MaxRecordSize = 16 << 20
+
+// ErrTooLarge indicates an Append payload above MaxRecordSize.
+var ErrTooLarge = errors.New("runlog: record too large")
+
+// Record is one replayed journal entry: a type tag and the opaque
+// payload the writer stored with it.
+type Record struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// recordHeaderSize is the on-disk framing overhead per record: a
+// uint32 payload length followed by a uint32 CRC32 (IEEE) of the
+// payload, both little-endian.
+const recordHeaderSize = 8
+
+// Journal is an open run journal. Not safe for concurrent Append; a
+// run journal has a single writer by construction.
+type Journal struct {
+	f    *os.File
+	path string
+	// size is the validated length of the file: every byte below it
+	// belongs to a verified record.
+	size int64
+}
+
+// Open opens (creating if absent) the journal at path, replays and
+// verifies its records, truncates any torn tail, and returns the
+// journal positioned for appending along with the replayed records.
+func Open(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runlog: open %s: %w", path, err)
+	}
+	recs, valid, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("runlog: replay %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("runlog: stat %s: %w", path, err)
+	}
+	if fi.Size() > valid {
+		// Torn tail: a crash interrupted an append (or later bytes were
+		// corrupted). Drop everything past the last verified record so
+		// the next append starts from a clean boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("runlog: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("runlog: sync %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("runlog: seek %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, size: valid}, recs, nil
+}
+
+// replay reads records from the start of f, stopping at the first
+// invalid one. It returns the verified records and the byte offset of
+// the end of the last valid record.
+func replay(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		recs   []Record
+		offset int64
+		header [recordHeaderSize]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			// EOF exactly at a record boundary is the clean case; a
+			// partial header is a torn tail. Either way replay ends here.
+			return recs, offset, nil
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > MaxRecordSize {
+			return recs, offset, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, offset, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, offset, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// Checksummed but undecodable: written by something else.
+			// Treat as corruption from here on.
+			return recs, offset, nil
+		}
+		recs = append(recs, rec)
+		offset += recordHeaderSize + int64(n)
+	}
+}
+
+// Append marshals payload, frames it with a checksum, writes it, and
+// fsyncs before returning: once Append returns nil the record is
+// durable and will be replayed by every future Open.
+func (j *Journal) Append(typ string, payload any) error {
+	var raw json.RawMessage
+	if payload != nil {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("runlog: encode %s payload: %w", typ, err)
+		}
+		raw = data
+	}
+	body, err := json.Marshal(Record{Type: typ, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("runlog: encode %s record: %w", typ, err)
+	}
+	if len(body) > MaxRecordSize {
+		return fmt.Errorf("%w: %s record is %d bytes", ErrTooLarge, typ, len(body))
+	}
+	buf := make([]byte, recordHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	copy(buf[recordHeaderSize:], body)
+	if _, err := j.f.WriteAt(buf, j.size); err != nil {
+		return fmt.Errorf("runlog: append %s: %w", typ, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runlog: sync %s: %w", typ, err)
+	}
+	j.size += int64(len(buf))
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal's file handle. Records already appended
+// remain durable.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Decode unmarshals a record's payload into v, with a typed error on
+// mismatch.
+func (r Record) Decode(v any) error {
+	if err := json.Unmarshal(r.Payload, v); err != nil {
+		return fmt.Errorf("runlog: decode %s payload: %w", r.Type, err)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package runlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Phase int    `json:"phase"`
+	Name  string `json:"name"`
+}
+
+func openT(t *testing.T, path string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []payload{{0, "phase-0"}, {1, "phase-1"}, {2, "phase-2"}}
+	for _, p := range want {
+		if err := j.Append("phase-done", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append("run-done", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, p := range want {
+		if recs[i].Type != "phase-done" {
+			t.Errorf("record %d type = %q", i, recs[i].Type)
+		}
+		var got payload
+		if err := recs[i].Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Errorf("record %d = %+v, want %+v", i, got, p)
+		}
+	}
+	if recs[3].Type != "run-done" || recs[3].Payload != nil {
+		t.Errorf("final record = %+v", recs[3])
+	}
+}
+
+// TestTornTailTruncation simulates a crash mid-append: every proper
+// prefix of the file must replay to the records whose bytes are fully
+// present, and Open must truncate the torn remainder so subsequent
+// appends extend a valid journal.
+func TestTornTailTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _ := openT(t, path)
+	var ends []int64
+	for i := 0; i < 3; i++ {
+		if err := j.Append("phase-done", payload{Phase: i}); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, j.size)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	complete := func(cut int64) int {
+		n := 0
+		for _, e := range ends {
+			if e <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs := openT(t, path)
+		if len(recs) != complete(cut) {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), complete(cut))
+		}
+		// The torn tail is gone: appending now must yield exactly the
+		// replayed records plus the new one on the next open.
+		if err := j2.Append("resumed", nil); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		j3, recs3 := openT(t, path)
+		if len(recs3) != complete(cut)+1 || recs3[len(recs3)-1].Type != "resumed" {
+			t.Fatalf("cut %d: after truncate+append replay = %d records", cut, len(recs3))
+		}
+		j3.Close()
+	}
+}
+
+// TestCorruptRecordEndsReplay flips a payload byte of the middle
+// record: replay keeps the records before it and drops it and
+// everything after.
+func TestCorruptRecordEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _ := openT(t, path)
+	var ends []int64
+	for i := 0; i < 3; i++ {
+		if err := j.Append("phase-done", payload{Phase: i}); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, j.size)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[ends[0]+recordHeaderSize] ^= 0xFF // first payload byte of record 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past corruption, want 1", len(recs))
+	}
+}
+
+// TestBogusLengthPrefix guards the replay against a corrupted length
+// field: a huge or zero length ends replay instead of allocating or
+// looping.
+func TestBogusLengthPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _ := openT(t, path)
+	if err := j.Append("phase-done", payload{Phase: 0}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	for _, n := range []uint32{0, MaxRecordSize + 1, ^uint32(0)} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		header := make([]byte, recordHeaderSize)
+		binary.LittleEndian.PutUint32(header[0:4], n)
+		if err := os.WriteFile(path, append(data, header...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs := openT(t, path)
+		if len(recs) != 1 {
+			t.Fatalf("length %d: replayed %d records, want 1", n, len(recs))
+		}
+		j2.Close()
+	}
+}
+
+func TestAppendRejectsOversizedPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _ := openT(t, path)
+	defer j.Close()
+	big := struct {
+		Blob string `json:"blob"`
+	}{Blob: strings.Repeat("x", MaxRecordSize)}
+	if err := j.Append("huge", big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append error = %v, want ErrTooLarge", err)
+	}
+	// The journal is still usable and the failed append left no bytes.
+	if err := j.Append("ok", payload{Phase: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Type != "ok" {
+		t.Fatalf("replay after rejected append = %+v", recs)
+	}
+}
+
+func TestOpenCreatesMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub-does-not-exist", "run.journal")
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("open in missing directory should fail")
+	}
+	path = filepath.Join(t.TempDir(), "run.journal")
+	j, recs := openT(t, path)
+	defer j.Close()
+	if len(recs) != 0 {
+		t.Fatalf("new journal has %d records", len(recs))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file not created: %v", err)
+	}
+}

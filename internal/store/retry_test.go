@@ -1,0 +1,216 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/smart"
+)
+
+// TestRetryRecoversTransient verifies the bounded-backoff retry path:
+// a source whose first two fetches per drive fail transiently ingests
+// cleanly with MaxFetchAttempts 3, and the counters account every
+// attempt, retry, and error.
+func TestRetryRecoversTransient(t *testing.T) {
+	fl := faults.NewFlaky(testFleet(t), faults.FlakyConfig{FailFirst: 2})
+	st := Open(fl, Options{
+		Workers:          4,
+		MaxFetchAttempts: 3,
+		FetchBackoff:     time.Microsecond,
+	})
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendThrough(59); err != nil {
+		t.Fatalf("ingest with retries failed: %v", err)
+	}
+	c := st.Counters()
+	drives := len(st.Snapshot().DrivesOf(smart.MC1))
+	if drives == 0 {
+		t.Fatal("no drives ingested")
+	}
+	if want := int64(3 * drives); c.SeriesFetches != want {
+		t.Errorf("SeriesFetches = %d, want %d (3 attempts x %d drives)", c.SeriesFetches, want, drives)
+	}
+	if want := int64(2 * drives); c.FetchRetries != want {
+		t.Errorf("FetchRetries = %d, want %d", c.FetchRetries, want)
+	}
+	if want := int64(2 * drives); c.FetchErrors != want {
+		t.Errorf("FetchErrors = %d, want %d", c.FetchErrors, want)
+	}
+	if want := cleanDaysThrough(t, 59); c.DaysIngested != want {
+		t.Errorf("DaysIngested = %d, want %d", c.DaysIngested, want)
+	}
+}
+
+// cleanDaysThrough returns the DaysIngested a fault-free store counts
+// for the MC1 partition of the shared test fleet through the given
+// day — the baseline every faulty-but-recovered ingest must match.
+func cleanDaysThrough(t *testing.T, day int) int64 {
+	t.Helper()
+	st := Open(testFleet(t), Options{Workers: 1})
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendThrough(day); err != nil {
+		t.Fatal(err)
+	}
+	return st.Counters().DaysIngested
+}
+
+// TestFailedIngestLeavesNothingVisible is satellite 3's core claim: a
+// mid-append source failure must not advance the visible horizon,
+// must not count any ingested day, and must leave snapshots unable to
+// see any partially-ingested data. A subsequent append against a
+// healed source then succeeds from the original horizon.
+func TestFailedIngestLeavesNothingVisible(t *testing.T) {
+	src := testFleet(t)
+	fl := faults.NewFlaky(src, faults.FlakyConfig{FailFirst: 1})
+	// Single attempt: the first fetch of every drive fails, so the
+	// append must fail no matter which drive the workers reach first.
+	// Tracking at horizon 0 fetches nothing and therefore succeeds.
+	st := Open(fl, Options{Workers: 4})
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	err := st.AppendThrough(59)
+	if !errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("AppendThrough error = %v, want ErrTransient", err)
+	}
+	if h := st.Horizon(); h != 0 {
+		t.Errorf("failed append advanced horizon to %d", h)
+	}
+	c := st.Counters()
+	if c.DaysIngested != 0 {
+		t.Errorf("failed append counted %d ingested days", c.DaysIngested)
+	}
+	if c.Appends != 0 {
+		t.Errorf("failed append counted %d appends", c.Appends)
+	}
+	if c.FetchErrors == 0 {
+		t.Error("no fetch errors counted")
+	}
+	snap := st.Snapshot()
+	if snap.Days() != 0 {
+		t.Errorf("snapshot after failed append sees %d days", snap.Days())
+	}
+	for _, ref := range src.DrivesOf(smart.MC1) {
+		if _, _, err := snap.Series(ref); err == nil {
+			t.Fatalf("drive %d visible through snapshot after failed append", ref.ID)
+		}
+		break // one drive suffices; all are equivalent
+	}
+
+	// The source heals (FailFirst exhausted per drive on the second
+	// attempt): retrying the same append now succeeds in full.
+	if err := st.AppendThrough(59); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if h := st.Horizon(); h != 60 {
+		t.Errorf("horizon after healed append = %d, want 60", h)
+	}
+	c = st.Counters()
+	if want := cleanDaysThrough(t, 59); c.DaysIngested != want {
+		t.Errorf("DaysIngested = %d, want %d", c.DaysIngested, want)
+	}
+}
+
+// TestPartialFailureRetryDoesNotRefetch verifies that drives fetched
+// before a mid-append failure stay cached: the retry refetches only
+// the drives that failed.
+func TestPartialFailureRetryDoesNotRefetch(t *testing.T) {
+	src := newCountingSource(testFleet(t))
+	refs := src.DrivesOf(smart.MC1)
+	victim := refs[len(refs)/2].ID
+	fl := &failDriveOnce{Source: src, drive: victim}
+	st := Open(fl, Options{Workers: 1})
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendThrough(59); err == nil {
+		t.Fatal("expected append failure on poisoned drive")
+	}
+	if st.Horizon() != 0 || st.Counters().DaysIngested != 0 {
+		t.Fatalf("partial failure leaked visibility: horizon=%d counters=%+v", st.Horizon(), st.Counters())
+	}
+	if err := st.AppendThrough(59); err != nil {
+		t.Fatalf("retry append: %v", err)
+	}
+	// The injected failure dies in the wrapper before reaching the
+	// upstream source, so a clean cache means every drive hit upstream
+	// exactly once across both appends.
+	if len(src.calls) == 0 {
+		t.Fatal("no upstream fetches recorded")
+	}
+	for id, n := range src.calls {
+		if n != 1 {
+			t.Errorf("drive %d fetched %d times from upstream, want 1", id, n)
+		}
+	}
+}
+
+// failDriveOnce fails the first fetch of one specific drive.
+type failDriveOnce struct {
+	dataset.Source
+	drive  int
+	failed bool
+}
+
+func (f *failDriveOnce) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	if ref.ID == f.drive && !f.failed {
+		f.failed = true
+		return nil, 0, errors.New("injected one-shot fetch failure")
+	}
+	return f.Source.Series(ref)
+}
+
+// TestFetchTimeoutSteppedAround verifies the per-attempt deadline: a
+// source that hangs its first fetch per drive times out with
+// ErrFetchTimeout, and with retries enabled the second (non-hung)
+// attempt succeeds.
+func TestFetchTimeoutSteppedAround(t *testing.T) {
+	fl := faults.NewFlaky(testFleet(t), faults.FlakyConfig{HangFirst: 1})
+	defer fl.ReleaseHung() // let leaked fetch goroutines finish
+
+	st := Open(fl, Options{
+		Workers:          2,
+		MaxFetchAttempts: 2,
+		FetchBackoff:     time.Microsecond,
+		FetchTimeout:     30 * time.Millisecond,
+	})
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendThrough(29); err != nil {
+		t.Fatalf("append with hung-then-live source: %v", err)
+	}
+	if h := st.Horizon(); h != 30 {
+		t.Errorf("horizon = %d, want 30", h)
+	}
+	c := st.Counters()
+	if c.FetchErrors == 0 || c.FetchRetries == 0 {
+		t.Errorf("timeouts not accounted: %+v", c)
+	}
+}
+
+// TestFetchTimeoutErrorIdentity verifies an exhausted hung fetch
+// surfaces ErrFetchTimeout to the caller.
+func TestFetchTimeoutErrorIdentity(t *testing.T) {
+	fl := faults.NewFlaky(testFleet(t), faults.FlakyConfig{HangFirst: 10})
+	defer fl.ReleaseHung()
+
+	st := Open(fl, Options{Workers: 1, FetchTimeout: 20 * time.Millisecond})
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	err := st.AppendThrough(9)
+	if !errors.Is(err, ErrFetchTimeout) {
+		t.Fatalf("error = %v, want ErrFetchTimeout", err)
+	}
+	if st.Horizon() != 0 {
+		t.Errorf("horizon advanced past timeout: %d", st.Horizon())
+	}
+}

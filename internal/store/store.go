@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/smart"
@@ -28,22 +29,35 @@ import (
 // horizon backwards; the store is append-only.
 var ErrHorizonRetreat = errors.New("store: horizon cannot retreat")
 
+// ErrFetchTimeout indicates an upstream Series fetch that exceeded the
+// per-attempt deadline (Options.FetchTimeout).
+var ErrFetchTimeout = errors.New("store: fetch deadline exceeded")
+
 // Counters accounts the store's ingest work. All counts are cumulative
 // since Open.
 type Counters struct {
-	// SeriesFetches is the number of upstream Source.Series calls.
-	// Once every tracked drive is ingested it stays flat: snapshots
-	// serve reads from the store, and appending more days never
-	// re-fetches a drive.
+	// SeriesFetches is the number of upstream Source.Series attempts
+	// (retries included). Once every tracked drive is ingested it
+	// stays flat: snapshots serve reads from the store, and appending
+	// more days never re-fetches a drive.
 	SeriesFetches int64
 	// DaysIngested is the number of (drive, day) cells made visible by
-	// horizon advances, counted exactly once per cell.
+	// horizon advances, counted exactly once per cell. A failed append
+	// leaves it untouched: cells only count once they are actually
+	// visible to snapshots.
 	DaysIngested int64
 	// Appends is the number of AppendDay/AppendThrough calls that
 	// advanced the horizon.
 	Appends int64
 	// Snapshots is the number of Snapshot views taken.
 	Snapshots int64
+	// FetchRetries is the number of retry attempts after transient
+	// upstream fetch errors (attempts beyond each call's first).
+	FetchRetries int64
+	// FetchErrors is the number of upstream fetch attempts that
+	// returned an error (or timed out), whether or not a retry later
+	// succeeded.
+	FetchErrors int64
 }
 
 // Options configures a Store.
@@ -52,6 +66,23 @@ type Options struct {
 	// and Track; 0 means GOMAXPROCS. The ingested data is identical
 	// for any value.
 	Workers int
+	// MaxFetchAttempts bounds upstream Series attempts per drive fetch:
+	// after the first attempt fails, up to MaxFetchAttempts-1 retries
+	// follow with exponential backoff. 0 or 1 means a single attempt
+	// (no retry), the legacy behavior.
+	MaxFetchAttempts int
+	// FetchBackoff is the delay before the first retry, doubling per
+	// subsequent retry up to FetchBackoffMax; 0 means 10ms.
+	FetchBackoff time.Duration
+	// FetchBackoffMax caps the growing backoff; 0 means 1s.
+	FetchBackoffMax time.Duration
+	// FetchTimeout is the per-attempt deadline on an upstream Series
+	// call; 0 means no deadline. A timed-out attempt counts as a fetch
+	// error and is retried like one. The abandoned call's goroutine is
+	// left to finish in the background (the Source interface has no
+	// cancellation), so a truly hung upstream leaks one goroutine per
+	// timed-out attempt.
+	FetchTimeout time.Duration
 }
 
 // Store is the append-only fleet store. Safe for concurrent use; all
@@ -68,6 +99,8 @@ type Store struct {
 	daysIngested  atomic.Int64
 	appends       atomic.Int64
 	snapshots     atomic.Int64
+	fetchRetries  atomic.Int64
+	fetchErrors   atomic.Int64
 }
 
 // partition holds one drive model's inventory and columnar series.
@@ -81,13 +114,15 @@ type partition struct {
 // driveCols is one drive's ingested columns. Columns hold the full
 // fetched series; visibility is bounded by the snapshot horizon, and
 // visible (drive, day) cells are accounted exactly once in
-// Counters.DaysIngested.
+// Counters.DaysIngested. A failed fetch leaves the drive unfetched so
+// a later ingest retries it — transient upstream errors must not wedge
+// a drive permanently.
 type driveCols struct {
-	lastDay   int
-	visible   atomic.Int64 // days already accounted as ingested
-	cols      map[smart.Feature][]float64
-	fetchOnce sync.Once
-	fetchErr  error
+	mu      sync.Mutex // serializes fetch attempts for this drive
+	fetched bool
+	lastDay int
+	visible atomic.Int64 // days already accounted as ingested
+	cols    map[smart.Feature][]float64
 }
 
 // Open wraps an upstream source in an empty store (horizon 0, nothing
@@ -116,6 +151,8 @@ func (st *Store) Counters() Counters {
 		DaysIngested:  st.daysIngested.Load(),
 		Appends:       st.appends.Load(),
 		Snapshots:     st.snapshots.Load(),
+		FetchRetries:  st.fetchRetries.Load(),
+		FetchErrors:   st.fetchErrors.Load(),
 	}
 }
 
@@ -170,38 +207,74 @@ func (st *Store) AppendDay() error {
 // visible, ingesting only the not-yet-ingested days of every tracked
 // partition. Re-appending an already-visible day is a no-op; a horizon
 // can never retreat, so snapshots stay immutable.
+//
+// The horizon advances only after every tracked partition has ingested
+// successfully: a source error partway through an append leaves the
+// visible horizon — and therefore every snapshot, and the DaysIngested
+// counter — exactly where it was, with no partially-visible day.
+// Drives fetched before the failure stay cached, so retrying the
+// append redoes only the failed fetches.
 func (st *Store) AppendThrough(day int) error {
 	if day < 0 {
 		return fmt.Errorf("%w: day %d", ErrHorizonRetreat, day)
 	}
 	newHorizon := day + 1
-	st.mu.Lock()
-	if newHorizon <= st.horizon {
-		st.mu.Unlock()
-		return nil
-	}
-	st.horizon = newHorizon
+	st.mu.RLock()
+	cur := st.horizon
 	parts := make([]*partition, 0, len(st.parts))
 	for _, p := range st.parts {
 		parts = append(parts, p)
 	}
-	st.mu.Unlock()
-	st.appends.Add(1)
+	st.mu.RUnlock()
+	if newHorizon <= cur {
+		return nil
+	}
 
 	for _, p := range parts {
-		if err := st.ingest(p, newHorizon); err != nil {
+		if err := st.fetchPartition(p); err != nil {
 			return err
+		}
+	}
+
+	st.mu.Lock()
+	advanced := newHorizon > st.horizon
+	if advanced {
+		st.horizon = newHorizon
+	}
+	st.mu.Unlock()
+	if !advanced {
+		// A concurrent append got there first — and accounted the cells.
+		return nil
+	}
+	st.appends.Add(1)
+	for _, p := range parts {
+		for _, dc := range p.drives {
+			st.accountVisible(dc, newHorizon)
 		}
 	}
 	return nil
 }
 
 // ingest brings every drive of the partition up to the given horizon,
-// fetching each drive's upstream series at most once ever.
+// fetching each drive's upstream series as needed and accounting the
+// newly visible days.
 func (st *Store) ingest(p *partition, horizon int) error {
 	if horizon <= 0 {
 		return nil
 	}
+	if err := st.fetchPartition(p); err != nil {
+		return err
+	}
+	for _, dc := range p.drives {
+		st.accountVisible(dc, horizon)
+	}
+	return nil
+}
+
+// fetchPartition brings every drive of the partition into the store
+// (already-fetched drives are skipped), in parallel per Options.
+// Workers. It does not touch visibility accounting.
+func (st *Store) fetchPartition(p *partition) error {
 	workers := st.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -211,7 +284,7 @@ func (st *Store) ingest(p *partition, horizon int) error {
 	}
 	if workers <= 1 {
 		for i := range p.drives {
-			if err := st.ingestDrive(p.refs[i], p.drives[i], horizon); err != nil {
+			if err := st.fetchDrive(p.refs[i], p.drives[i]); err != nil {
 				return err
 			}
 		}
@@ -229,7 +302,7 @@ func (st *Store) ingest(p *partition, horizon int) error {
 				if i >= len(p.drives) {
 					return
 				}
-				errs[i] = st.ingestDrive(p.refs[i], p.drives[i], horizon)
+				errs[i] = st.fetchDrive(p.refs[i], p.drives[i])
 			}
 		}()
 	}
@@ -242,31 +315,96 @@ func (st *Store) ingest(p *partition, horizon int) error {
 	return nil
 }
 
-// ingestDrive fetches the drive's series on first touch and accounts
-// the newly visible days, each (drive, day) cell exactly once.
-func (st *Store) ingestDrive(ref dataset.DriveRef, dc *driveCols, horizon int) error {
-	dc.fetchOnce.Do(func() {
-		cols, lastDay, err := st.src.Series(ref)
-		if err != nil {
-			dc.fetchErr = err
-			return
-		}
-		st.seriesFetches.Add(1)
-		dc.cols = cols
-		dc.lastDay = lastDay
-	})
-	if dc.fetchErr != nil {
-		return dc.fetchErr
+// fetchDrive ensures the drive's series is in the store, retrying
+// transient upstream errors with bounded exponential backoff and a
+// per-attempt deadline (Options). A drive whose fetch ultimately fails
+// is left unfetched, so the next ingest attempts it again.
+func (st *Store) fetchDrive(ref dataset.DriveRef, dc *driveCols) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if dc.fetched {
+		return nil
 	}
-	want := int64(min(horizon, dc.lastDay+1))
+	attempts := st.opts.MaxFetchAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := st.opts.FetchBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	maxBackoff := st.opts.FetchBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			st.fetchRetries.Add(1)
+			time.Sleep(backoff)
+			backoff = min(backoff*2, maxBackoff)
+		}
+		cols, lastDay, err := st.fetchSeries(ref)
+		st.seriesFetches.Add(1)
+		if err == nil {
+			dc.cols = cols
+			dc.lastDay = lastDay
+			dc.fetched = true
+			return nil
+		}
+		st.fetchErrors.Add(1)
+		lastErr = err
+	}
+	return fmt.Errorf("store: fetch drive %d (model %v) failed after %d attempt(s): %w",
+		ref.ID, ref.Model, attempts, lastErr)
+}
+
+// fetchSeries runs one upstream Series attempt under the per-attempt
+// deadline, when one is configured.
+func (st *Store) fetchSeries(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	timeout := st.opts.FetchTimeout
+	if timeout <= 0 {
+		return st.src.Series(ref)
+	}
+	type result struct {
+		cols    map[smart.Feature][]float64
+		lastDay int
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		cols, lastDay, err := st.src.Series(ref)
+		ch <- result{cols, lastDay, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.cols, r.lastDay, r.err
+	case <-timer.C:
+		return nil, 0, fmt.Errorf("%w: drive %d after %v", ErrFetchTimeout, ref.ID, timeout)
+	}
+}
+
+// accountVisible records the drive's newly visible days, each
+// (drive, day) cell exactly once, up to the given horizon. Unfetched
+// drives have nothing visible to account.
+func (st *Store) accountVisible(dc *driveCols, horizon int) {
+	dc.mu.Lock()
+	fetched, lastDay := dc.fetched, dc.lastDay
+	dc.mu.Unlock()
+	if !fetched {
+		return
+	}
+	want := int64(min(horizon, lastDay+1))
 	for {
 		have := dc.visible.Load()
 		if want <= have {
-			return nil
+			return
 		}
 		if dc.visible.CompareAndSwap(have, want) {
 			st.daysIngested.Add(want - have)
-			return nil
+			return
 		}
 	}
 }
@@ -351,9 +489,10 @@ func (s *Snapshot) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, in
 	// Idempotent: serves from the store after the first fetch (the
 	// fetch only happens here when the partition was tracked after the
 	// last append).
-	if err := s.st.ingestDrive(ref, dc, s.days); err != nil {
+	if err := s.st.fetchDrive(ref, dc); err != nil {
 		return nil, 0, err
 	}
+	s.st.accountVisible(dc, s.days)
 	lastDay := min(dc.lastDay, s.days-1)
 	if lastDay < 0 {
 		return nil, 0, fmt.Errorf("store: drive %d has no days within horizon %d", ref.ID, s.days)
