@@ -14,8 +14,11 @@
 // their histogram-binned variants forest-fit-hist / gbdt-fit-hist),
 // batch scoring (forest-predict-batch), the daily fleet-scoring path
 // the pipeline runs per testing phase (phase-score: frame
-// materialization with feature expansion plus model scoring), and the
-// simulator's series generation (series-gen, series-gen-batch).
+// materialization with feature expansion plus model scoring), the
+// simulator's series generation (series-gen, series-gen-batch), and
+// million-drive daily scoring through the compiled flat kernel over a
+// disk-spilled columnar fleet (fleet-score; size it with
+// -fleet-drives, default 1,000,000 or 50,000 under -quick).
 //
 // After a run, the report is diffed against the most recent prior
 // BENCH_*.json in the working directory (by modification time) and a
@@ -33,15 +36,18 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/flat"
 	"repro/internal/forest"
 	"repro/internal/gbdt"
 	"repro/internal/hist"
 	"repro/internal/simulate"
 	"repro/internal/smart"
+	"repro/internal/store"
 	"repro/internal/textplot"
 )
 
@@ -52,6 +58,9 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	N           int     `json:"n"`
 	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+	// Extra carries benchmark-specific metrics reported via
+	// b.ReportMetric (e.g. fleet-score's "drives/sec").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the BENCH_<date>.json layout.
@@ -74,6 +83,7 @@ func main() {
 		baseline = flag.String("baseline", "", "prior report to embed and compare against")
 		only     = flag.String("bench", "", "run only the named benchmark")
 		quick    = flag.Bool("quick", false, "run each benchmark for a single iteration (CI smoke test; numbers are noisy)")
+		fleetN   = flag.Int("fleet-drives", 0, "fleet-score fleet size (default 1000000, or 50000 with -quick)")
 	)
 	flag.Parse()
 	if *quick {
@@ -81,6 +91,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	switch {
+	case *fleetN > 0:
+		fleetDrives = *fleetN
+	case *quick:
+		fleetDrives = 50_000
+	default:
+		fleetDrives = 1_000_000
 	}
 
 	if err := run(*out, *baseline, *only); err != nil {
@@ -90,6 +108,7 @@ func main() {
 }
 
 func run(out, baselinePath, only string) error {
+	defer runCleanups()
 	rep := Report{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -116,11 +135,20 @@ func run(out, baselinePath, only string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
 		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
 		if base, ok := rep.Baseline[bm.baselineName()]; ok && res.NsPerOp > 0 {
 			res.Speedup = float64(base.NsPerOp) / float64(res.NsPerOp)
 		}
 		rep.Benchmarks[bm.name] = res
 		fmt.Printf("%12d ns/op %10d B/op %8d allocs/op", res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if v, ok := res.Extra["drives/sec"]; ok {
+			fmt.Printf("   %.0f drives/sec", v)
+		}
 		if res.Speedup > 0 {
 			fmt.Printf("   %.2fx vs baseline", res.Speedup)
 		}
@@ -313,6 +341,18 @@ var benches = []bench{
 	{name: "phase-score", fn: benchPhaseScore},
 	{name: "series-gen", fn: benchSeriesGen},
 	{name: "series-gen-batch", fn: benchSeriesGenBatch},
+	{name: "fleet-score", fn: benchFleetScore},
+}
+
+// cleanups are teardown hooks registered by benchmark setup (temp
+// spill directories, open stores); run LIFO after the bench loop.
+var cleanups []func()
+
+func runCleanups() {
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+	cleanups = nil
 }
 
 // synthData builds a deterministic frame-shaped dataset: one signal
@@ -512,4 +552,216 @@ func benchSeriesGenBatch(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- fleet-score: million-drive daily scoring ---
+
+// fleetDrives is the fleet-score fleet size, set from -fleet-drives.
+var fleetDrives = 1_000_000
+
+// fleetFeats is the fleet benchmark's scoring feature set: wear and
+// workload context plus the error counters that drive the paper's
+// failure signal. Sorted by name so training columns line up with the
+// spill file's column order (DayColumns returns features sorted).
+var fleetFeats = func() []smart.Feature {
+	fs := []smart.Feature{
+		{Attr: smart.MWI, Kind: smart.Normalized},
+		{Attr: smart.ARS, Kind: smart.Normalized},
+		{Attr: smart.RER, Kind: smart.Normalized},
+		{Attr: smart.POH, Kind: smart.Raw},
+		{Attr: smart.PCC, Kind: smart.Raw},
+		{Attr: smart.TLW, Kind: smart.Raw},
+		{Attr: smart.RSC, Kind: smart.Raw},
+		{Attr: smart.UCE, Kind: smart.Raw},
+		{Attr: smart.PFC, Kind: smart.Raw},
+		{Attr: smart.EFC, Kind: smart.Raw},
+		{Attr: smart.PSC, Kind: smart.Raw},
+		{Attr: smart.CEC, Kind: smart.Raw},
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].String() < fs[j].String() })
+	return fs
+}()
+
+// fleetRowInto fills one drive's daily SMART reading. Healthy drives
+// report exact-zero error counters almost always — the fleet's real
+// sparsity, which lets tree traversal exit early for the overwhelming
+// majority of the fleet — while at-risk drives show elevated counters
+// and degraded normalized health values.
+func fleetRowInto(rng *rand.Rand, atRisk bool, dst []float64) {
+	for i, ft := range fleetFeats {
+		var v float64
+		switch ft.Attr {
+		case smart.MWI:
+			v = 97 - 40*rng.Float64()
+			if atRisk {
+				v = 60 - 35*rng.Float64()
+			}
+		case smart.ARS:
+			v = 100
+			if atRisk || rng.Float64() < 0.03 {
+				v = 100 - float64(rng.Intn(40))
+			}
+		case smart.RER:
+			v = 100 - 12*rng.Float64()
+			if atRisk {
+				v -= 30 * rng.Float64()
+			}
+		case smart.POH:
+			v = float64(2000 + rng.Intn(30000))
+		case smart.PCC:
+			v = float64(rng.Intn(120))
+		case smart.TLW:
+			v = 1e6 * (1 + 50*rng.Float64())
+		default: // error counters: RSC, UCE, PFC, EFC, PSC, CEC
+			if atRisk {
+				v = float64(1 + rng.Intn(400))
+			} else if rng.Float64() < 0.015 {
+				v = float64(1 + rng.Intn(4))
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// fleetSource is a deterministic generate-on-demand single-day fleet:
+// drive i's reading is a pure function of its ID, so a million-drive
+// fleet costs no resident memory and spills in O(workers) space.
+type fleetSource struct{ n int }
+
+func (s fleetSource) Days() int { return 1 }
+
+func (s fleetSource) DrivesOf(m smart.ModelID) []dataset.DriveRef {
+	if m != smart.MC1 {
+		return nil
+	}
+	refs := make([]dataset.DriveRef, s.n)
+	for i := range refs {
+		refs[i] = dataset.DriveRef{ID: i, Model: smart.MC1, FailDay: -1}
+	}
+	return refs
+}
+
+func (s fleetSource) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	rng := rand.New(rand.NewSource(0x5EED + int64(ref.ID)*1_664_525))
+	atRisk := rng.Float64() < 0.02
+	row := make([]float64, len(fleetFeats))
+	fleetRowInto(rng, atRisk, row)
+	cols := make(map[smart.Feature][]float64, len(fleetFeats))
+	for i, ft := range fleetFeats {
+		cols[ft] = row[i : i+1 : i+1]
+	}
+	return cols, 0, nil
+}
+
+// fleetTrainData draws a labeled training sample from the same
+// generator, oversampling the at-risk profile to a 1:8 class mix.
+func fleetTrainData(n int) (cols [][]float64, y []int) {
+	cols = make([][]float64, len(fleetFeats))
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	y = make([]int, n)
+	row := make([]float64, len(fleetFeats))
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(7_700_000_001 + int64(i)*22_695_477))
+		atRisk := i%8 == 0
+		if atRisk {
+			y[i] = 1
+		}
+		fleetRowInto(rng, atRisk, row)
+		for f := range cols {
+			cols[f][i] = row[f]
+		}
+	}
+	return cols, y
+}
+
+// fleetState caches the expensive fleet-score fixture (trained model,
+// spilled fleet, open store) across testing.Benchmark's calibration
+// re-runs; the fleet size is fixed per process, so one setup serves
+// every invocation.
+var fleetState struct {
+	once sync.Once
+	err  error
+	st   *store.Store
+	fl   *flat.Forest
+	out  []float64
+	n    int
+}
+
+func fleetSetup() error {
+	fleetState.once.Do(func() {
+		fleetState.err = func() error {
+			n := fleetDrives
+			cols, y := fleetTrainData(6000)
+			f, err := forest.Fit(cols, y, forest.Config{
+				NumTrees: 30, MaxDepth: 8, MinLeafSamples: 64,
+				Seed: 11, SplitMethod: hist.SplitHist, MaxBins: 64,
+			})
+			if err != nil {
+				return err
+			}
+			fl, err := flat.CompileForest(f)
+			if err != nil {
+				return err
+			}
+			dir, err := os.MkdirTemp("", "bench-fleet-*")
+			if err != nil {
+				return err
+			}
+			cleanups = append(cleanups, func() { os.RemoveAll(dir) })
+			src := fleetSource{n: n}
+			if _, err := store.WriteSpill(dir, src, smart.MC1, runtime.GOMAXPROCS(0)); err != nil {
+				return err
+			}
+			st := store.Open(src, store.Options{SpillDir: dir})
+			if err := st.Track(smart.MC1); err != nil {
+				return err
+			}
+			if err := st.AppendThrough(0); err != nil {
+				return err
+			}
+			cleanups = append(cleanups, func() { st.Close() })
+			fleetState.st, fleetState.fl, fleetState.n = st, fl, n
+			fleetState.out = make([]float64, n)
+			return nil
+		}()
+	})
+	return fleetState.err
+}
+
+// benchFleetScore measures the full daily fleet-scoring path at
+// -fleet-drives scale: materialize today's columns zero-copy from the
+// spilled fleet, score every drive through the compiled flat forest,
+// and sweep the alarm threshold — the steady-state work of scoring a
+// million-drive deployment each day.
+func benchFleetScore(b *testing.B) {
+	if err := fleetSetup(); err != nil {
+		b.Fatal(err)
+	}
+	snap := fleetState.st.Snapshot()
+	alarms := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cols, refs, err := snap.DayColumns(smart.MC1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := fleetState.out[:len(refs)]
+		if err := fleetState.fl.PredictProbaBatch(cols, out); err != nil {
+			b.Fatal(err)
+		}
+		alarms = 0
+		for _, p := range out {
+			if p >= 0.5 {
+				alarms++
+			}
+		}
+	}
+	b.StopTimer()
+	if alarms == 0 || alarms > fleetState.n/4 {
+		b.Fatalf("implausible alarm count %d of %d drives", alarms, fleetState.n)
+	}
+	b.ReportMetric(float64(fleetState.n)*float64(b.N)*1e9/float64(b.Elapsed().Nanoseconds()), "drives/sec")
 }

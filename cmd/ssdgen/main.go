@@ -9,6 +9,12 @@
 //
 // produces ./data/smart_<MODEL>.csv for each model plus
 // ./data/tickets.csv.
+//
+// With -spill, the fleet is instead streamed into the binary columnar
+// spill format of internal/store (one <MODEL>.spill file per model,
+// written with O(workers) resident memory), which a store opened with
+// Options.SpillDir maps back zero-copy — the path to million-drive
+// fleets that never fit in RAM as CSV.
 package main
 
 import (
@@ -16,10 +22,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/dataset"
 	"repro/internal/simulate"
 	"repro/internal/smart"
+	"repro/internal/store"
 )
 
 func main() {
@@ -30,9 +38,18 @@ func main() {
 		afrScale = flag.Float64("afr-scale", 1, "multiplier on each model's target AFR")
 		out      = flag.String("out", ".", "output directory")
 		models   = flag.String("models", "", "comma-separated model subset (e.g. MC1,MC2); empty = all")
+		spill    = flag.Bool("spill", false, "write binary columnar spill files (store.Options.SpillDir layout) instead of CSVs, streaming with O(workers) memory")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "spill-mode generation parallelism")
 	)
 	flag.Parse()
 
+	if *spill {
+		if err := runSpill(*drives, *days, *seed, *afrScale, *out, *models, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "ssdgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*drives, *days, *seed, *afrScale, *out, *models); err != nil {
 		fmt.Fprintf(os.Stderr, "ssdgen: %v\n", err)
 		os.Exit(1)
@@ -75,6 +92,44 @@ func run(drives, days int, seed int64, afrScale float64, out, modelList string) 
 		return err
 	}
 	fmt.Printf("wrote %s\n", ticketPath)
+	return nil
+}
+
+// runSpill streams each model's fleet straight into the store's
+// columnar spill format. Series are generated per drive on demand and
+// written with positioned writes, so memory stays O(workers) no matter
+// the fleet size.
+func runSpill(drives, days int, seed int64, afrScale float64, out, modelList string, workers int) error {
+	modelIDs, err := parseModels(modelList)
+	if err != nil {
+		return err
+	}
+	fleet, err := simulate.New(simulate.Config{
+		TotalDrives: drives,
+		Days:        days,
+		Seed:        seed,
+		AFRScale:    afrScale,
+		Models:      modelIDs,
+	})
+	if err != nil {
+		return err
+	}
+	src := dataset.FleetSource{Fleet: fleet}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	for _, m := range fleet.Models() {
+		path, err := store.WriteSpill(out, src, m, workers)
+		if err != nil {
+			return err
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d drives, %d failures, %.1f MiB)\n",
+			path, len(fleet.DrivesOf(m)), len(fleet.Failures(m)), float64(fi.Size())/(1<<20))
+	}
 	return nil
 }
 

@@ -263,15 +263,40 @@ func Frame(src Source, opts FrameOpts) (*frame.Frame, error) {
 		}
 		labels = append(labels, ch.labels...)
 		meta = append(meta, ch.meta...)
+		putSlab(ch.slab)
 	}
 	return frame.New(names, cols, labels, meta)
 }
 
-// driveChunk is one drive's worth of frame rows.
+// driveChunk is one drive's worth of frame rows. slab backs cols and
+// returns to slabPool once the chunk is concatenated into the frame.
 type driveChunk struct {
 	cols   [][]float64
 	labels []int
 	meta   []frame.Meta
+	slab   []float64
+}
+
+// slabPool recycles the transient float64 slabs of frame extraction:
+// each drive's column chunk and expansion matrix die as soon as the
+// frame is concatenated, and a phase-score pass extracts thousands of
+// drives, so without reuse these short-lived slabs dominate the pass's
+// allocation volume. Every pooled slab is fully overwritten before use.
+var slabPool sync.Pool
+
+func getSlab(n int) []float64 {
+	if v := slabPool.Get(); v != nil {
+		if s := v.([]float64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putSlab(s []float64) {
+	if s != nil {
+		slabPool.Put(s)
+	}
 }
 
 // extractDrive materializes one drive's surviving sample days. It
@@ -331,8 +356,10 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 	// not the drive's whole history: a 30-day scoring pass over a
 	// two-year series skips ~96% of the rolling-window work.
 	var expanded [][]float64
+	var expSlab []float64
 	if opts.Expand {
-		expanded, err = expandSeriesRange(series, opts.Features, opts.Windows, opts.DayLo, hi)
+		expanded, expSlab, err = expandSeriesRange(series, opts.Features, opts.Windows, opts.DayLo, hi)
+		defer putSlab(expSlab)
 		if err != nil {
 			return nil, err
 		}
@@ -347,11 +374,12 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 		nCols += len(opts.Features)
 	}
 	rows := len(days)
-	slab := make([]float64, nCols*rows)
+	slab := getSlab(nCols * rows)
 	ch := &driveChunk{
 		cols:   make([][]float64, nCols),
 		labels: make([]int, rows),
 		meta:   make([]frame.Meta, rows),
+		slab:   slab,
 	}
 	for c := range ch.cols {
 		ch.cols[c] = slab[c*rows : (c+1)*rows : (c+1)*rows]
@@ -382,9 +410,13 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 			dst := ch.cols[c]
 			m := missing[ft]
 			for k, day := range days {
+				// Unconditional store: the slab is pooled, so stale
+				// values must be overwritten, not assumed zero.
+				v := 0.0
 				if day < len(m) && m[day] {
-					dst[k] = 1
+					v = 1
 				}
+				dst[k] = v
 			}
 			c++
 		}
@@ -403,13 +435,14 @@ func extractDrive(src Source, ref DriveRef, opts FrameOpts) (*driveChunk, error)
 // expandSeriesRange generates the statistical columns for each original
 // feature of one drive, restricted to days from..to (column index t is
 // day from+t), ordered per feature then per generated stat. All columns
-// are carved from one slab and the rolling-stats buffer is shared
-// across features, so the per-drive allocation count is constant in the
-// feature count.
-func expandSeriesRange(series map[smart.Feature][]float64, feats []smart.Feature, windows []int, from, to int) ([][]float64, error) {
+// are carved from one pooled slab (returned for release via putSlab
+// once the caller has copied the values out) and the rolling-stats
+// buffer is shared across features, so the per-drive allocation count
+// is constant in the feature count.
+func expandSeriesRange(series map[smart.Feature][]float64, feats []smart.Feature, windows []int, from, to int) ([][]float64, []float64, error) {
 	nGen := featgen.NumGenerated(windows)
 	width := to - from + 1
-	slab := make([]float64, len(feats)*nGen*width)
+	slab := getSlab(len(feats) * nGen * width)
 	out := make([][]float64, len(feats)*nGen)
 	for i := range out {
 		out[i] = slab[i*width : (i+1)*width : (i+1)*width]
@@ -418,13 +451,13 @@ func expandSeriesRange(series map[smart.Feature][]float64, feats []smart.Feature
 	for fi, ft := range feats {
 		col, ok := series[ft]
 		if !ok {
-			return nil, fmt.Errorf("dataset: missing feature %v for expansion", ft)
+			return nil, slab, fmt.Errorf("dataset: missing feature %v for expansion", ft)
 		}
 		var err error
 		scratch, err = featgen.GenerateRangeInto(out[fi*nGen:(fi+1)*nGen], col, windows, from, to, scratch)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: expand %v: %w", ft, err)
+			return nil, slab, fmt.Errorf("dataset: expand %v: %w", ft, err)
 		}
 	}
-	return out, nil
+	return out, slab, nil
 }

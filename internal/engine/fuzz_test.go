@@ -37,6 +37,6 @@ func FuzzSnapshotDecode(f *testing.F) {
 		// A decodable snapshot must survive group reconstruction
 		// without panicking; errors (bad features, bogus model gobs)
 		// are fine.
-		_, _ = snap.buildGroups()
+		_, _ = snap.buildGroups(1)
 	})
 }

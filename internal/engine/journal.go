@@ -273,7 +273,7 @@ func (e *Engine) reloadPhase(reg *core.Registry, rec journalPhaseDone, model sma
 	case snap.TrainedThrough != ph.TrainHi:
 		return PhaseResult{}, fmt.Errorf("%w: artifact trained through day %d, phase trains through %d", ErrJournalMismatch, snap.TrainedThrough, ph.TrainHi)
 	}
-	groups, err := snap.buildGroups()
+	groups, err := snap.buildGroups(e.cfg.Workers)
 	if err != nil {
 		return PhaseResult{}, err
 	}

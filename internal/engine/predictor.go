@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/flat"
 	"repro/internal/forest"
 	"repro/internal/frame"
 	"repro/internal/gbdt"
@@ -40,67 +41,138 @@ var ErrUnknownPredictor = errors.New("pipeline: unknown predictor")
 
 // probModel scores batches of samples with positive-class
 // probabilities. Both model families satisfy it through the adapters
-// below.
+// below, each preferring its compiled flat form (bit-identical to the
+// pointer walker) when the model compiled.
 type probModel interface {
-	predictAll(cols [][]float64) ([]float64, error)
+	// predictInto scores the column-major batch into out, whose length
+	// must equal the row count.
+	predictInto(cols [][]float64, out []float64) error
 	// marshal serializes the trained model for a ModelSnapshot,
-	// returning the family that unmarshal dispatches on.
-	marshal() (family Predictor, data []byte, err error)
+	// returning the family that unmarshal dispatches on, the exact
+	// model payload, and the compiled flat payload (nil when the model
+	// did not compile).
+	marshal() (family Predictor, data, flatData []byte, err error)
 }
 
 // forestModel adapts *forest.Forest to probModel.
-type forestModel struct{ f *forest.Forest }
-
-func (m forestModel) predictAll(cols [][]float64) ([]float64, error) {
-	return m.f.PredictProbaAll(cols)
+type forestModel struct {
+	f  *forest.Forest
+	fl *flat.Forest
 }
 
-func (m forestModel) marshal() (Predictor, []byte, error) {
+func (m forestModel) predictInto(cols [][]float64, out []float64) error {
+	if m.fl != nil {
+		return m.fl.PredictProbaBatch(cols, out)
+	}
+	return m.f.PredictProbaBatch(cols, out)
+}
+
+func (m forestModel) marshal() (Predictor, []byte, []byte, error) {
 	data, err := m.f.MarshalBinary()
-	return PredictorForest, data, err
+	if err != nil {
+		return PredictorForest, nil, nil, err
+	}
+	var fd []byte
+	if m.fl != nil {
+		if fd, err = m.fl.MarshalBinary(); err != nil {
+			return PredictorForest, nil, nil, err
+		}
+	}
+	return PredictorForest, data, fd, nil
 }
 
 // gbdtModel adapts *gbdt.Model to probModel.
-type gbdtModel struct{ m *gbdt.Model }
-
-func (g gbdtModel) predictAll(cols [][]float64) ([]float64, error) {
-	if len(cols) != g.m.NumFeatures() {
-		return nil, fmt.Errorf("pipeline: gbdt got %d columns, fitted with %d", len(cols), g.m.NumFeatures())
-	}
-	if len(cols) == 0 {
-		return nil, errors.New("pipeline: gbdt predict with no columns")
-	}
-	out := make([]float64, len(cols[0]))
-	g.m.PredictProbaBatch(cols, out)
-	return out, nil
+type gbdtModel struct {
+	m  *gbdt.Model
+	fl *flat.Model
 }
 
-func (g gbdtModel) marshal() (Predictor, []byte, error) {
+func (g gbdtModel) predictInto(cols [][]float64, out []float64) error {
+	if g.fl != nil {
+		return g.fl.PredictProbaBatch(cols, out)
+	}
+	return g.m.PredictProbaBatch(cols, out)
+}
+
+func (g gbdtModel) marshal() (Predictor, []byte, []byte, error) {
 	data, err := g.m.MarshalBinary()
-	return PredictorGBDT, data, err
+	if err != nil {
+		return PredictorGBDT, nil, nil, err
+	}
+	var fd []byte
+	if g.fl != nil {
+		if fd, err = g.fl.MarshalBinary(); err != nil {
+			return PredictorGBDT, nil, nil, err
+		}
+	}
+	return PredictorGBDT, data, fd, nil
 }
 
-// unmarshalModel reconstructs a probModel from its snapshot bytes.
-func unmarshalModel(family Predictor, data []byte) (probModel, error) {
+// compiledForest compiles the forest's flat form, or returns nil when
+// it is not compilable (a feature with more than 254 distinct cuts);
+// the pointer walker then keeps serving, so compilation never fails a
+// training run.
+func compiledForest(f *forest.Forest, workers int) *flat.Forest {
+	fl, err := flat.CompileForest(f)
+	if err != nil {
+		return nil
+	}
+	fl.Workers = workers
+	return fl
+}
+
+// compiledGBDT is compiledForest for boosted models.
+func compiledGBDT(m *gbdt.Model, workers int) *flat.Model {
+	fl, err := flat.CompileModel(m)
+	if err != nil {
+		return nil
+	}
+	fl.Workers = workers
+	return fl
+}
+
+// unmarshalModel reconstructs a probModel from its snapshot bytes. A
+// snapshot carrying a compiled flat payload is used as-is (no
+// recompilation); older snapshots without one are compiled on load.
+func unmarshalModel(family Predictor, data, flatData []byte, workers int) (probModel, error) {
 	switch family {
 	case PredictorForest:
 		f, err := forest.UnmarshalForest(data)
 		if err != nil {
 			return nil, err
 		}
-		return forestModel{f: f}, nil
+		var fl *flat.Forest
+		if len(flatData) > 0 {
+			if fl, err = flat.UnmarshalForest(flatData); err != nil {
+				return nil, err
+			}
+			fl.Workers = workers
+		} else {
+			fl = compiledForest(f, workers)
+		}
+		return forestModel{f: f, fl: fl}, nil
 	case PredictorGBDT:
 		m, err := gbdt.UnmarshalModel(data)
 		if err != nil {
 			return nil, err
 		}
-		return gbdtModel{m: m}, nil
+		var fl *flat.Model
+		if len(flatData) > 0 {
+			if fl, err = flat.UnmarshalModel(flatData); err != nil {
+				return nil, err
+			}
+			fl.Workers = workers
+		} else {
+			fl = compiledGBDT(m, workers)
+		}
+		return gbdtModel{m: m, fl: fl}, nil
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnknownPredictor, family)
 	}
 }
 
-// fitModel trains the configured prediction model on an expanded frame.
+// fitModel trains the configured prediction model on an expanded frame
+// and compiles it for flat scoring.
 func fitModel(fr *frame.Frame, cfg Config) (probModel, error) {
 	cols := make([][]float64, fr.NumFeatures())
 	for i := range cols {
@@ -112,7 +184,7 @@ func fitModel(fr *frame.Frame, cfg Config) (probModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		return forestModel{f: f}, nil
+		return forestModel{f: f, fl: compiledForest(f, cfg.Workers)}, nil
 	case PredictorGBDT:
 		g := cfg.GBDT
 		if g.NumRounds == 0 {
@@ -125,7 +197,7 @@ func fitModel(fr *frame.Frame, cfg Config) (probModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		return gbdtModel{m: m}, nil
+		return gbdtModel{m: m, fl: compiledGBDT(m, cfg.Workers)}, nil
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnknownPredictor, cfg.Predictor)
 	}

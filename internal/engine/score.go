@@ -4,11 +4,28 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/smart"
 )
+
+// probsPool recycles per-group score buffers across groups and phases.
+// A phase scores every group of every window through here, so without
+// the pool each call transiently allocates rows×8 bytes that die young.
+var probsPool sync.Pool
+
+func getProbs(n int) []float64 {
+	if v := probsPool.Get(); v != nil {
+		if buf := v.([]float64); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putProbs(buf []float64) { probsPool.Put(buf) }
 
 // driveScore accumulates one drive's scored days within a window.
 type driveScore struct {
@@ -86,8 +103,9 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 		for i := range cols {
 			cols[i] = fr.Col(i)
 		}
-		probs, err := g.model.predictAll(cols)
-		if err != nil {
+		probs := getProbs(fr.NumRows())
+		if err := g.model.predictInto(cols, probs); err != nil {
+			putProbs(probs)
 			return nil, rows, err
 		}
 		rows += fr.NumRows()
@@ -107,6 +125,7 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 				ds.lastMWI = m.MWI
 			}
 		}
+		putProbs(probs)
 	}
 	// Within-drive days arrive ascending per group but groups can
 	// interleave (a drive can cross the MWI threshold mid-phase).

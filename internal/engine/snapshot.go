@@ -44,6 +44,11 @@ type GroupSnapshot struct {
 	Predictor Predictor `json:"predictor"`
 	// ModelData is the serialized trained model (gob, base64 in JSON).
 	ModelData []byte `json:"model_data"`
+	// FlatData is the serialized compiled flat model, when the model
+	// compiled; loaders score through it without recompiling. Absent in
+	// older snapshots, which compile on load instead — predictions are
+	// bit-identical either way.
+	FlatData []byte `json:"flat_data,omitempty"`
 }
 
 // ModelSnapshot is the versioned, self-contained artifact of a trained
@@ -141,7 +146,7 @@ func (r *PhaseResult) Snapshot() (*ModelSnapshot, error) {
 		ConfigHash:     r.cfg.Hash(),
 	}
 	for _, g := range r.groups {
-		family, data, err := g.model.marshal()
+		family, data, flatData, err := g.model.marshal()
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: marshal group model: %w", err)
 		}
@@ -151,13 +156,14 @@ func (r *PhaseResult) Snapshot() (*ModelSnapshot, error) {
 			MWIAtLeast: g.mwiAtLeast,
 			Predictor:  family,
 			ModelData:  data,
+			FlatData:   flatData,
 		})
 	}
 	return snap, nil
 }
 
 // groups reconstructs the trained scoring groups from the snapshot.
-func (s *ModelSnapshot) buildGroups() ([]group, error) {
+func (s *ModelSnapshot) buildGroups(workers int) ([]group, error) {
 	if s.Format != SnapshotFormat {
 		return nil, fmt.Errorf("%w: format %d, want %d", ErrSnapshotFormat, s.Format, SnapshotFormat)
 	}
@@ -174,7 +180,7 @@ func (s *ModelSnapshot) buildGroups() ([]group, error) {
 			}
 			feats[j] = ft
 		}
-		m, err := unmarshalModel(gs.Predictor, gs.ModelData)
+		m, err := unmarshalModel(gs.Predictor, gs.ModelData, gs.FlatData, workers)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: snapshot group %d: %w", i, err)
 		}
@@ -201,7 +207,7 @@ type ScoreOpts struct {
 // outcomes are bit-identical to what the in-memory PhaseResult that
 // produced the snapshot would report for the same window.
 func ScoreSnapshot(src dataset.Source, snap *ModelSnapshot, lo, hi int, opts ScoreOpts) ([]DriveOutcome, error) {
-	groups, err := snap.buildGroups()
+	groups, err := snap.buildGroups(opts.Workers)
 	if err != nil {
 		return nil, err
 	}

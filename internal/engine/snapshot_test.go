@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -216,5 +217,68 @@ func TestStageStatsOnResult(t *testing.T) {
 	totals := rep.Totals()
 	if len(totals) != len(want) {
 		t.Errorf("shared report totals = %+v", totals)
+	}
+}
+
+// TestFlatScoringParity pins the engine-level guarantee behind the
+// compiled scoring path: a phase scored through the flat models is
+// bit-identical, probability by probability, to the pointer walkers.
+func TestFlatScoringParity(t *testing.T) {
+	src := testSource(t)
+	ph := StandardPhases(src.Days())[2]
+	res, err := RunPhase(src, smart.MC1, allFeats{}, ph, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range snap.Groups {
+		if len(g.FlatData) == 0 {
+			t.Fatalf("group %d snapshot carries no compiled flat payload", i)
+		}
+	}
+	flatGroups, err := snap.buildGroups(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrGroups := make([]group, len(flatGroups))
+	copy(ptrGroups, flatGroups)
+	for i := range ptrGroups {
+		switch m := ptrGroups[i].model.(type) {
+		case forestModel:
+			ptrGroups[i].model = forestModel{f: m.f}
+		case gbdtModel:
+			ptrGroups[i].model = gbdtModel{m: m.m}
+		default:
+			t.Fatalf("group %d: unexpected model %T", i, m)
+		}
+	}
+	cfg := Config{Windows: append([]int(nil), snap.Windows...)}
+	flatScores, _, err := scorePhase(src, snap.Model, flatGroups, ph.TestLo, ph.TestHi, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrScores, _, err := scorePhase(src, snap.Model, ptrGroups, ph.TestLo, ph.TestHi, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flatScores) == 0 || len(flatScores) != len(ptrScores) {
+		t.Fatalf("scored %d drives flat, %d pointer", len(flatScores), len(ptrScores))
+	}
+	for id, fd := range flatScores {
+		pd, ok := ptrScores[id]
+		if !ok {
+			t.Fatalf("drive %d missing from pointer scores", id)
+		}
+		if !reflect.DeepEqual(fd.days, pd.days) {
+			t.Fatalf("drive %d scored days differ", id)
+		}
+		for k := range fd.probs {
+			if math.Float64bits(fd.probs[k]) != math.Float64bits(pd.probs[k]) {
+				t.Fatalf("drive %d day %d: flat %v != pointer %v", id, fd.days[k], fd.probs[k], pd.probs[k])
+			}
+		}
 	}
 }

@@ -232,21 +232,44 @@ func (f *Forest) Predict(x []float64, threshold float64) int {
 }
 
 // PredictProbaAll scores every row of column-major data and returns the
-// probabilities. The data must have the same feature count as training.
+// probabilities. Thin wrapper over PredictProbaBatch that allocates the
+// output.
+func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
+	if len(cols) == 0 {
+		return nil, ErrNoData
+	}
+	out := make([]float64, len(cols[0]))
+	if err := f.PredictProbaBatch(cols, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictProbaBatch scores every row of column-major data, writing row
+// i's probability into out[i]. cols must have the training feature
+// count, each column at least len(out) long. The (cols, out) error
+// shape is shared with tree.Classifier and gbdt.Model (and the
+// flat-compiled forms), so ensemble-agnostic callers need no per-family
+// adapters.
+//
 // Rows are chunked across workers (Config.Workers if set, else
 // GOMAXPROCS); within a chunk each tree walks the columns directly, so
 // no per-row feature vector is ever gathered. Results are bit-identical
 // for any worker count: every row's probability is the same tree-order
 // sum regardless of which chunk computes it.
-func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
+func (f *Forest) PredictProbaBatch(cols [][]float64, out []float64) error {
 	if len(cols) != f.nFeatures {
-		return nil, fmt.Errorf("forest: %d columns, fitted with %d", len(cols), f.nFeatures)
+		return fmt.Errorf("forest: %d columns, fitted with %d", len(cols), f.nFeatures)
 	}
 	if len(cols) == 0 {
-		return nil, ErrNoData
+		return ErrNoData
 	}
-	n := len(cols[0])
-	out := make([]float64, n)
+	n := len(out)
+	for j, c := range cols {
+		if len(c) < n {
+			return fmt.Errorf("forest: column %d has %d rows, out has %d", j, len(c), n)
+		}
+	}
 	workers := f.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -276,6 +299,11 @@ func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
 				sub[j] = cols[j][lo:hi]
 			}
 			dst := out[lo:hi]
+			// out is an accumulator for the tree sum and may be a
+			// recycled buffer: initialize it, never assume zeroes.
+			for i := range dst {
+				dst[i] = 0
+			}
 			for _, t := range f.trees {
 				t.PredictProbaBatchAdd(sub, dst)
 			}
@@ -288,11 +316,16 @@ func (f *Forest) PredictProbaAll(cols [][]float64) ([]float64, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }
 
 // NumTrees returns the number of fitted trees.
 func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Trees exposes the fitted trees for compilers (internal/flat) that
+// re-encode the ensemble. The slice and the trees are owned by the
+// forest and must be treated as read-only.
+func (f *Forest) Trees() []*tree.Classifier { return f.trees }
 
 // NumFeatures returns the feature count the forest was fitted with.
 func (f *Forest) NumFeatures() int { return f.nFeatures }

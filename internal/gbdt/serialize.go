@@ -7,15 +7,22 @@ import (
 	"fmt"
 )
 
-// encodedModel is the gob wire form of a fitted boosted model.
-type encodedModel struct {
-	Trees     []encodedRegTree
+// Encoded is the serializable form of a fitted boosted model: the gob
+// wire struct of MarshalBinary, also consumed directly by compilers
+// (internal/flat) that need the tree structure without reaching into
+// unexported state. Gob identifies struct fields by name, so the
+// exported rename of the historical wire types decodes old payloads
+// unchanged.
+type Encoded struct {
+	Trees     []EncodedTree
 	Base      float64
 	Eta       float64
 	NFeatures int
 }
 
-type encodedRegTree struct {
+// EncodedTree is one regression tree as parallel arrays over nodes.
+// Leaves have Feature[i] == -1; Weight carries the leaf value.
+type EncodedTree struct {
 	Feature   []int
 	Threshold []float64
 	Left      []int
@@ -31,16 +38,16 @@ type encodedRegTree struct {
 // valid model.
 var ErrBadEncoding = errors.New("gbdt: bad encoding")
 
-// MarshalBinary serializes the model for deployment: tree structures,
-// base margin, and shrinkage. Importance accumulators are dropped — a
-// deserialized model predicts identically but cannot report importance.
-func (m *Model) MarshalBinary() ([]byte, error) {
+// Export returns the serializable form of the model. Importance
+// accumulators and other training-only state are not exported; a
+// re-imported model predicts identically but cannot report importance.
+func (m *Model) Export() (Encoded, error) {
 	if len(m.trees) == 0 {
-		return nil, ErrNotFitted
+		return Encoded{}, ErrNotFitted
 	}
-	enc := encodedModel{Base: m.base, Eta: m.cfg.Eta, NFeatures: m.nFeatures}
+	enc := Encoded{Base: m.base, Eta: m.cfg.Eta, NFeatures: m.nFeatures}
 	for _, t := range m.trees {
-		et := encodedRegTree{}
+		et := EncodedTree{}
 		for _, nd := range t.nodes {
 			et.Feature = append(et.Feature, nd.feature)
 			et.Threshold = append(et.Threshold, nd.threshold)
@@ -50,6 +57,16 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 			et.DefaultLeft = append(et.DefaultLeft, nd.defaultLeft)
 		}
 		enc.Trees = append(enc.Trees, et)
+	}
+	return enc, nil
+}
+
+// MarshalBinary serializes the model for deployment: tree structures,
+// base margin, and shrinkage.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	enc, err := m.Export()
+	if err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
@@ -61,7 +78,7 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 // UnmarshalModel reconstructs a prediction-ready model from bytes
 // produced by MarshalBinary, validating tree structure.
 func UnmarshalModel(data []byte) (*Model, error) {
-	var enc encodedModel
+	var enc Encoded
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&enc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile has no mmap on this platform; the file is read into an
+// aligned heap buffer instead.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data, err := readAligned(f, size)
+	return data, false, err
+}
+
+func unmapFile(b []byte) error { return nil }

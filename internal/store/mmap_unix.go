@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. A mapping keeps the underlying pages
+// alive after the descriptor closes, so spill files are served straight
+// from the page cache without a resident heap copy.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if int64(int(size)) != size {
+		return nil, false, syscall.EFBIG
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support still get a working store.
+		data, rerr := readAligned(f, size)
+		if rerr != nil {
+			return nil, false, err
+		}
+		return data, false, nil
+	}
+	return b, true, nil
+}
+
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -16,6 +16,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,12 @@ type Options struct {
 	// cancellation), so a truly hung upstream leaks one goroutine per
 	// timed-out attempt.
 	FetchTimeout time.Duration
+	// SpillDir enables disk-backed partitions. A tracked model whose
+	// spill file (SpillPath) exists under the directory is served from
+	// that file — memory-mapped, no upstream fetches, no resident
+	// columns — and Spill writes ingested partitions there to release
+	// their in-memory columns. Empty disables spilling.
+	SpillDir string
 }
 
 // Store is the append-only fleet store. Safe for concurrent use; all
@@ -104,11 +111,20 @@ type Store struct {
 }
 
 // partition holds one drive model's inventory and columnar series.
+// A partition serves from in-memory driveCols, from a spill file (sp),
+// or both in sequence: Spill publishes sp before releasing the columns,
+// so concurrent readers always find the data in one of the two places.
+// Partitions opened directly from a spill file have no driveCols at all
+// (drives and byID are nil) and account visibility in spVisible.
 type partition struct {
 	refs     []dataset.DriveRef
 	refIndex map[int]dataset.DriveRef
+	idxByID  map[int]int // drive ID -> index in refs / spill order
 	byID     map[int]*driveCols
 	drives   []*driveCols
+
+	sp        atomic.Pointer[spillFile]
+	spVisible atomic.Int64 // cells accounted for drive-less spill partitions
 }
 
 // driveCols is one drive's ingested columns. Columns hold the full
@@ -166,33 +182,61 @@ func (st *Store) Track(m smart.ModelID) error {
 	p := st.parts[m]
 	st.mu.RUnlock()
 	if p == nil {
-		p = st.createPartition(m)
+		var err error
+		if p, err = st.createPartition(m); err != nil {
+			return err
+		}
 	}
 	return st.ingest(p, horizon)
 }
 
-// createPartition installs the model's partition, fetching the
-// upstream inventory exactly once.
-func (st *Store) createPartition(m smart.ModelID) *partition {
+// createPartition installs the model's partition. When Options.SpillDir
+// holds a spill file for the model, the partition is disk-backed from
+// the start: inventory and series both come from the file and the
+// upstream source is never consulted. Otherwise the upstream inventory
+// is fetched exactly once.
+func (st *Store) createPartition(m smart.ModelID) (*partition, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if p, ok := st.parts[m]; ok {
-		return p
+		return p, nil
+	}
+	if dir := st.opts.SpillDir; dir != "" {
+		sf, refs, err := openSpill(SpillPath(dir, m), m)
+		switch {
+		case err == nil:
+			p := &partition{
+				refs:     refs,
+				refIndex: make(map[int]dataset.DriveRef, len(refs)),
+				idxByID:  make(map[int]int, len(refs)),
+			}
+			for i, r := range refs {
+				p.refIndex[r.ID] = r
+				p.idxByID[r.ID] = i
+			}
+			p.sp.Store(sf)
+			st.parts[m] = p
+			return p, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, err
+		}
 	}
 	refs := st.src.DrivesOf(m)
 	p := &partition{
 		refs:     refs,
 		refIndex: make(map[int]dataset.DriveRef, len(refs)),
+		idxByID:  make(map[int]int, len(refs)),
 		byID:     make(map[int]*driveCols, len(refs)),
 		drives:   make([]*driveCols, len(refs)),
 	}
 	for i, r := range refs {
 		p.refIndex[r.ID] = r
+		p.idxByID[r.ID] = i
 		p.drives[i] = &driveCols{lastDay: -1}
 		p.byID[r.ID] = p.drives[i]
 	}
 	st.parts[m] = p
-	return p
+	return p, nil
 }
 
 // AppendDay advances the ingest horizon by one day.
@@ -248,9 +292,7 @@ func (st *Store) AppendThrough(day int) error {
 	}
 	st.appends.Add(1)
 	for _, p := range parts {
-		for _, dc := range p.drives {
-			st.accountVisible(dc, newHorizon)
-		}
+		st.accountPartition(p, newHorizon)
 	}
 	return nil
 }
@@ -265,16 +307,47 @@ func (st *Store) ingest(p *partition, horizon int) error {
 	if err := st.fetchPartition(p); err != nil {
 		return err
 	}
+	st.accountPartition(p, horizon)
+	return nil
+}
+
+// accountPartition records the partition's newly visible (drive, day)
+// cells up to the horizon, exactly once per cell. Drive-less spill
+// partitions account at the partition level; everything else per drive.
+func (st *Store) accountPartition(p *partition, horizon int) {
+	if p.drives == nil {
+		sf := p.sp.Load()
+		if sf == nil {
+			return
+		}
+		var want int64
+		for i := range p.refs {
+			want += min(int64(horizon), sf.offs[i+1]-sf.offs[i])
+		}
+		for {
+			have := p.spVisible.Load()
+			if want <= have {
+				return
+			}
+			if p.spVisible.CompareAndSwap(have, want) {
+				st.daysIngested.Add(want - have)
+				return
+			}
+		}
+	}
 	for _, dc := range p.drives {
 		st.accountVisible(dc, horizon)
 	}
-	return nil
 }
 
 // fetchPartition brings every drive of the partition into the store
 // (already-fetched drives are skipped), in parallel per Options.
-// Workers. It does not touch visibility accounting.
+// Workers. Spill-backed partitions already hold everything on disk.
+// It does not touch visibility accounting.
 func (st *Store) fetchPartition(p *partition) error {
+	if p.sp.Load() != nil {
+		return nil
+	}
 	workers := st.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -465,7 +538,10 @@ func (s *Snapshot) part(m smart.ModelID) (*partition, error) {
 	p := s.st.parts[m]
 	s.st.mu.RUnlock()
 	if p == nil {
-		p = s.st.createPartition(m)
+		var err error
+		if p, err = s.st.createPartition(m); err != nil {
+			return nil, err
+		}
 		if err := s.st.ingest(p, s.st.Horizon()); err != nil {
 			return nil, err
 		}
@@ -484,7 +560,7 @@ func (s *Snapshot) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, in
 	}
 	dc := p.byID[ref.ID]
 	if dc == nil {
-		return nil, 0, fmt.Errorf("store: model %v has no drive %d", ref.Model, ref.ID)
+		return s.spillSeries(p, ref)
 	}
 	// Idempotent: serves from the store after the first fetch (the
 	// fetch only happens here when the partition was tracked after the
@@ -493,17 +569,188 @@ func (s *Snapshot) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, in
 		return nil, 0, err
 	}
 	s.st.accountVisible(dc, s.days)
-	lastDay := min(dc.lastDay, s.days-1)
+	dc.mu.Lock()
+	cols, lastDay := dc.cols, dc.lastDay
+	dc.mu.Unlock()
+	if cols == nil {
+		// A concurrent Spill released the columns; sp was published
+		// before the release, so the file now serves this drive.
+		return s.spillSeries(p, ref)
+	}
+	if lastDay > s.days-1 {
+		lastDay = s.days - 1
+	}
 	if lastDay < 0 {
 		return nil, 0, fmt.Errorf("store: drive %d has no days within horizon %d", ref.ID, s.days)
 	}
 	n := lastDay + 1
-	out := make(map[smart.Feature][]float64, len(dc.cols))
-	for ft, col := range dc.cols {
+	out := make(map[smart.Feature][]float64, len(cols))
+	for ft, col := range cols {
 		if len(col) < n {
 			return nil, 0, fmt.Errorf("store: drive %d feature %v has %d days, horizon needs %d", ref.ID, ft, len(col), n)
 		}
 		out[ft] = col[:n:n]
 	}
 	return out, lastDay, nil
+}
+
+// spillSeries serves a drive's columns from the partition's spill file,
+// truncated to the snapshot horizon. The slices alias the mapped file.
+func (s *Snapshot) spillSeries(p *partition, ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	sf := p.sp.Load()
+	if sf == nil {
+		return nil, 0, fmt.Errorf("store: model %v has no drive %d", ref.Model, ref.ID)
+	}
+	di, ok := p.idxByID[ref.ID]
+	if !ok {
+		return nil, 0, fmt.Errorf("store: model %v has no drive %d", ref.Model, ref.ID)
+	}
+	cols, lastDay, err := sf.series(di, s.days)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: drive %d: %w", ref.ID, err)
+	}
+	return cols, lastDay, nil
+}
+
+// Spill writes every tracked, fully ingested partition to
+// Options.SpillDir and switches it to serve from the file, releasing
+// the in-memory columns. Partitions already disk-backed are skipped.
+// Snapshots taken before the spill stay valid throughout: the file is
+// published before the columns are released, and the data is
+// bit-identical. After a successful Spill the store's resident series
+// memory is bounded by the page cache, not the fleet size.
+func (st *Store) Spill() error {
+	dir := st.opts.SpillDir
+	if dir == "" {
+		return errors.New("store: Spill requires Options.SpillDir")
+	}
+	st.mu.RLock()
+	parts := make(map[smart.ModelID]*partition, len(st.parts))
+	for m, p := range st.parts {
+		parts[m] = p
+	}
+	st.mu.RUnlock()
+	for m, p := range parts {
+		if p.sp.Load() != nil || len(p.refs) == 0 {
+			continue
+		}
+		if err := st.fetchPartition(p); err != nil {
+			return err
+		}
+		nDays := make([]int, len(p.drives))
+		for i, dc := range p.drives {
+			nDays[i] = dc.lastDay + 1
+		}
+		feats := sortedFeatures(p.drives[0].cols)
+		path := SpillPath(dir, m)
+		err := writeSpillFile(path, m, st.src.Days(), p.refs, feats, nDays, st.opts.Workers,
+			func(i int) (map[smart.Feature][]float64, error) { return p.drives[i].cols, nil })
+		if err != nil {
+			return err
+		}
+		sf, _, err := openSpill(path, m)
+		if err != nil {
+			return err
+		}
+		// Publish the file first, then release the columns: a reader
+		// that misses the columns is guaranteed to find the file.
+		p.sp.Store(sf)
+		for _, dc := range p.drives {
+			dc.mu.Lock()
+			dc.cols = nil
+			dc.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Close releases the memory mappings of spill-backed partitions. The
+// store and any outstanding snapshots must not be used afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for _, p := range st.parts {
+		if sf := p.sp.Swap(nil); sf != nil {
+			if err := sf.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// DayColumns returns one scoring matrix for the given day: the model's
+// features in canonical order, one column per feature holding that
+// day's value for every drive alive on it, and the matching drive refs
+// (a subset of DrivesOf in inventory order). When the partition is
+// backed by a single-day spill file the columns alias the mapped blob
+// directly — scoring a day-partitioned fleet costs zero copies.
+func (s *Snapshot) DayColumns(m smart.ModelID, day int) ([]smart.Feature, [][]float64, []dataset.DriveRef, error) {
+	if day < 0 || day >= s.days {
+		return nil, nil, nil, fmt.Errorf("store: day %d outside horizon %d", day, s.days)
+	}
+	p, err := s.part(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sf := p.sp.Load(); sf != nil {
+		if day == 0 && sf.total == int64(len(p.refs)) {
+			// Every drive spans exactly one day: each feature column of
+			// the blob is the scoring column, in inventory order.
+			cols := make([][]float64, len(sf.feats))
+			for fi := range sf.feats {
+				cols[fi] = sf.column(fi)
+			}
+			return sf.feats, cols, p.refs, nil
+		}
+		var alive []dataset.DriveRef
+		var idxs []int
+		for i, r := range p.refs {
+			if sf.offs[i+1]-sf.offs[i] > int64(day) {
+				alive = append(alive, r)
+				idxs = append(idxs, i)
+			}
+		}
+		cols := make([][]float64, len(sf.feats))
+		for fi := range sf.feats {
+			col := sf.column(fi)
+			out := make([]float64, len(idxs))
+			for j, i := range idxs {
+				out[j] = col[sf.offs[i]+int64(day)]
+			}
+			cols[fi] = out
+		}
+		return sf.feats, cols, alive, nil
+	}
+	if err := s.st.fetchPartition(p); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(p.drives) == 0 {
+		return nil, nil, nil, nil
+	}
+	p.drives[0].mu.Lock()
+	feats := sortedFeatures(p.drives[0].cols)
+	p.drives[0].mu.Unlock()
+	var alive []dataset.DriveRef
+	var idxs []int
+	for i, dc := range p.drives {
+		if dc.lastDay >= day {
+			alive = append(alive, p.refs[i])
+			idxs = append(idxs, i)
+		}
+	}
+	cols := make([][]float64, len(feats))
+	for fi, ft := range feats {
+		out := make([]float64, len(idxs))
+		for j, i := range idxs {
+			col := p.drives[i].cols[ft]
+			if day >= len(col) {
+				return nil, nil, nil, fmt.Errorf("store: drive %d feature %v has %d days, day %d requested", p.refs[i].ID, ft, len(col), day)
+			}
+			out[j] = col[day]
+		}
+		cols[fi] = out
+	}
+	return feats, cols, alive, nil
 }

@@ -593,11 +593,24 @@ func (t *Classifier) PredictProba(x []float64) float64 {
 // into out[i]. cols must have NumFeatures columns, each at least
 // len(out) long. Reading feature columns directly avoids gathering a
 // row vector per sample.
-func (t *Classifier) PredictProbaBatch(cols [][]float64, out []float64) {
+//
+// The (cols, out) error shape is shared with forest.Forest and
+// gbdt.Model (and their flat-compiled forms), so ensemble-agnostic
+// callers need no per-family adapters.
+func (t *Classifier) PredictProbaBatch(cols [][]float64, out []float64) error {
+	if len(cols) != t.nFeatures {
+		return fmt.Errorf("%w: %d columns, fitted with %d", ErrShapeMismatch, len(cols), t.nFeatures)
+	}
+	for f, c := range cols {
+		if len(c) < len(out) {
+			return fmt.Errorf("%w: column %d has %d rows, out has %d", ErrShapeMismatch, f, len(c), len(out))
+		}
+	}
 	for i := range out {
 		out[i] = 0
 	}
 	t.PredictProbaBatchAdd(cols, out)
+	return nil
 }
 
 // PredictProbaBatchAdd adds each row's positive-class probability into
