@@ -1,0 +1,124 @@
+package changepoint
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The controller feeds Detect real per-day score aggregates, which
+// drift gradually (fleet wear-out) rather than stepping cleanly, and
+// can carry NaN/±Inf from degenerate day summaries. These tests pin
+// the detector's contract on both.
+
+// rampSequence rises linearly from lo to hi over n observations with
+// Gaussian noise.
+func rampSequence(n int, lo, hi, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		frac := float64(i) / float64(n-1)
+		xs[i] = lo + (hi-lo)*frac + rng.NormFloat64()*noise
+	}
+	return xs
+}
+
+// TestDetectGradualRamp: a steep ramp is drift even without a step —
+// the Gaussian run-length model keeps resetting as the level leaves
+// each run's posterior — and Detect must surface at least one
+// significant point rather than treating the ramp as one long regime.
+func TestDetectGradualRamp(t *testing.T) {
+	xs := rampSequence(80, 0, 8, 0.3, 3)
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := MostSignificant(points); !ok {
+		t.Fatal("steep ramp produced no significant change point")
+	}
+}
+
+// TestDetectShallowRampQuiet: a ramp buried in its noise must look
+// like stationary noise, not like drift. Detect's z is relative to the
+// sequence's own change probabilities, so isolated stray points are
+// possible (see TestNoChangeOnStationaryNoise) — but the detection
+// must stay sparse rather than painting the ramp as a regime change.
+func TestDetectShallowRampQuiet(t *testing.T) {
+	xs := rampSequence(80, 0, 0.05, 0.5, 4)
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) > 3 {
+		t.Errorf("noise-dominated ramp produced %d significant points", len(points))
+	}
+}
+
+// TestDetectRampThenPlateau: the controller's typical shape — scores
+// ramp while a regime ends, then level off. The detector must place
+// its most significant point inside the ramp region, not on the
+// plateau.
+func TestDetectRampThenPlateau(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 90)
+	for i := range xs {
+		switch {
+		case i < 30:
+			xs[i] = 1
+		case i < 60:
+			xs[i] = 1 + 7*float64(i-30)/30
+		default:
+			xs[i] = 8
+		}
+		xs[i] += rng.NormFloat64() * 0.3
+	}
+	points, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := MostSignificant(points)
+	if !ok {
+		t.Fatal("ramp-then-plateau produced no change point")
+	}
+	if best.Index < 28 || best.Index > 62 {
+		t.Errorf("most significant index = %d, want inside the ramp [28, 62]", best.Index)
+	}
+}
+
+// TestDetectNonFinite: NaN and ±Inf observations must be rejected
+// loudly (ErrNonFinite) wherever they appear — the Gaussian model
+// would otherwise silently absorb them into every posterior.
+func TestDetectNonFinite(t *testing.T) {
+	base := stepSequence(40, 20, 0, 5, 0.3, 6)
+	for _, tc := range []struct {
+		name string
+		at   int
+		v    float64
+	}{
+		{"NaN head", 0, math.NaN()},
+		{"NaN middle", 20, math.NaN()},
+		{"NaN tail", 39, math.NaN()},
+		{"+Inf", 10, math.Inf(1)},
+		{"-Inf", 30, math.Inf(-1)},
+	} {
+		xs := append([]float64(nil), base...)
+		xs[tc.at] = tc.v
+		if _, err := Detect(xs, DefaultConfig(), DefaultZThreshold); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: err = %v, want ErrNonFinite", tc.name, err)
+		}
+		if _, err := ChangeProbabilities(xs, DefaultConfig()); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: ChangeProbabilities err = %v, want ErrNonFinite", tc.name, err)
+		}
+	}
+}
+
+// TestDetectAllNonFinite: a fully garbage sequence (every observation
+// NaN) reports the first offending index, not a crash or a detection.
+func TestDetectAllNonFinite(t *testing.T) {
+	xs := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	_, err := Detect(xs, DefaultConfig(), DefaultZThreshold)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+}

@@ -1,0 +1,584 @@
+// Package control runs the continuous-operation loop the paper's
+// periodic re-selection implies: ingest each new fleet day, monitor
+// the serving model's score stream for drift, and when the detector
+// fires train a candidate on fresh data, canary it against the serving
+// snapshot on a held-out recent window, and promote or roll back
+// through the registry's never-overwrite versioning.
+//
+// Every control decision is journaled (internal/runlog) before the
+// controller acts on it, so a controller killed at any point — even at
+// a registered crash site inside a decision boundary — resumes to
+// byte-identical decisions, artifacts, and final report.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/changepoint"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/runlog"
+	"repro/internal/smart"
+)
+
+// Crash sites at the controller's decision boundaries, armable via
+// WEFR_CRASHPOINT (see internal/faults). Prefixed "ctrl-" to keep them
+// disjoint from the engine's stage sites (ingest/train/...), which
+// also fire inside controller runs during bootstrap and candidate
+// training.
+var (
+	crashAfterDriftEval = faults.RegisterCrashSite("ctrl-drift-eval")
+	crashAfterCandidate = faults.RegisterCrashSite("ctrl-candidate-train")
+	crashAfterCanary    = faults.RegisterCrashSite("ctrl-canary-eval")
+	crashAfterPromote   = faults.RegisterCrashSite("ctrl-promote")
+)
+
+// degradeCandidate, armable via WEFR_DEGRADE, makes candidate training
+// produce a deliberately degenerate snapshot (all alarm thresholds
+// zeroed: the model alarms on every drive). The degradation is baked
+// into the saved artifact before the canary sees it, so crash/resume
+// runs observe a consistent fault. Used to exercise the rollback path.
+var degradeCandidate = faults.RegisterDegradeSite("ctrl-candidate")
+
+// Defaults for Config's tunables.
+const (
+	// DefaultCanaryDays is the held-out recent window (in days) a
+	// candidate must win on before promotion.
+	DefaultCanaryDays = 21
+	// DefaultMinWindow is the minimum summary-window length before the
+	// drift detector is consulted.
+	DefaultMinWindow = 30
+	// DefaultRefDays sizes the PSI reference/current windows.
+	DefaultRefDays = 10
+	// DefaultBins is the score-histogram resolution.
+	DefaultBins = 10
+	// DefaultPSIThreshold fires the divergence trigger; 0.25 is the
+	// conventional "significant population shift" PSI level.
+	DefaultPSIThreshold = 0.25
+	// DefaultArtifact names the registry artifact versions are saved
+	// under.
+	DefaultArtifact = "serving"
+)
+
+// journalFile is the control journal's file name inside Config.Dir.
+const journalFile = "control.journal"
+
+// registryDir is the artifact registry directory inside Config.Dir.
+const registryDir = "registry"
+
+// Config configures a controller run.
+type Config struct {
+	// Model is the drive model under control.
+	Model smart.ModelID
+	// Selector re-selects features when a refresh fires (the paper's
+	// WEFR in production use).
+	Selector engine.Selector
+	// Engine configures training and scoring (robust mode is rejected:
+	// robust results are not snapshotable, hence not resumable).
+	Engine engine.Config
+
+	// Start and End bound the controlled days, inclusive. The
+	// bootstrap snapshot is trained on days [0, Start-1]; the control
+	// loop then processes days Start..End.
+	Start, End int
+
+	// CanaryDays is the held-out window before the drift day on which
+	// serving and candidate are compared (default DefaultCanaryDays).
+	// The candidate trains only on days before that window.
+	CanaryDays int
+	// MinWindow is the minimum number of summarized days before drift
+	// is evaluated (default DefaultMinWindow).
+	MinWindow int
+	// RefDays sizes the PSI reference and trailing windows (default
+	// DefaultRefDays).
+	RefDays int
+	// Bins is the score-histogram resolution (default DefaultBins).
+	Bins int
+	// ZThreshold is the change-point significance threshold (default
+	// changepoint.DefaultZThreshold).
+	ZThreshold float64
+	// PSIThreshold fires the divergence trigger (default
+	// DefaultPSIThreshold).
+	PSIThreshold float64
+
+	// Dir is the controller's state directory: the control journal and
+	// the snapshot registry live under it. Created if missing.
+	Dir string
+	// Artifact names the registry artifact (default DefaultArtifact).
+	Artifact string
+	// Resume allows continuing an existing journal; without it, an
+	// existing journal is an error (mixing two runs would corrupt
+	// both).
+	Resume bool
+	// Log, when non-nil, receives progress lines (stderr in CLIs). The
+	// final Result is independent of logging, so stdout stays
+	// byte-identical across crash/resume.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CanaryDays == 0 {
+		c.CanaryDays = DefaultCanaryDays
+	}
+	if c.MinWindow == 0 {
+		c.MinWindow = DefaultMinWindow
+	}
+	if c.RefDays == 0 {
+		c.RefDays = DefaultRefDays
+	}
+	if c.Bins == 0 {
+		c.Bins = DefaultBins
+	}
+	if c.ZThreshold == 0 {
+		c.ZThreshold = changepoint.DefaultZThreshold
+	}
+	if c.PSIThreshold == 0 {
+		c.PSIThreshold = DefaultPSIThreshold
+	}
+	if c.Artifact == "" {
+		c.Artifact = DefaultArtifact
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+func (c Config) validate(days int) error {
+	switch {
+	case c.Dir == "":
+		return errors.New("control: empty state directory")
+	case c.Selector == nil:
+		return errors.New("control: nil selector")
+	case c.Engine.Robust != nil:
+		return errors.New("control: robust-mode configs are not snapshotable, hence not controllable")
+	case c.Start < 2:
+		return fmt.Errorf("control: start day %d leaves no bootstrap training days", c.Start)
+	case c.End < c.Start:
+		return fmt.Errorf("control: end day %d before start day %d", c.End, c.Start)
+	case c.End >= days:
+		return fmt.Errorf("control: end day %d beyond source horizon %d", c.End, days-1)
+	case c.CanaryDays < 1:
+		return fmt.Errorf("control: canary window %d days", c.CanaryDays)
+	case c.MinWindow <= c.CanaryDays:
+		return fmt.Errorf("control: min window %d must exceed canary window %d", c.MinWindow, c.CanaryDays)
+	}
+	return nil
+}
+
+// meta builds the journal identity record for this config.
+func (c Config) meta() recordMeta {
+	return recordMeta{
+		ConfigHash:   c.Engine.Hash(),
+		Model:        c.Model,
+		Selector:     c.Selector.Name(),
+		Start:        c.Start,
+		End:          c.End,
+		CanaryDays:   c.CanaryDays,
+		MinWindow:    c.MinWindow,
+		RefDays:      c.RefDays,
+		Bins:         c.Bins,
+		ZThreshold:   c.ZThreshold,
+		PSIThreshold: c.PSIThreshold,
+		Artifact:     c.Artifact,
+	}
+}
+
+// controller is one running control loop.
+type controller struct {
+	cfg    Config
+	eng    *engine.Engine
+	reg    *core.Registry
+	j      *runlog.Journal
+	st     *state
+	scorer *engine.Scorer // serving snapshot, decoded once
+}
+
+// Run executes the control loop over src: bootstrap (or resume), then
+// one pass over days [Start, End]. It returns the final Result; the
+// journal and every snapshot version remain in cfg.Dir.
+func Run(src dataset.Source, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(src.Days()); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("control: state dir: %w", err)
+	}
+	path := filepath.Join(cfg.Dir, journalFile)
+	if !cfg.Resume {
+		if _, err := os.Stat(path); err == nil {
+			return nil, fmt.Errorf("%w: %s", ErrJournalExists, path)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	j, recs, err := runlog.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("control: open journal: %w", err)
+	}
+	defer j.Close()
+
+	meta := cfg.meta()
+	st, err := replayState(recs, meta)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		if err := j.Append(recMeta, meta); err != nil {
+			return nil, err
+		}
+	} else {
+		cfg.logf("resumed from journal: %d records, next day %d", len(recs), st.nextDay)
+	}
+
+	c := &controller{
+		cfg: cfg,
+		eng: engine.New(src, cfg.Engine),
+		reg: &core.Registry{Dir: filepath.Join(cfg.Dir, registryDir)},
+		j:   j,
+		st:  st,
+	}
+	if err := c.bootstrap(); err != nil {
+		return nil, err
+	}
+	if err := c.loadServing(); err != nil {
+		return nil, err
+	}
+	// A cycle left open by a kill finishes before new days are
+	// processed — exactly where the dead process stood.
+	if c.st.cycle != nil {
+		if err := c.finishCycle(); err != nil {
+			return nil, err
+		}
+	}
+	for day := c.st.nextDay; day <= cfg.End; day++ {
+		if err := c.processDay(day); err != nil {
+			return nil, err
+		}
+	}
+	return c.result(), nil
+}
+
+// bootstrap establishes the initial serving snapshot when the journal
+// has none: train on days [0, Start-1], save as the artifact's first
+// version, journal it. A snapshot saved by a process that died before
+// journaling is adopted instead of retrained.
+func (c *controller) bootstrap() error {
+	if c.st.serving != 0 {
+		return nil
+	}
+	trainHi := c.cfg.Start - 1
+	version, ok, err := c.adoptSaved(trainHi)
+	if err != nil {
+		return err
+	}
+	if ok {
+		c.cfg.logf("adopted bootstrap snapshot v%d (trained through day %d)", version, trainHi)
+	} else {
+		c.cfg.logf("bootstrap: training serving snapshot through day %d", trainHi)
+		version, err = c.trainAndSave(trainHi, false)
+		if err != nil {
+			return fmt.Errorf("control: bootstrap training: %w", err)
+		}
+	}
+	r := recordServing{Day: trainHi, Version: version}
+	if err := c.j.Append(recServing, r); err != nil {
+		return err
+	}
+	c.st.applyServing(r)
+	return nil
+}
+
+// loadServing (re)builds the scorer for the journaled serving version.
+func (c *controller) loadServing() error {
+	snap, err := engine.LoadSnapshot(c.reg, c.cfg.Artifact, c.st.serving)
+	if err != nil {
+		return fmt.Errorf("control: load serving snapshot v%d: %w", c.st.serving, err)
+	}
+	if snap.ConfigHash != c.cfg.Engine.Hash() {
+		return fmt.Errorf("%w: serving snapshot v%d config %s, run config %s",
+			ErrJournalMismatch, c.st.serving, snap.ConfigHash, c.cfg.Engine.Hash())
+	}
+	scorer, err := engine.NewScorer(snap, c.cfg.Engine.Workers)
+	if err != nil {
+		return fmt.Errorf("control: serving snapshot v%d: %w", c.st.serving, err)
+	}
+	c.scorer = scorer
+	return nil
+}
+
+// trainAndSave runs selection + training on days [0, trainHi] and
+// saves the snapshot as the artifact's next registry version. With
+// degradable set (candidate training only), an armed degrade point
+// zeroes the calibrated thresholds before the save, so the degenerate
+// artifact — not just the in-memory model — carries the fault.
+func (c *controller) trainAndSave(trainHi int, degradable bool) (int, error) {
+	ph := engine.Phase{TrainLo: 0, TrainHi: trainHi, TestLo: trainHi + 1, TestHi: trainHi + 1}
+	pd, err := c.eng.PreparePhase(c.cfg.Model, ph)
+	if err != nil {
+		return 0, err
+	}
+	res, err := pd.RunSelector(c.cfg.Selector)
+	if err != nil {
+		return 0, err
+	}
+	snap, err := res.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	if degradable && faults.Degraded(degradeCandidate) {
+		for i := range snap.Thresholds {
+			snap.Thresholds[i] = 0
+		}
+	}
+	return engine.SaveSnapshot(c.reg, c.cfg.Artifact, snap)
+}
+
+// adoptSaved checks whether the registry already holds an unjournaled
+// snapshot trained through trainHi for this run — the signature of a
+// crash between SaveSnapshot and the journal append — and adopts it.
+// The registry version must be newer than anything the journal
+// accounts for, and the snapshot must carry this run's exact identity.
+func (c *controller) adoptSaved(trainHi int) (int, bool, error) {
+	data, version, err := c.reg.Latest(c.cfg.Artifact)
+	if errors.Is(err, core.ErrNoArtifact) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if version <= c.st.maxVersion {
+		return 0, false, nil
+	}
+	snap, err := engine.DecodeSnapshot(data)
+	if err != nil {
+		// A corrupt unjournaled artifact cannot be adopted; the save
+		// path is atomic, so treat it as a real error rather than
+		// silently training over it.
+		return 0, false, fmt.Errorf("control: undecodable registry artifact v%d: %w", version, err)
+	}
+	if snap.ConfigHash != c.cfg.Engine.Hash() || snap.Model != c.cfg.Model ||
+		snap.Selector != c.cfg.Selector.Name() || snap.TrainedThrough != trainHi {
+		return 0, false, nil
+	}
+	return version, true, nil
+}
+
+// processDay ingests and summarizes one fleet day under the serving
+// snapshot, then consults the drift detector.
+func (c *controller) processDay(day int) error {
+	st := c.eng.Store()
+	if err := st.Track(c.cfg.Model); err != nil {
+		return fmt.Errorf("control: day %d: %w", day, err)
+	}
+	if err := st.AppendThrough(day); err != nil {
+		return fmt.Errorf("control: ingest day %d: %w", day, err)
+	}
+	sum, err := summarize(st.Snapshot(), c.scorer, c.cfg.Model, day, c.cfg.Bins)
+	if err != nil {
+		return fmt.Errorf("control: summarize day %d: %w", day, err)
+	}
+	rd := recordDay{Day: day, Sum: sum}
+	if err := c.j.Append(recDay, rd); err != nil {
+		return err
+	}
+	c.st.applyDay(rd)
+
+	if len(c.st.sums) < c.cfg.MinWindow {
+		return nil
+	}
+	firing, fired := evalDrift(c.st.sums, c.cfg.ZThreshold, c.cfg.PSIThreshold, c.cfg.RefDays)
+	if fired {
+		r := recordDrift{Day: day, Trigger: firing.Trigger, Stat: firing.Stat, Index: firing.Index, Window: firing.Window}
+		if err := c.j.Append(recDrift, r); err != nil {
+			return err
+		}
+		c.st.applyDrift(r)
+	}
+	// The site sits after the (journaled) evaluation outcome, so a
+	// resume replays the identical decision whether or not it fired.
+	faults.CrashPoint(crashAfterDriftEval)
+	if c.st.cycle != nil {
+		return c.finishCycle()
+	}
+	return nil
+}
+
+// finishCycle drives an open refresh cycle to its close: candidate
+// training, canary evaluation, then promotion or rollback. Each step
+// is skipped when the journal already records it, so a resumed cycle
+// continues from the exact step the dead process reached.
+func (c *controller) finishCycle() error {
+	cyc := c.st.cycle
+	day := cyc.day
+	trainHi := day - c.cfg.CanaryDays
+
+	// A resumed process re-enters here before any day was processed;
+	// the canary (and an adopted candidate) need the store ingested
+	// through the cycle day, which the dead process had done.
+	if err := c.eng.Store().Track(c.cfg.Model); err != nil {
+		return fmt.Errorf("control: day %d: %w", day, err)
+	}
+	if err := c.eng.Store().AppendThrough(day); err != nil {
+		return fmt.Errorf("control: ingest day %d: %w", day, err)
+	}
+
+	if cyc.candidateVersion == 0 {
+		version, adopted, err := c.adoptSaved(trainHi)
+		if err != nil {
+			return err
+		}
+		if adopted {
+			c.cfg.logf("adopted candidate snapshot v%d (trained through day %d)", version, trainHi)
+		} else {
+			c.cfg.logf("day %d: drift fired, training candidate through day %d", day, trainHi)
+			version, err = c.trainAndSave(trainHi, true)
+			if err != nil {
+				// A candidate that cannot be trained is a failed
+				// refresh, not a controller failure: keep serving.
+				return c.keepServing(day, fmt.Sprintf("candidate training failed: %v", err))
+			}
+		}
+		faults.CrashPoint(crashAfterCandidate)
+		r := recordCandidate{Day: day, Version: version, TrainedThrough: trainHi}
+		if err := c.j.Append(recCandidate, r); err != nil {
+			return err
+		}
+		c.st.applyCandidate(r)
+	}
+
+	if cyc.verdict == nil {
+		verdict, err := c.runCanary(day, trainHi, cyc.candidateVersion)
+		if err != nil {
+			return err
+		}
+		if err := c.j.Append(recVerdict, verdict); err != nil {
+			return err
+		}
+		c.st.applyVerdict(verdict)
+		faults.CrashPoint(crashAfterCanary)
+	}
+	if c.st.cycle == nil {
+		// A keep verdict closes the cycle in applyVerdict.
+		return nil
+	}
+
+	v := c.st.cycle.verdict
+	switch v.Decision {
+	case DecisionPromote:
+		r := recordPromoted{Day: day, Version: v.CandidateVersion}
+		if err := c.j.Append(recPromoted, r); err != nil {
+			return err
+		}
+		c.st.applyPromoted(r)
+		faults.CrashPoint(crashAfterPromote)
+		if err := c.loadServing(); err != nil {
+			return err
+		}
+	case DecisionRollback:
+		r := recordRolledBack{Day: day, Serving: c.st.serving, Candidate: v.CandidateVersion}
+		if err := c.j.Append(recRolledBack, r); err != nil {
+			return err
+		}
+		c.st.applyRolledBack(r)
+		faults.CrashPoint(crashAfterPromote)
+	default:
+		return fmt.Errorf("%w: verdict decision %q left cycle open", ErrJournalCorrupt, v.Decision)
+	}
+	return nil
+}
+
+// keepServing journals a keep verdict — a refresh cycle that ends
+// without a candidate comparison (failed training, unevaluable
+// canary). The serving snapshot stays; the event is accounted in the
+// report rather than raised as an error.
+func (c *controller) keepServing(day int, reason string) error {
+	verdict := recordVerdict{Day: day, Decision: DecisionKeep, Reason: reason}
+	if err := c.j.Append(recVerdict, verdict); err != nil {
+		return err
+	}
+	c.st.applyVerdict(verdict)
+	faults.CrashPoint(crashAfterCanary)
+	return nil
+}
+
+// runCanary scores candidate and serving snapshots over the held-out
+// window (trainHi, day] — days the candidate never trained on — and
+// decides promote or rollback. An unevaluable canary (empty window,
+// scoring failure) degrades to a keep verdict instead of failing the
+// controller.
+func (c *controller) runCanary(day, trainHi, candidateVersion int) (recordVerdict, error) {
+	keep := func(reason string) (recordVerdict, error) {
+		return recordVerdict{Day: day, Decision: DecisionKeep, Reason: reason, CandidateVersion: candidateVersion}, nil
+	}
+	candSnap, err := engine.LoadSnapshot(c.reg, c.cfg.Artifact, candidateVersion)
+	if err != nil {
+		return recordVerdict{}, fmt.Errorf("control: load candidate v%d: %w", candidateVersion, err)
+	}
+	candScorer, err := engine.NewScorer(candSnap, c.cfg.Engine.Workers)
+	if err != nil {
+		return recordVerdict{}, fmt.Errorf("control: candidate v%d: %w", candidateVersion, err)
+	}
+	lo, hi := trainHi+1, day
+	if lo > hi {
+		return keep(fmt.Sprintf("empty canary window [%d, %d]", lo, hi))
+	}
+	src := c.eng.Store().Snapshot()
+	candOut, err := candScorer.Score(src, lo, hi)
+	if err != nil {
+		return keep(fmt.Sprintf("candidate canary scoring failed: %v", err))
+	}
+	servOut, err := c.scorer.Score(src, lo, hi)
+	if err != nil {
+		return keep(fmt.Sprintf("serving canary scoring failed: %v", err))
+	}
+	if len(candOut) == 0 || len(servOut) == 0 {
+		return keep(fmt.Sprintf("no drives observed in canary window [%d, %d]", lo, hi))
+	}
+	cand := canaryMetrics(candOut)
+	serv := canaryMetrics(servOut)
+	verdict := recordVerdict{Day: day, CandidateVersion: candidateVersion, Candidate: cand, Serving: serv}
+	if canaryWin(cand, serv) {
+		verdict.Decision = DecisionPromote
+		verdict.Reason = fmt.Sprintf("candidate wins canary [%d, %d]", lo, hi)
+	} else {
+		verdict.Decision = DecisionRollback
+		verdict.Reason = fmt.Sprintf("candidate loses canary [%d, %d]", lo, hi)
+	}
+	return verdict, nil
+}
+
+// canaryMetrics condenses canary outcomes into the journaled
+// comparison record.
+func canaryMetrics(outcomes []engine.DriveOutcome) Metrics {
+	conf := engine.EvaluateOutcomes(outcomes)
+	m := Metrics{TP: conf.TP, FP: conf.FP, FN: conf.FN, F05: conf.F05(), N: len(outcomes)}
+	if auc, err := engine.AUC(outcomes); err == nil {
+		m.AUC = auc
+		m.AUCValid = true
+	}
+	return m
+}
+
+// canaryWin decides promotion: the candidate must strictly beat the
+// serving snapshot on the paper's headline F0.5; ties fall through to
+// AUC (when computable on both sides), and a full tie keeps serving —
+// churn without improvement is pure risk.
+func canaryWin(cand, serv Metrics) bool {
+	if cand.F05 != serv.F05 {
+		return cand.F05 > serv.F05
+	}
+	if cand.AUCValid && serv.AUCValid {
+		return cand.AUC > serv.AUC
+	}
+	return false
+}

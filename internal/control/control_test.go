@@ -1,0 +1,299 @@
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/forest"
+	"repro/internal/pipeline"
+	"repro/internal/runlog"
+	"repro/internal/simulate"
+	"repro/internal/smart"
+)
+
+func rec(t *testing.T, typ string, v any) runlog.Record {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runlog.Record{Type: typ, Payload: data}
+}
+
+func testMeta() recordMeta {
+	return recordMeta{
+		ConfigHash: "abc", Model: smart.MC2, Selector: "WEFR",
+		Start: 10, End: 50, CanaryDays: 3, MinWindow: 5,
+		RefDays: 2, Bins: 4, ZThreshold: 2.5, PSIThreshold: 0.25,
+		Artifact: "serving",
+	}
+}
+
+func TestReplayStateEmpty(t *testing.T) {
+	st, err := replayState(nil, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.serving != 0 || st.nextDay != 10 || st.cycle != nil {
+		t.Fatalf("fresh state = %+v", st)
+	}
+}
+
+func TestReplayStateFullCycle(t *testing.T) {
+	meta := testMeta()
+	recs := []runlog.Record{
+		rec(t, recMeta, meta),
+		rec(t, recServing, recordServing{Day: 9, Version: 1}),
+		rec(t, recDay, recordDay{Day: 10, Sum: Summary{Day: 10, Mean: 0.1}}),
+		rec(t, recDay, recordDay{Day: 11, Sum: Summary{Day: 11, Mean: 0.2}}),
+		rec(t, recDrift, recordDrift{Day: 11, Trigger: TriggerChangePoint, Stat: 3, Window: 2}),
+		rec(t, recCandidate, recordCandidate{Day: 11, Version: 2, TrainedThrough: 8}),
+		rec(t, recVerdict, recordVerdict{Day: 11, Decision: DecisionPromote, Reason: "wins",
+			CandidateVersion: 2, Candidate: Metrics{F05: 0.9}, Serving: Metrics{F05: 0.5}}),
+		rec(t, recPromoted, recordPromoted{Day: 11, Version: 2}),
+	}
+	st, err := replayState(recs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.serving != 2 || st.cycle != nil || st.nextDay != 12 {
+		t.Fatalf("state = serving %d, nextDay %d, cycle %v", st.serving, st.nextDay, st.cycle)
+	}
+	if st.refreshes != 1 || st.promotions != 1 || st.rollbacks != 0 || st.keeps != 0 {
+		t.Fatalf("counters = %d/%d/%d/%d", st.refreshes, st.promotions, st.rollbacks, st.keeps)
+	}
+	if len(st.sums) != 0 {
+		t.Fatalf("summary window not reset after promotion: %d", len(st.sums))
+	}
+	if st.maxVersion != 2 {
+		t.Fatalf("maxVersion = %d, want 2", st.maxVersion)
+	}
+	if len(st.events) != 5 {
+		t.Fatalf("events = %q", st.events)
+	}
+}
+
+func TestReplayStateMidCycle(t *testing.T) {
+	meta := testMeta()
+	recs := []runlog.Record{
+		rec(t, recMeta, meta),
+		rec(t, recServing, recordServing{Day: 9, Version: 1}),
+		rec(t, recDay, recordDay{Day: 10, Sum: Summary{Day: 10}}),
+		rec(t, recDrift, recordDrift{Day: 10, Trigger: TriggerDivergence, Stat: 0.3, Window: 1}),
+		rec(t, recCandidate, recordCandidate{Day: 10, Version: 2, TrainedThrough: 7}),
+	}
+	st, err := replayState(recs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.cycle == nil || st.cycle.day != 10 || st.cycle.candidateVersion != 2 || st.cycle.verdict != nil {
+		t.Fatalf("mid-cycle state = %+v", st.cycle)
+	}
+}
+
+func TestReplayStateKeepVerdictClosesCycle(t *testing.T) {
+	meta := testMeta()
+	recs := []runlog.Record{
+		rec(t, recMeta, meta),
+		rec(t, recServing, recordServing{Day: 9, Version: 1}),
+		rec(t, recDay, recordDay{Day: 10, Sum: Summary{Day: 10}}),
+		rec(t, recDrift, recordDrift{Day: 10, Trigger: TriggerChangePoint, Stat: 3, Window: 1}),
+		rec(t, recVerdict, recordVerdict{Day: 10, Decision: DecisionKeep, Reason: "candidate training failed"}),
+	}
+	st, err := replayState(recs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.cycle != nil || st.keeps != 1 || st.serving != 1 {
+		t.Fatalf("keep state = cycle %v, keeps %d, serving %d", st.cycle, st.keeps, st.serving)
+	}
+}
+
+func TestReplayStateRollback(t *testing.T) {
+	meta := testMeta()
+	recs := []runlog.Record{
+		rec(t, recMeta, meta),
+		rec(t, recServing, recordServing{Day: 9, Version: 1}),
+		rec(t, recDay, recordDay{Day: 10, Sum: Summary{Day: 10}}),
+		rec(t, recDrift, recordDrift{Day: 10, Trigger: TriggerChangePoint, Stat: 3, Window: 1}),
+		rec(t, recCandidate, recordCandidate{Day: 10, Version: 2, TrainedThrough: 7}),
+		rec(t, recVerdict, recordVerdict{Day: 10, Decision: DecisionRollback, Reason: "loses", CandidateVersion: 2}),
+		rec(t, recRolledBack, recordRolledBack{Day: 10, Serving: 1, Candidate: 2}),
+	}
+	st, err := replayState(recs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.serving != 1 || st.rollbacks != 1 || st.cycle != nil {
+		t.Fatalf("rollback state = serving %d, rollbacks %d, cycle %v", st.serving, st.rollbacks, st.cycle)
+	}
+	// The rejected candidate still counts toward maxVersion: the
+	// adopt-or-train logic must not mistake it for an unjournaled save.
+	if st.maxVersion != 2 {
+		t.Fatalf("maxVersion = %d, want 2", st.maxVersion)
+	}
+}
+
+func TestReplayStateMismatch(t *testing.T) {
+	meta := testMeta()
+	other := meta
+	other.End = 60
+	_, err := replayState([]runlog.Record{rec(t, recMeta, other)}, meta)
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("err = %v, want ErrJournalMismatch", err)
+	}
+}
+
+func TestReplayStateCorruptSequences(t *testing.T) {
+	meta := testMeta()
+	cases := []struct {
+		name string
+		recs []runlog.Record
+	}{
+		{"first record not meta", []runlog.Record{rec(t, recDay, recordDay{Day: 10})}},
+		{"day before bootstrap", []runlog.Record{
+			rec(t, recMeta, meta),
+			rec(t, recDay, recordDay{Day: 10}),
+		}},
+		{"day out of order", []runlog.Record{
+			rec(t, recMeta, meta),
+			rec(t, recServing, recordServing{Day: 9, Version: 1}),
+			rec(t, recDay, recordDay{Day: 12}),
+		}},
+		{"drift without serving", []runlog.Record{
+			rec(t, recMeta, meta),
+			rec(t, recDrift, recordDrift{Day: 10}),
+		}},
+		{"candidate without cycle", []runlog.Record{
+			rec(t, recMeta, meta),
+			rec(t, recServing, recordServing{Day: 9, Version: 1}),
+			rec(t, recCandidate, recordCandidate{Day: 10, Version: 2}),
+		}},
+		{"promoted without verdict", []runlog.Record{
+			rec(t, recMeta, meta),
+			rec(t, recServing, recordServing{Day: 9, Version: 1}),
+			rec(t, recDay, recordDay{Day: 10}),
+			rec(t, recDrift, recordDrift{Day: 10}),
+			rec(t, recPromoted, recordPromoted{Day: 10, Version: 2}),
+		}},
+		{"duplicate meta", []runlog.Record{
+			rec(t, recMeta, meta),
+			rec(t, recMeta, meta),
+		}},
+		{"unknown type", []runlog.Record{
+			rec(t, recMeta, meta),
+			{Type: "mystery"},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := replayState(tc.recs, meta); !errors.Is(err, ErrJournalCorrupt) {
+			t.Errorf("%s: err = %v, want ErrJournalCorrupt", tc.name, err)
+		}
+	}
+}
+
+// testSource builds a small single-model fleet for live-run tests.
+func testSource(t *testing.T) dataset.Source {
+	t.Helper()
+	fleet, err := simulate.New(simulate.Config{
+		TotalDrives: 150, Days: 120, Seed: 7, AFRScale: 8,
+		Models: []smart.ModelID{smart.MC1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.FleetSource{Fleet: fleet}
+}
+
+func testConfig(dir string) Config {
+	return Config{
+		Model:    smart.MC1,
+		Selector: pipeline.NoSelection{},
+		Engine: engine.Config{
+			Forest: forest.Config{NumTrees: 3, MaxDepth: 4, Seed: 7},
+			Seed:   7,
+		},
+		Start: 100, End: 110,
+		// MinWindow 30 > the 11 controlled days: drift is never
+		// consulted, keeping the run to bootstrap + day summaries.
+		CanaryDays: 5, MinWindow: 30,
+		Dir: dir,
+	}
+}
+
+func TestRunBootstrapOnly(t *testing.T) {
+	dir := t.TempDir()
+	src := testSource(t)
+	res, err := Run(src, testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServingVersion != 1 || res.Refreshes != 0 || res.Promotions != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Events) != 1 {
+		t.Fatalf("events = %q", res.Events)
+	}
+	out := res.String()
+	if out == "" || out[len(out)-1] != '\n' {
+		t.Fatalf("report rendering: %q", out)
+	}
+
+	// A second run over the same directory without Resume must refuse.
+	if _, err := Run(src, testConfig(dir)); !errors.Is(err, ErrJournalExists) {
+		t.Fatalf("rerun err = %v, want ErrJournalExists", err)
+	}
+
+	// Resume replays to the identical result without retraining.
+	cfg := testConfig(dir)
+	cfg.Resume = true
+	res2, err := Run(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.String() != res.String() {
+		t.Fatalf("resumed report differs:\n%s\nvs\n%s", res2.String(), res.String())
+	}
+
+	// Resuming with a different training config is a mismatch.
+	cfg = testConfig(dir)
+	cfg.Resume = true
+	cfg.Engine.Forest.NumTrees = 4
+	if _, err := Run(src, cfg); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("mismatched resume err = %v, want ErrJournalMismatch", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := func() Config {
+		c := testConfig("dir")
+		return c.withDefaults()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty dir", func(c *Config) { c.Dir = "" }},
+		{"nil selector", func(c *Config) { c.Selector = nil }},
+		{"robust config", func(c *Config) { c.Engine.Robust = &engine.RobustOpts{} }},
+		{"start too early", func(c *Config) { c.Start = 1 }},
+		{"end before start", func(c *Config) { c.End = c.Start - 1 }},
+		{"end beyond horizon", func(c *Config) { c.End = 120 }},
+		{"zero canary", func(c *Config) { c.CanaryDays = -1 }},
+		{"window not above canary", func(c *Config) { c.MinWindow = c.CanaryDays }},
+	}
+	for _, tc := range cases {
+		c := base()
+		tc.mutate(&c)
+		if err := c.validate(120); err == nil {
+			t.Errorf("%s: validate passed", tc.name)
+		}
+	}
+	c := base()
+	if err := c.validate(120); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package control
+
+import (
+	"math"
+
+	"repro/internal/changepoint"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/smart"
+)
+
+// Summary condenses one fleet day under the serving snapshot into the
+// drift detector's inputs: how many drives were observed, how their
+// failure scores were distributed, how many alarmed, and how many
+// failure tickets were filed that day. Summaries are journaled, so a
+// resumed controller replays them instead of re-scoring history.
+type Summary struct {
+	// Day is the fleet day the summary describes.
+	Day int `json:"day"`
+	// N is the number of drives observed (scored) on the day.
+	N int `json:"n"`
+	// Mean is the mean predicted failure probability across drives.
+	Mean float64 `json:"mean"`
+	// AlarmRate is the fraction of observed drives whose probability
+	// cleared their group's alarm threshold.
+	AlarmRate float64 `json:"alarm_rate"`
+	// NewFailures is the number of failure tickets filed on the day.
+	NewFailures int `json:"new_failures"`
+	// Hist is the score histogram over Bins equal-width bins on [0, 1].
+	Hist []int `json:"hist"`
+}
+
+// summarize scores one day of the fleet with the serving model and
+// condenses it. Probabilities outside [0, 1] (or NaN) are clamped into
+// the histogram's edge bins so dirty scores cannot corrupt the
+// detector's input.
+func summarize(src dataset.Source, scorer *engine.Scorer, model smart.ModelID, day, bins int) (Summary, error) {
+	outcomes, err := scorer.Score(src, day, day)
+	if err != nil {
+		return Summary{}, err
+	}
+	sum := Summary{Day: day, N: len(outcomes), Hist: make([]int, bins)}
+	var total float64
+	for _, o := range outcomes {
+		p := o.MaxProb
+		if math.IsNaN(p) || p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		total += p
+		bi := int(p * float64(bins))
+		if bi >= bins {
+			bi = bins - 1
+		}
+		sum.Hist[bi]++
+		if o.Pred.FirstAlarmDay >= 0 {
+			sum.AlarmRate++
+		}
+	}
+	if sum.N > 0 {
+		sum.Mean = total / float64(sum.N)
+		sum.AlarmRate /= float64(sum.N)
+	}
+	for _, ref := range src.DrivesOf(model) {
+		if ref.FailDay == day {
+			sum.NewFailures++
+		}
+	}
+	return sum, nil
+}
+
+// Drift triggers.
+const (
+	// TriggerChangePoint marks a drift firing from the Bayesian online
+	// change-point detector on the daily mean-score series.
+	TriggerChangePoint = "changepoint"
+	// TriggerDivergence marks a drift firing from the score-distribution
+	// divergence (PSI) between the regime's reference window and the
+	// trailing window.
+	TriggerDivergence = "divergence"
+)
+
+// driftFiring describes one drift detection.
+type driftFiring struct {
+	Trigger string  // TriggerChangePoint or TriggerDivergence
+	Stat    float64 // z-score (changepoint) or PSI (divergence)
+	Index   int     // change-point index within the summary window (changepoint only)
+	Window  int     // summary-window length at evaluation time
+}
+
+// cpEdgeGuard keeps change points detected at the very edges of the
+// summary window from firing a refresh: the first observations of a
+// regime carry bootstrap transients, and the final observation cannot
+// be distinguished from an outlier yet.
+const cpEdgeGuard = 3
+
+// evalDrift decides whether the regime's summary window shows drift:
+// a significant Bayesian change point in the daily mean-score series
+// (away from the window edges), or a score-distribution divergence
+// (PSI) between the first refDays and the last refDays of the window.
+// The evaluation is pure and deterministic: a resumed controller
+// reaches the identical decision from the replayed summaries.
+func evalDrift(sums []Summary, zThreshold, psiThreshold float64, refDays int) (driftFiring, bool) {
+	series := make([]float64, len(sums))
+	last := 0.0
+	for i, s := range sums {
+		v := s.Mean
+		// The Gaussian observation model is undefined on non-finite
+		// values; carry the last finite level instead of aborting.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = last
+		}
+		series[i] = v
+		last = v
+	}
+	pts, err := changepoint.Detect(series, changepoint.DefaultConfig(), zThreshold)
+	if err == nil {
+		if best, ok := changepoint.MostSignificant(pts); ok &&
+			best.Index >= cpEdgeGuard && best.Index < len(series)-1 {
+			return driftFiring{
+				Trigger: TriggerChangePoint,
+				Stat:    best.Z,
+				Index:   best.Index,
+				Window:  len(series),
+			}, true
+		}
+	}
+	if len(sums) >= 2*refDays && refDays > 0 {
+		ref := avgHist(sums[:refDays])
+		cur := avgHist(sums[len(sums)-refDays:])
+		if p := psi(ref, cur); p >= psiThreshold {
+			return driftFiring{
+				Trigger: TriggerDivergence,
+				Stat:    p,
+				Window:  len(sums),
+			}, true
+		}
+	}
+	return driftFiring{}, false
+}
+
+// avgHist averages the summaries' score histograms into a probability
+// distribution over bins.
+func avgHist(sums []Summary) []float64 {
+	if len(sums) == 0 {
+		return nil
+	}
+	out := make([]float64, len(sums[0].Hist))
+	var total float64
+	for _, s := range sums {
+		for i, c := range s.Hist {
+			if i < len(out) {
+				out[i] += float64(c)
+				total += float64(c)
+			}
+		}
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// psiEpsilon floors each bin's mass so empty bins cannot blow the
+// logarithm up to infinity; the standard PSI practice.
+const psiEpsilon = 1e-4
+
+// psi is the population stability index between two binned score
+// distributions: Σ (cur_i − ref_i) · ln(cur_i / ref_i). By convention
+// PSI < 0.1 is stable, 0.1–0.25 moderate shift, > 0.25 a significant
+// shift warranting model review.
+func psi(ref, cur []float64) float64 {
+	n := min(len(ref), len(cur))
+	var out float64
+	for i := 0; i < n; i++ {
+		r := math.Max(ref[i], psiEpsilon)
+		c := math.Max(cur[i], psiEpsilon)
+		out += (c - r) * math.Log(c/r)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func mkSums(means []float64, hist ...[]int) []Summary {
+	out := make([]Summary, len(means))
+	for i, m := range means {
+		out[i] = Summary{Day: i, N: 100, Mean: m, Hist: []int{50, 50}}
+		if len(hist) > 0 {
+			out[i].Hist = hist[0]
+		}
+	}
+	return out
+}
+
+func TestEvalDriftStep(t *testing.T) {
+	means := make([]float64, 40)
+	for i := range means {
+		means[i] = 0.02
+		if i >= 20 {
+			means[i] = 0.2
+		}
+		means[i] += 0.001 * float64(i%3) // mild noise, far below the step
+	}
+	firing, fired := evalDrift(mkSums(means), 2.5, 100, 10)
+	if !fired {
+		t.Fatal("step drift not detected")
+	}
+	if firing.Trigger != TriggerChangePoint {
+		t.Fatalf("trigger = %q, want %q", firing.Trigger, TriggerChangePoint)
+	}
+	if firing.Index < 17 || firing.Index > 23 {
+		t.Errorf("change point index = %d, want near 20", firing.Index)
+	}
+	if firing.Window != 40 {
+		t.Errorf("window = %d, want 40", firing.Window)
+	}
+}
+
+func TestEvalDriftStableSeries(t *testing.T) {
+	means := make([]float64, 40)
+	for i := range means {
+		means[i] = 0.05
+	}
+	if firing, fired := evalDrift(mkSums(means), 2.5, 100, 10); fired {
+		t.Fatalf("stable series fired drift: %+v", firing)
+	}
+}
+
+// A ramp has no single step, but the summary window's head and tail
+// score distributions diverge — the PSI trigger must catch what the
+// change-point trigger structurally cannot.
+func TestEvalDriftGradualRampFiresPSI(t *testing.T) {
+	const n = 40
+	sums := make([]Summary, n)
+	for i := range sums {
+		// Histogram mass slides from bin 0 to bin 1 linearly.
+		hi := i * 100 / n
+		sums[i] = Summary{Day: i, N: 100, Mean: 0.05, Hist: []int{100 - hi, hi}}
+	}
+	firing, fired := evalDrift(sums, 1e9, 0.25, 10)
+	if !fired {
+		t.Fatal("gradual ramp not detected")
+	}
+	if firing.Trigger != TriggerDivergence {
+		t.Fatalf("trigger = %q, want %q", firing.Trigger, TriggerDivergence)
+	}
+	if firing.Stat < 0.25 {
+		t.Errorf("PSI = %v, want >= 0.25", firing.Stat)
+	}
+}
+
+// Non-finite day means (a day with no observed drives, a dirty score
+// aggregate) must not poison the detector: the series is sanitized by
+// carrying the last finite level, and a genuine step on the other side
+// of the garbage is still found.
+func TestEvalDriftNonFiniteMeans(t *testing.T) {
+	means := make([]float64, 40)
+	for i := range means {
+		means[i] = 0.02
+		if i >= 20 {
+			means[i] = 0.3
+		}
+	}
+	means[5] = math.NaN()
+	means[12] = math.Inf(1)
+	means[28] = math.Inf(-1)
+	firing, fired := evalDrift(mkSums(means), 2.5, 100, 10)
+	if !fired {
+		t.Fatal("step behind non-finite values not detected")
+	}
+	if firing.Trigger != TriggerChangePoint {
+		t.Fatalf("trigger = %q, want %q", firing.Trigger, TriggerChangePoint)
+	}
+
+	// An all-garbage window must not fire (sanitizes to a constant).
+	garbage := make([]float64, 40)
+	for i := range garbage {
+		garbage[i] = math.NaN()
+	}
+	if _, fired := evalDrift(mkSums(garbage), 2.5, 100, 10); fired {
+		t.Error("all-NaN window fired drift")
+	}
+}
+
+func TestEvalDriftEdgeGuard(t *testing.T) {
+	// A "step" at the last observation is indistinguishable from an
+	// outlier; the edge guard must hold it back.
+	means := make([]float64, 40)
+	for i := range means {
+		means[i] = 0.02
+	}
+	means[39] = 0.4
+	if firing, fired := evalDrift(mkSums(means), 2.5, 100, 10); fired {
+		t.Fatalf("trailing outlier fired drift: %+v", firing)
+	}
+}
+
+func TestPSI(t *testing.T) {
+	same := []float64{0.5, 0.3, 0.2}
+	if p := psi(same, same); p != 0 {
+		t.Errorf("psi(x, x) = %v, want 0", p)
+	}
+	shifted := []float64{0.1, 0.3, 0.6}
+	if p := psi(same, shifted); p < 0.25 {
+		t.Errorf("psi(major shift) = %v, want >= 0.25", p)
+	}
+	// Empty bins must not produce infinities.
+	if p := psi([]float64{1, 0}, []float64{0, 1}); math.IsInf(p, 0) || math.IsNaN(p) {
+		t.Errorf("psi with empty bins = %v, want finite", p)
+	}
+}
+
+func TestAvgHist(t *testing.T) {
+	sums := []Summary{
+		{Hist: []int{8, 2}},
+		{Hist: []int{6, 4}},
+	}
+	got := avgHist(sums)
+	want := []float64{0.7, 0.3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("avgHist = %v, want %v", got, want)
+		}
+	}
+	if avgHist(nil) != nil {
+		t.Error("avgHist(nil) != nil")
+	}
+}
+
+func TestCanaryWin(t *testing.T) {
+	cases := []struct {
+		name       string
+		cand, serv Metrics
+		want       bool
+	}{
+		{"higher F05 wins", Metrics{F05: 0.8}, Metrics{F05: 0.7}, true},
+		{"lower F05 loses", Metrics{F05: 0.6}, Metrics{F05: 0.7}, false},
+		{"F05 tie, higher AUC wins", Metrics{F05: 0.7, AUC: 0.9, AUCValid: true}, Metrics{F05: 0.7, AUC: 0.8, AUCValid: true}, true},
+		{"F05 tie, AUC invalid keeps serving", Metrics{F05: 0.7, AUC: 0.9}, Metrics{F05: 0.7, AUC: 0.8}, false},
+		{"full tie keeps serving", Metrics{F05: 0.7, AUC: 0.9, AUCValid: true}, Metrics{F05: 0.7, AUC: 0.9, AUCValid: true}, false},
+	}
+	for _, tc := range cases {
+		if got := canaryWin(tc.cand, tc.serv); got != tc.want {
+			t.Errorf("%s: canaryWin = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

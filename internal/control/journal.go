@@ -1,0 +1,346 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/runlog"
+	"repro/internal/smart"
+)
+
+// Journaling errors.
+var (
+	// ErrJournalExists indicates a control directory that already holds
+	// a journal while Resume was not requested.
+	ErrJournalExists = errors.New("control: journal exists (resume not requested)")
+	// ErrJournalMismatch indicates a journal written by a controller
+	// with a different configuration.
+	ErrJournalMismatch = errors.New("control: journal does not match this run")
+	// ErrJournalCorrupt indicates a journal whose record sequence is
+	// not one the controller could have written.
+	ErrJournalCorrupt = errors.New("control: journal record sequence corrupt")
+)
+
+// Journal record types. Each control decision is journaled before the
+// controller acts on its consequences, so a killed controller replays
+// to the exact decision state it died in.
+const (
+	recMeta       = "meta"        // run identity, first record
+	recServing    = "serving"     // bootstrap complete: initial serving version
+	recDay        = "day"         // one ingested + summarized fleet day
+	recDrift      = "drift"       // drift detector fired
+	recCandidate  = "candidate"   // candidate snapshot trained and saved
+	recVerdict    = "verdict"     // canary evaluation decided
+	recPromoted   = "promoted"    // candidate promoted to serving
+	recRolledBack = "rolled-back" // candidate rejected, serving retained
+)
+
+// Canary decisions (recordVerdict.Decision).
+const (
+	// DecisionPromote promotes the candidate to serving.
+	DecisionPromote = "promote"
+	// DecisionRollback rejects the candidate and keeps serving the
+	// prior version (the registry's never-overwrite versioning makes
+	// this a pure bookkeeping step — the old artifact never left).
+	DecisionRollback = "rollback"
+	// DecisionKeep keeps the serving snapshot because the canary could
+	// not be evaluated (unevaluable window, failed candidate training);
+	// accounted separately from a lost canary.
+	DecisionKeep = "keep"
+)
+
+// recordMeta is the journal's first record: the identity of the
+// controller run that owns it. Resuming with any differing field is
+// refused — the journaled decisions would be meaningless.
+type recordMeta struct {
+	ConfigHash   string        `json:"config_hash"`
+	Model        smart.ModelID `json:"model"`
+	Selector     string        `json:"selector"`
+	Start        int           `json:"start"`
+	End          int           `json:"end"`
+	CanaryDays   int           `json:"canary_days"`
+	MinWindow    int           `json:"min_window"`
+	RefDays      int           `json:"ref_days"`
+	Bins         int           `json:"bins"`
+	ZThreshold   float64       `json:"z_threshold"`
+	PSIThreshold float64       `json:"psi_threshold"`
+	Artifact     string        `json:"artifact"`
+}
+
+// recordServing marks bootstrap completion: the initial serving
+// snapshot version, trained through Day.
+type recordServing struct {
+	Day     int `json:"day"`
+	Version int `json:"version"`
+}
+
+// recordDay is one processed fleet day and its drift-detector summary.
+type recordDay struct {
+	Day int     `json:"day"`
+	Sum Summary `json:"sum"`
+}
+
+// recordDrift marks a drift-detector firing on Day, opening a refresh
+// cycle.
+type recordDrift struct {
+	Day     int     `json:"day"`
+	Trigger string  `json:"trigger"`
+	Stat    float64 `json:"stat"`
+	Index   int     `json:"index,omitempty"`
+	Window  int     `json:"window"`
+}
+
+// recordCandidate marks a candidate snapshot saved to the registry.
+type recordCandidate struct {
+	Day            int `json:"day"`
+	Version        int `json:"version"`
+	TrainedThrough int `json:"trained_through"`
+}
+
+// Metrics is one side of a canary comparison.
+type Metrics struct {
+	TP       int     `json:"tp"`
+	FP       int     `json:"fp"`
+	FN       int     `json:"fn"`
+	F05      float64 `json:"f05"`
+	AUC      float64 `json:"auc,omitempty"`
+	AUCValid bool    `json:"auc_valid,omitempty"`
+	N        int     `json:"n"`
+}
+
+// recordVerdict is the canary decision for the open refresh cycle.
+type recordVerdict struct {
+	Day              int     `json:"day"`
+	Decision         string  `json:"decision"`
+	Reason           string  `json:"reason"`
+	CandidateVersion int     `json:"candidate_version,omitempty"`
+	Candidate        Metrics `json:"candidate,omitempty"`
+	Serving          Metrics `json:"serving,omitempty"`
+}
+
+// recordPromoted marks the candidate version becoming the serving
+// snapshot.
+type recordPromoted struct {
+	Day     int `json:"day"`
+	Version int `json:"version"`
+}
+
+// recordRolledBack marks the candidate's rejection: Serving stays the
+// live version, Candidate remains in the registry (never overwritten)
+// for post-mortem.
+type recordRolledBack struct {
+	Day       int `json:"day"`
+	Serving   int `json:"serving"`
+	Candidate int `json:"candidate"`
+}
+
+// cycle is an in-flight refresh: drift fired, and the candidate /
+// canary / promotion steps are worked through in order. Exactly the
+// journaled facts are kept, so a replayed cycle is indistinguishable
+// from a live one.
+type cycle struct {
+	day              int // day the drift detector fired
+	trigger          string
+	candidateVersion int            // 0 until the candidate record lands
+	trainedThrough   int            //
+	verdict          *recordVerdict // nil until the verdict record lands
+}
+
+// state is the controller's decision state, built identically by live
+// execution and by journal replay: every mutation goes through an
+// apply method, and live execution appends the journal record first.
+type state struct {
+	serving    int // serving registry version; 0 before bootstrap
+	nextDay    int // next fleet day to process
+	sums       []Summary
+	cycle      *cycle
+	maxVersion int // highest registry version the journal accounts for
+
+	refreshes  int
+	promotions int
+	rollbacks  int
+	keeps      int
+	events     []string
+}
+
+func (st *state) applyServing(r recordServing) {
+	st.serving = r.Version
+	if r.Version > st.maxVersion {
+		st.maxVersion = r.Version
+	}
+	st.events = append(st.events,
+		fmt.Sprintf("day %4d  serving v%d (bootstrap, trained through day %d)", r.Day, r.Version, r.Day))
+}
+
+func (st *state) applyDay(r recordDay) {
+	st.sums = append(st.sums, r.Sum)
+	st.nextDay = r.Day + 1
+}
+
+func (st *state) applyDrift(r recordDrift) {
+	st.cycle = &cycle{day: r.Day, trigger: r.Trigger}
+	st.refreshes++
+	st.events = append(st.events,
+		fmt.Sprintf("day %4d  drift fired (%s, stat %.3f, window %d days)", r.Day, r.Trigger, r.Stat, r.Window))
+}
+
+func (st *state) applyCandidate(r recordCandidate) {
+	st.cycle.candidateVersion = r.Version
+	st.cycle.trainedThrough = r.TrainedThrough
+	if r.Version > st.maxVersion {
+		st.maxVersion = r.Version
+	}
+	st.events = append(st.events,
+		fmt.Sprintf("day %4d  candidate v%d trained through day %d", r.Day, r.Version, r.TrainedThrough))
+}
+
+// closeCycle ends the in-flight refresh and resets the summary window:
+// the regime under the (possibly new) serving snapshot starts fresh,
+// which doubles as a natural cooldown against refiring on the same
+// episode.
+func (st *state) closeCycle() {
+	st.cycle = nil
+	st.sums = nil
+}
+
+func (st *state) applyVerdict(r recordVerdict) {
+	rc := r
+	st.cycle.verdict = &rc
+	switch r.Decision {
+	case DecisionKeep:
+		st.keeps++
+		st.events = append(st.events,
+			fmt.Sprintf("day %4d  canary verdict: keep serving (%s)", r.Day, r.Reason))
+		st.closeCycle()
+	default:
+		st.events = append(st.events,
+			fmt.Sprintf("day %4d  canary verdict: %s (%s; candidate F0.5 %.3f, serving F0.5 %.3f, %d drives)",
+				r.Day, r.Decision, r.Reason, r.Candidate.F05, r.Serving.F05, r.Candidate.N))
+	}
+}
+
+func (st *state) applyPromoted(r recordPromoted) {
+	st.serving = r.Version
+	if r.Version > st.maxVersion {
+		st.maxVersion = r.Version
+	}
+	st.promotions++
+	st.events = append(st.events, fmt.Sprintf("day %4d  promoted v%d to serving", r.Day, r.Version))
+	st.closeCycle()
+}
+
+func (st *state) applyRolledBack(r recordRolledBack) {
+	st.rollbacks++
+	st.events = append(st.events,
+		fmt.Sprintf("day %4d  rolled back to v%d (candidate v%d stays in registry)", r.Day, r.Serving, r.Candidate))
+	st.closeCycle()
+}
+
+// replayState rebuilds the controller's decision state from journal
+// records. The first record must be a meta record equal to want; the
+// remaining records replay through the same apply methods live
+// execution uses, so the rebuilt state — including the event log — is
+// byte-identical to the state of the process that wrote the journal.
+func replayState(recs []runlog.Record, want recordMeta) (*state, error) {
+	st := &state{nextDay: want.Start}
+	if len(recs) == 0 {
+		return st, nil
+	}
+	if recs[0].Type != recMeta {
+		return nil, fmt.Errorf("%w: first record is %q, not %q", ErrJournalCorrupt, recs[0].Type, recMeta)
+	}
+	var meta recordMeta
+	if err := recs[0].Decode(&meta); err != nil {
+		return nil, fmt.Errorf("control: decode meta record: %w", err)
+	}
+	if meta != want {
+		return nil, fmt.Errorf("%w: journal %+v, run %+v", ErrJournalMismatch, meta, want)
+	}
+	for _, rec := range recs[1:] {
+		if err := st.replayRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// replayRecord replays one post-meta record, validating that it can
+// legally follow the state so far.
+func (st *state) replayRecord(rec runlog.Record) error {
+	decode := func(v any) error {
+		if err := rec.Decode(v); err != nil {
+			return fmt.Errorf("control: decode %q record: %w", rec.Type, err)
+		}
+		return nil
+	}
+	switch rec.Type {
+	case recServing:
+		var r recordServing
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.serving != 0 {
+			return fmt.Errorf("%w: duplicate serving record", ErrJournalCorrupt)
+		}
+		st.applyServing(r)
+	case recDay:
+		var r recordDay
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.serving == 0 || r.Day != st.nextDay || st.cycle != nil {
+			return fmt.Errorf("%w: day %d record out of order", ErrJournalCorrupt, r.Day)
+		}
+		st.applyDay(r)
+	case recDrift:
+		var r recordDrift
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.cycle != nil || st.serving == 0 {
+			return fmt.Errorf("%w: drift record with refresh cycle already open", ErrJournalCorrupt)
+		}
+		st.applyDrift(r)
+	case recCandidate:
+		var r recordCandidate
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.cycle == nil || st.cycle.candidateVersion != 0 {
+			return fmt.Errorf("%w: candidate record without open cycle", ErrJournalCorrupt)
+		}
+		st.applyCandidate(r)
+	case recVerdict:
+		var r recordVerdict
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.cycle == nil || st.cycle.verdict != nil {
+			return fmt.Errorf("%w: verdict record without open cycle", ErrJournalCorrupt)
+		}
+		st.applyVerdict(r)
+	case recPromoted:
+		var r recordPromoted
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.cycle == nil || st.cycle.verdict == nil || st.cycle.verdict.Decision != DecisionPromote {
+			return fmt.Errorf("%w: promoted record without promote verdict", ErrJournalCorrupt)
+		}
+		st.applyPromoted(r)
+	case recRolledBack:
+		var r recordRolledBack
+		if err := decode(&r); err != nil {
+			return err
+		}
+		if st.cycle == nil || st.cycle.verdict == nil || st.cycle.verdict.Decision != DecisionRollback {
+			return fmt.Errorf("%w: rolled-back record without rollback verdict", ErrJournalCorrupt)
+		}
+		st.applyRolledBack(r)
+	case recMeta:
+		return fmt.Errorf("%w: duplicate meta record", ErrJournalCorrupt)
+	default:
+		return fmt.Errorf("%w: unknown record type %q", ErrJournalCorrupt, rec.Type)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package control
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the controller's final report. It is assembled purely from
+// journaled state, so a run resumed after any kill renders the exact
+// bytes an uninterrupted run would.
+type Result struct {
+	// Model and Selector identify the controlled configuration.
+	Model    string
+	Selector string
+	// Start and End are the controlled days.
+	Start, End int
+	// ServingVersion is the registry version serving when the run
+	// ended.
+	ServingVersion int
+	// Refreshes counts drift-detector firings; Promotions, Rollbacks
+	// and Keeps partition their outcomes.
+	Refreshes  int
+	Promotions int
+	Rollbacks  int
+	Keeps      int
+	// Events is the chronological decision log, one line per control
+	// decision.
+	Events []string
+}
+
+func (c *controller) result() *Result {
+	return &Result{
+		Model:          c.cfg.Model.String(),
+		Selector:       c.cfg.Selector.Name(),
+		Start:          c.cfg.Start,
+		End:            c.cfg.End,
+		ServingVersion: c.st.serving,
+		Refreshes:      c.st.refreshes,
+		Promotions:     c.st.promotions,
+		Rollbacks:      c.st.rollbacks,
+		Keeps:          c.st.keeps,
+		Events:         append([]string(nil), c.st.events...),
+	}
+}
+
+// String renders the report deterministically.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controller: model %s, selector %s, days [%d, %d]\n", r.Model, r.Selector, r.Start, r.End)
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "  %s\n", ev)
+	}
+	fmt.Fprintf(&b, "final: serving v%d, %d refresh(es): %d promoted, %d rolled back, %d kept\n",
+		r.ServingVersion, r.Refreshes, r.Promotions, r.Rollbacks, r.Keeps)
+	return b.String()
+}

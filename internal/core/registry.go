@@ -150,18 +150,11 @@ func syncDir(dir string) {
 // Load reads one version of the artifact; version <= 0 loads the
 // latest. It returns the data and the concrete version loaded.
 func (r *Registry) Load(name string, version int) ([]byte, int, error) {
+	if version <= 0 {
+		return r.Latest(name)
+	}
 	if err := validName(name); err != nil {
 		return nil, 0, err
-	}
-	if version <= 0 {
-		versions, err := r.Versions(name)
-		if err != nil {
-			return nil, 0, err
-		}
-		if len(versions) == 0 {
-			return nil, 0, fmt.Errorf("%w: %q", ErrNoArtifact, name)
-		}
-		version = versions[len(versions)-1]
 	}
 	data, err := os.ReadFile(filepath.Join(r.Dir, name, versionFile(version)))
 	if errors.Is(err, os.ErrNotExist) {
@@ -171,4 +164,37 @@ func (r *Registry) Load(name string, version int) ([]byte, int, error) {
 		return nil, 0, err
 	}
 	return data, version, nil
+}
+
+// Latest reads the artifact's highest version with a single directory
+// listing and returns the data and the version loaded. An empty or
+// unknown artifact returns ErrNoArtifact. Versions are immutable once
+// linked into place, so the read cannot race a writer.
+func (r *Registry) Latest(name string) ([]byte, int, error) {
+	versions, err := r.Versions(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(versions) == 0 {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoArtifact, name)
+	}
+	version := versions[len(versions)-1]
+	data, err := os.ReadFile(filepath.Join(r.Dir, name, versionFile(version)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: load artifact %q v%d: %w", name, version, err)
+	}
+	return data, version, nil
+}
+
+// LatestVersion returns the artifact's highest existing version, or 0
+// when the artifact has none.
+func (r *Registry) LatestVersion(name string) (int, error) {
+	versions, err := r.Versions(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(versions) == 0 {
+		return 0, nil
+	}
+	return versions[len(versions)-1], nil
 }

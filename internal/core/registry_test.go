@@ -135,3 +135,47 @@ func TestRegistryIgnoresForeignFiles(t *testing.T) {
 		t.Fatalf("versions = %v, %v", vs, err)
 	}
 }
+
+// Latest and LatestVersion back both the controller's serving-version
+// bookkeeping and predict's -snapshot-version 0 default; their
+// empty-registry behavior differs deliberately: Latest fails loudly
+// (there is nothing to serve), LatestVersion reports 0 (a valid "no
+// versions yet" answer for bootstrap logic).
+func TestRegistryLatest(t *testing.T) {
+	reg := &Registry{Dir: t.TempDir()}
+
+	// Empty registry: Latest errors, LatestVersion reports zero.
+	if _, _, err := reg.Latest("model"); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("Latest on empty registry: %v, want ErrNoArtifact", err)
+	}
+	if v, err := reg.LatestVersion("model"); err != nil || v != 0 {
+		t.Fatalf("LatestVersion on empty registry = %d, %v; want 0, nil", v, err)
+	}
+
+	for _, payload := range []string{"one", "two", "three"} {
+		if _, err := reg.Save("model", []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, v, err := reg.Latest("model")
+	if err != nil || v != 3 || string(data) != "three" {
+		t.Fatalf("Latest = %q v%d, %v; want \"three\" v3", data, v, err)
+	}
+	if v, err := reg.LatestVersion("model"); err != nil || v != 3 {
+		t.Fatalf("LatestVersion = %d, %v; want 3", v, err)
+	}
+
+	// Load with version <= 0 must agree with Latest (predict's
+	// -snapshot-version 0 path).
+	for _, version := range []int{0, -1} {
+		data, v, err := reg.Load("model", version)
+		if err != nil || v != 3 || string(data) != "three" {
+			t.Fatalf("Load(%d) = %q v%d, %v; want Latest", version, data, v, err)
+		}
+	}
+
+	// A different artifact name is independent.
+	if _, _, err := reg.Latest("other"); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("Latest of unknown artifact: %v, want ErrNoArtifact", err)
+	}
+}

@@ -207,19 +207,53 @@ type ScoreOpts struct {
 // outcomes are bit-identical to what the in-memory PhaseResult that
 // produced the snapshot would report for the same window.
 func ScoreSnapshot(src dataset.Source, snap *ModelSnapshot, lo, hi int, opts ScoreOpts) ([]DriveOutcome, error) {
-	groups, err := snap.buildGroups(opts.Workers)
+	s, err := NewScorer(snap, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
+	return s.Score(src, lo, hi)
+}
+
+// Scorer is a ModelSnapshot whose trained groups have been decoded
+// once for repeated scoring. Callers that score many windows with the
+// same snapshot (the continuous-operation controller scores the fleet
+// every day) avoid re-decoding the serialized models per call; results
+// are bit-identical to ScoreSnapshot.
+type Scorer struct {
+	snap   *ModelSnapshot
+	groups []group
+	cfg    Config
+}
+
+// NewScorer decodes the snapshot's trained groups for repeated
+// scoring. Workers bounds scoring parallelism (0 = GOMAXPROCS);
+// results are bit-identical for any value.
+func NewScorer(snap *ModelSnapshot, workers int) (*Scorer, error) {
+	groups, err := snap.buildGroups(workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Scorer{
+		snap:   snap,
+		groups: groups,
+		cfg:    Config{Windows: append([]int(nil), snap.Windows...), Workers: workers},
+	}, nil
+}
+
+// Snapshot returns the snapshot the scorer was built from.
+func (s *Scorer) Snapshot() *ModelSnapshot { return s.snap }
+
+// Score scores days [lo, hi] of src with the snapshot's trained models
+// and calibrated thresholds, exactly as ScoreSnapshot would.
+func (s *Scorer) Score(src dataset.Source, lo, hi int) ([]DriveOutcome, error) {
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("pipeline: bad scoring window [%d, %d]", lo, hi)
 	}
-	cfg := Config{Windows: append([]int(nil), snap.Windows...), Workers: opts.Workers}
-	scores, _, err := scorePhase(src, snap.Model, groups, lo, hi, cfg)
+	scores, _, err := scorePhase(src, s.snap.Model, s.groups, lo, hi, s.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: snapshot scoring: %w", err)
 	}
-	return finalizeOutcomes(scores, snap.Thresholds, hi), nil
+	return finalizeOutcomes(scores, s.snap.Thresholds, hi), nil
 }
 
 // SaveSnapshot serializes the snapshot into the registry under name

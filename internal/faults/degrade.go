@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Process-level fault injection: deterministic degrade points.
+//
+// A degrade point is a named site (registered with RegisterDegradeSite)
+// where a component can be made to produce a deliberately degenerate —
+// but well-formed — artifact, e.g. a candidate model whose alarm
+// thresholds are scrambled so it must lose a canary evaluation. Unlike
+// a crash point, the process keeps running; the degradation is baked
+// into whatever the site produces, so downstream verification (and any
+// artifacts saved) see a consistent, resumable view of the fault.
+//
+// Setting the WEFR_DEGRADE environment variable to a site name makes
+// every execution of that site report degraded; with the variable
+// unset, Degraded is a cheap no-op returning false.
+
+// DegradeEnv is the environment variable that arms a degrade point.
+const DegradeEnv = "WEFR_DEGRADE"
+
+var (
+	degradeMu    sync.Mutex
+	degradeSites = make(map[string]bool)
+
+	// degradeArmed caches the DegradeEnv value; empty means disarmed.
+	degradeArmed atomic.Pointer[string]
+	degradeInit  sync.Once
+)
+
+// RegisterDegradeSite declares a named degrade point and returns the
+// name for use at the site. Registering the same name twice panics:
+// site names are global and a collision would make a fault matrix
+// silently ambiguous.
+func RegisterDegradeSite(name string) string {
+	degradeMu.Lock()
+	defer degradeMu.Unlock()
+	if name == "" {
+		panic("faults: empty degrade site name")
+	}
+	if degradeSites[name] {
+		panic(fmt.Sprintf("faults: degrade site %q registered twice", name))
+	}
+	degradeSites[name] = true
+	return name
+}
+
+// DegradeSites returns every registered degrade point name, sorted.
+func DegradeSites() []string {
+	degradeMu.Lock()
+	defer degradeMu.Unlock()
+	out := make([]string, 0, len(degradeSites))
+	for name := range degradeSites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// armDegradeFromEnv reads DegradeEnv once per process.
+func armDegradeFromEnv() {
+	degradeInit.Do(func() {
+		val := os.Getenv(DegradeEnv)
+		if val == "" {
+			return
+		}
+		degradeArmed.Store(&val)
+	})
+}
+
+// Degraded reports whether the named site is armed via WEFR_DEGRADE.
+// Sites must be registered (RegisterDegradeSite); querying an
+// unregistered site panics so the registry and the call sites cannot
+// drift apart.
+func Degraded(site string) bool {
+	armDegradeFromEnv()
+	degradeMu.Lock()
+	known := degradeSites[site]
+	degradeMu.Unlock()
+	if !known {
+		panic(fmt.Sprintf("faults: degrade point at unregistered site %q", site))
+	}
+	armed := degradeArmed.Load()
+	return armed != nil && *armed == site
+}

@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"sort"
+	"testing"
+)
+
+// Arming via WEFR_DEGRADE is read once per process, so the armed path
+// is exercised by the controller's subprocess fault matrix
+// (cmd/controller); these tests pin the in-process registry semantics.
+
+func TestDegradeSiteRegistry(t *testing.T) {
+	name := RegisterDegradeSite("degrade-test-site")
+	if name != "degrade-test-site" {
+		t.Fatalf("RegisterDegradeSite returned %q", name)
+	}
+	sites := DegradeSites()
+	if !sort.StringsAreSorted(sites) {
+		t.Errorf("DegradeSites not sorted: %v", sites)
+	}
+	found := false
+	for _, s := range sites {
+		found = found || s == name
+	}
+	if !found {
+		t.Errorf("registered site missing from DegradeSites: %v", sites)
+	}
+
+	// Disarmed (no WEFR_DEGRADE in the test process): never degraded.
+	if Degraded(name) {
+		t.Error("site degraded without arming")
+	}
+}
+
+func TestDegradeSiteDuplicatePanics(t *testing.T) {
+	RegisterDegradeSite("degrade-test-dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterDegradeSite("degrade-test-dup")
+}
+
+func TestDegradeSiteEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty site name did not panic")
+		}
+	}()
+	RegisterDegradeSite("")
+}
+
+func TestDegradedUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("query of unregistered site did not panic")
+		}
+	}()
+	Degraded("degrade-test-never-registered")
+}

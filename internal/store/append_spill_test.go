@@ -1,0 +1,180 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/smart"
+)
+
+// The continuous-operation controller appends new days into a store
+// whose partitions may have spilled to disk. These regression tests
+// pin down incremental ingest on spilled stores: appends after Spill,
+// and appends on a store reopened from a spill directory, must serve
+// exactly what a never-spilled store serves — without corrupting or
+// shadowing the mmap'd partitions, and without upstream re-fetches.
+
+// TestAppendAfterSpill spills mid-ingest, keeps appending days, and
+// checks every drive's series against a never-spilled store at full
+// horizon.
+func TestAppendAfterSpill(t *testing.T) {
+	src := testFleet(t)
+	days := src.Days()
+
+	plain := Open(src, Options{Workers: 2})
+	if err := plain.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.AppendThrough(days - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	spilled := Open(src, Options{Workers: 2, SpillDir: t.TempDir()})
+	defer spilled.Close()
+	if err := spilled.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	mid := days / 2
+	if err := spilled.AppendThrough(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := spilled.Spill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Horizon advances one day at a time over the mmap'd partition.
+	for d := mid + 1; d < days; d++ {
+		if err := spilled.AppendDay(); err != nil {
+			t.Fatalf("AppendDay to %d after spill: %v", d, err)
+		}
+	}
+	if got, want := spilled.Horizon(), plain.Horizon(); got != want {
+		t.Fatalf("horizon after spilled appends = %d, want %d", got, want)
+	}
+
+	wantSnap, gotSnap := plain.Snapshot(), spilled.Snapshot()
+	refs := wantSnap.DrivesOf(smart.MC1)
+	if gotRefs := gotSnap.DrivesOf(smart.MC1); len(gotRefs) != len(refs) {
+		t.Fatalf("inventory: %d refs vs %d", len(gotRefs), len(refs))
+	}
+	for _, ref := range refs {
+		want, wantLast, err := wantSnap.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotLast, err := gotSnap.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotLast != wantLast {
+			t.Fatalf("drive %d last day = %d, want %d", ref.ID, gotLast, wantLast)
+		}
+		requireSeriesBitEqual(t, want, got, "append-after-spill")
+	}
+}
+
+// TestAppendAfterSpillHorizonTruncation checks that a snapshot taken
+// between appends on a spilled store truncates series to its own
+// horizon — the spill file holds full series, and the horizon must
+// keep bounding visibility exactly as resident columns do.
+func TestAppendAfterSpillHorizonTruncation(t *testing.T) {
+	src := testFleet(t)
+	st := Open(src, Options{Workers: 2, SpillDir: t.TempDir()})
+	defer st.Close()
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	mid := src.Days() / 2
+	if err := st.AppendThrough(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Spill(); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Snapshot()
+	if err := st.AppendThrough(mid + 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// A drive alive beyond mid must be truncated in the older
+	// snapshot and extended in the newer one.
+	for _, ref := range before.DrivesOf(smart.MC1) {
+		_, srcLast, err := src.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcLast <= mid {
+			continue
+		}
+		_, gotLast, err := before.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotLast != mid {
+			t.Fatalf("pre-append snapshot: drive %d last day = %d, want horizon %d", ref.ID, gotLast, mid)
+		}
+		after := st.Snapshot()
+		_, gotLast, err = after.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := min(srcLast, mid+10); gotLast != want {
+			t.Fatalf("post-append snapshot: drive %d last day = %d, want %d", ref.ID, gotLast, want)
+		}
+		return
+	}
+	t.Skip("no drive alive beyond the spill horizon in the fixture")
+}
+
+// TestAppendAfterReopen reopens a store from a spill directory and
+// appends further days: the horizon must advance over the mmap'd
+// partition with zero upstream fetches, and the data must match the
+// upstream source bit-for-bit.
+func TestAppendAfterReopen(t *testing.T) {
+	src := testFleet(t)
+	days := src.Days()
+	dir := t.TempDir()
+	if _, err := WriteSpill(dir, src, smart.MC1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	counting := newCountingSource(src)
+	st := Open(counting, Options{Workers: 2, SpillDir: dir})
+	defer st.Close()
+	if err := st.Track(smart.MC1); err != nil {
+		t.Fatal(err)
+	}
+	mid := days / 3
+	if err := st.AppendThrough(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendThrough(days - 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(counting.calls); n != 0 {
+		t.Fatalf("append on reopened spill store fetched %d drives upstream", n)
+	}
+	if got := st.Horizon(); got != days {
+		t.Fatalf("horizon = %d, want %d", got, days)
+	}
+
+	snap := st.Snapshot()
+	for _, ref := range snap.DrivesOf(smart.MC1) {
+		want, wantLast, err := src.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotLast, err := snap.Series(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotLast != wantLast {
+			t.Fatalf("drive %d last day = %d, want %d", ref.ID, gotLast, wantLast)
+		}
+		requireSeriesBitEqual(t, want, got, "append-after-reopen")
+	}
+
+	// The ingest counters must account the spilled cells exactly once.
+	if c := st.Counters(); c.DaysIngested == 0 {
+		t.Error("reopened spill store accounted zero ingested days")
+	}
+}
