@@ -199,7 +199,8 @@ type controller struct {
 	reg    *core.Registry
 	j      *runlog.Journal
 	st     *state
-	scorer *engine.Scorer // serving snapshot, decoded once
+	scorer *engine.Scorer  // serving snapshot, decoded once
+	sbuf   engine.ScoreBuf // recycled scoring scratch across days
 }
 
 // Run executes the control loop over src: bootstrap (or resume), then
@@ -383,7 +384,7 @@ func (c *controller) processDay(day int) error {
 	if err := st.AppendThrough(day); err != nil {
 		return fmt.Errorf("control: ingest day %d: %w", day, err)
 	}
-	sum, err := summarize(st.Snapshot(), c.scorer, c.cfg.Model, day, c.cfg.Bins)
+	sum, err := summarize(st.Snapshot(), c.scorer, c.cfg.Model, day, c.cfg.Bins, &c.sbuf)
 	if err != nil {
 		return fmt.Errorf("control: summarize day %d: %w", day, err)
 	}

@@ -34,8 +34,10 @@ type Summary struct {
 // condenses it. Probabilities outside [0, 1] (or NaN) are clamped into
 // the histogram's edge bins so dirty scores cannot corrupt the
 // detector's input.
-func summarize(src dataset.Source, scorer *engine.Scorer, model smart.ModelID, day, bins int) (Summary, error) {
-	outcomes, err := scorer.Score(src, day, day)
+// The buf recycles the scoring pass's working state across days
+// (engine.ScoreBuf); nil falls back to per-call allocation.
+func summarize(src dataset.Source, scorer *engine.Scorer, model smart.ModelID, day, bins int, buf *engine.ScoreBuf) (Summary, error) {
+	outcomes, err := scorer.ScoreInto(src, day, day, buf)
 	if err != nil {
 		return Summary{}, err
 	}

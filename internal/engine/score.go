@@ -77,11 +77,70 @@ func refIndex(src dataset.Source, model smart.ModelID) map[int]dataset.DriveRef 
 	return out
 }
 
+// ScoreBuf recycles the per-call working state of repeated scoring
+// passes — the per-drive score accumulators, the frame column storage,
+// and the outcome slice — so callers that score the fleet over and
+// over (the serving daemon's bulk endpoint, the continuous-operation
+// controller's daily summaries) do not re-allocate them every call.
+// The zero value is ready to use. Outcomes returned by ScoreInto alias
+// the buffer and are valid only until its next use; a ScoreBuf must
+// not be used concurrently.
+type ScoreBuf struct {
+	scores   map[int]*driveScore
+	free     []*driveScore
+	frame    dataset.FrameBuf
+	cols     [][]float64
+	ids      []int
+	outcomes []DriveOutcome
+}
+
+// reset clears the buffer for the next pass, recycling every
+// driveScore (slices kept, lengths zeroed) through the free list.
+func (b *ScoreBuf) reset() {
+	if b.scores == nil {
+		b.scores = make(map[int]*driveScore)
+		return
+	}
+	for id, ds := range b.scores {
+		ds.days = ds.days[:0]
+		ds.probs = ds.probs[:0]
+		ds.mwis = ds.mwis[:0]
+		ds.group = ds.group[:0]
+		b.free = append(b.free, ds)
+		delete(b.scores, id)
+	}
+}
+
+// get returns a cleared driveScore, recycled when one is available.
+func (b *ScoreBuf) get() *driveScore {
+	if n := len(b.free); n > 0 {
+		ds := b.free[n-1]
+		b.free = b.free[:n-1]
+		*ds = driveScore{days: ds.days, probs: ds.probs, mwis: ds.mwis, group: ds.group, lastDay: -1}
+		return ds
+	}
+	return &driveScore{lastDay: -1}
+}
+
 // scorePhase scores every drive-day of [lo, hi] with the per-group
 // models and groups the probabilities by drive (days ascending). The
 // second return is the total number of drive-day rows scored.
 func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi int, cfg Config) (map[int]*driveScore, int, error) {
-	out := make(map[int]*driveScore)
+	return scorePhaseInto(src, model, groups, lo, hi, cfg, nil)
+}
+
+// scorePhaseInto is scorePhase drawing its working state from buf when
+// one is provided; results are bit-identical either way.
+func scorePhaseInto(src dataset.Source, model smart.ModelID, groups []group, lo, hi int, cfg Config, buf *ScoreBuf) (map[int]*driveScore, int, error) {
+	var out map[int]*driveScore
+	var frameBuf *dataset.FrameBuf
+	if buf != nil {
+		buf.reset()
+		out = buf.scores
+		frameBuf = &buf.frame
+	} else {
+		out = make(map[int]*driveScore)
+	}
 	rows := 0
 	// One ref index per pass (cached on store snapshots), not one per
 	// group.
@@ -92,6 +151,7 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 			Features: g.feats, Expand: true, Windows: cfg.Windows,
 			MWIBelow: g.mwiBelow, MWIAtLeast: g.mwiAtLeast,
 			Workers: cfg.Workers, Sanitize: cfg.sanitizeOpts(true),
+			Reuse: frameBuf,
 		})
 		if errors.Is(err, dataset.ErrNoSamples) {
 			continue
@@ -99,9 +159,18 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 		if err != nil {
 			return nil, rows, err
 		}
-		cols := make([][]float64, fr.NumFeatures())
-		for i := range cols {
-			cols[i] = fr.Col(i)
+		var cols [][]float64
+		if buf != nil {
+			cols = buf.cols[:0]
+			for i := 0; i < fr.NumFeatures(); i++ {
+				cols = append(cols, fr.Col(i))
+			}
+			buf.cols = cols[:0]
+		} else {
+			cols = make([][]float64, fr.NumFeatures())
+			for i := range cols {
+				cols[i] = fr.Col(i)
+			}
 		}
 		probs := getProbs(fr.NumRows())
 		if err := g.model.predictInto(cols, probs); err != nil {
@@ -113,7 +182,12 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 			m := fr.Meta(i)
 			ds, ok := out[m.DriveID]
 			if !ok {
-				ds = &driveScore{ref: refs[m.DriveID], lastDay: -1}
+				if buf != nil {
+					ds = buf.get()
+				} else {
+					ds = &driveScore{lastDay: -1}
+				}
+				ds.ref = refs[m.DriveID]
 				out[m.DriveID] = ds
 			}
 			ds.days = append(ds.days, m.Day)
@@ -135,23 +209,20 @@ func scorePhase(src dataset.Source, model smart.ModelID, groups []group, lo, hi 
 	return out, rows, nil
 }
 
+// sortDriveScore orders a drive's scored days ascending, in place. The
+// rows are a merge of at most numGroups already-ascending runs — and
+// within a drive each day is scored by exactly one group, so days are
+// unique — which makes insertion sort nearly linear here and, unlike
+// an index sort, allocation-free.
 func sortDriveScore(ds *driveScore) {
-	idx := make([]int, len(ds.days))
-	for i := range idx {
-		idx[i] = i
+	for i := 1; i < len(ds.days); i++ {
+		for j := i; j > 0 && ds.days[j] < ds.days[j-1]; j-- {
+			ds.days[j], ds.days[j-1] = ds.days[j-1], ds.days[j]
+			ds.probs[j], ds.probs[j-1] = ds.probs[j-1], ds.probs[j]
+			ds.mwis[j], ds.mwis[j-1] = ds.mwis[j-1], ds.mwis[j]
+			ds.group[j], ds.group[j-1] = ds.group[j-1], ds.group[j]
+		}
 	}
-	sort.Slice(idx, func(a, b int) bool { return ds.days[idx[a]] < ds.days[idx[b]] })
-	days := make([]int, len(idx))
-	probs := make([]float64, len(idx))
-	mwis := make([]float64, len(idx))
-	grp := make([]int, len(idx))
-	for k, i := range idx {
-		days[k] = ds.days[i]
-		probs[k] = ds.probs[i]
-		mwis[k] = ds.mwis[i]
-		grp[k] = ds.group[i]
-	}
-	ds.days, ds.probs, ds.mwis, ds.group = days, probs, mwis, grp
 }
 
 // minGroupCalibration is the minimum number of failing validation
@@ -235,12 +306,26 @@ func calibrateThresholds(scores map[int]*driveScore, numGroups int, targetRecall
 // threshold. Failures more than PredictionWindow days past the phase
 // end belong to later phases and are treated as healthy here.
 func finalizeOutcomes(scores map[int]*driveScore, thresholds []float64, testHi int) []DriveOutcome {
-	ids := make([]int, 0, len(scores))
+	return finalizeOutcomesInto(scores, thresholds, testHi, nil)
+}
+
+// finalizeOutcomesInto is finalizeOutcomes appending into buf's
+// recycled slices when a buffer is provided; the returned outcomes
+// then alias the buffer and are valid only until its next use.
+func finalizeOutcomesInto(scores map[int]*driveScore, thresholds []float64, testHi int, buf *ScoreBuf) []DriveOutcome {
+	var ids []int
+	var out []DriveOutcome
+	if buf != nil {
+		ids = buf.ids[:0]
+		out = buf.outcomes[:0]
+	} else {
+		ids = make([]int, 0, len(scores))
+		out = make([]DriveOutcome, 0, len(scores))
+	}
 	for id := range scores {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	out := make([]DriveOutcome, 0, len(ids))
 	for _, id := range ids {
 		ds := scores[id]
 		first := -1
@@ -264,6 +349,10 @@ func finalizeOutcomes(scores map[int]*driveScore, thresholds []float64, testHi i
 			MWI:     mwi,
 			MaxProb: maxProb,
 		})
+	}
+	if buf != nil {
+		buf.ids = ids[:0]
+		buf.outcomes = out
 	}
 	return out
 }

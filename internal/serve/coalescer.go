@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// errRetired reports a Submit against a coalescer whose serving state
+// was hot-swapped away. The caller re-resolves the artifact's active
+// snapshot and resubmits there; the request is never dropped.
+var errRetired = errors.New("serve: snapshot retired by hot swap")
+
+// flushTrigger says what caused a micro-batch to flush.
+type flushTrigger int
+
+const (
+	flushSize  flushTrigger = iota // batch reached maxRows
+	flushAge                       // oldest queued row reached maxAge
+	flushClose                     // coalescer drained on retirement
+)
+
+// coalescerConfig configures one wear group's micro-batcher.
+type coalescerConfig struct {
+	nCols   int // model-input columns per row
+	maxRows int // size trigger
+	maxAge  time.Duration
+	// score scores the batch: nCols equal-length columns into out.
+	score func(cols [][]float64, out []float64) error
+	// onFlush observes each flush (rows scored, trigger); may be nil.
+	onFlush func(rows int, trigger flushTrigger)
+}
+
+// coalescer turns concurrent single-row Submit calls into column-major
+// micro-batches for the compiled kernel. A batch flushes when it
+// reaches maxRows (in the submitter that filled it) or when its first
+// row has waited maxAge (in the flusher goroutine). All storage —
+// batches, their column frames, the per-request completion cells — is
+// recycled, so a Submit on the steady-state path allocates nothing.
+//
+// Probabilities are row-local in the underlying models, so the batch
+// composition a request happens to land in cannot change its score:
+// coalesced results are bit-identical to one-at-a-time scoring.
+type coalescer struct {
+	cfg coalescerConfig
+
+	mu     sync.Mutex
+	closed bool
+	cur    *microbatch
+	free   []*microbatch
+	seq    uint64
+
+	// kick wakes the flusher when a fresh batch gets its first row; a
+	// dropped kick (buffer full) is safe because a pending kick means
+	// the flusher will come around and flush whatever is current.
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// microbatch accumulates rows for one flush. Column storage is
+// pre-sized to maxRows; n is the fill level.
+type microbatch struct {
+	seq   uint64
+	n     int
+	cols  [][]float64 // nCols columns of cap maxRows
+	view  [][]float64 // reused column-slice header for the score call
+	probs []float64
+	cells []*cell
+}
+
+// cell carries one request's result out of a flushed batch. The done
+// channel is buffered so the flusher never blocks on delivery.
+type cell struct {
+	done chan struct{}
+	prob float64
+	err  error
+}
+
+var cellPool = sync.Pool{New: func() any {
+	return &cell{done: make(chan struct{}, 1)}
+}}
+
+func newCoalescer(cfg coalescerConfig) *coalescer {
+	co := &coalescer{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go co.flusher()
+	return co
+}
+
+// newBatch returns an empty batch, recycled when one is free. Caller
+// holds co.mu.
+func (co *coalescer) newBatch() *microbatch {
+	var mb *microbatch
+	if n := len(co.free); n > 0 {
+		mb = co.free[n-1]
+		co.free = co.free[:n-1]
+		mb.n = 0
+	} else {
+		mb = &microbatch{
+			cols:  make([][]float64, co.cfg.nCols),
+			view:  make([][]float64, co.cfg.nCols),
+			probs: make([]float64, co.cfg.maxRows),
+			cells: make([]*cell, co.cfg.maxRows),
+		}
+		for i := range mb.cols {
+			mb.cols[i] = make([]float64, co.cfg.maxRows)
+		}
+	}
+	co.seq++
+	mb.seq = co.seq
+	return mb
+}
+
+// Submit queues one row, blocks until its batch flushes, and returns
+// the row's probability. len(row) must be nCols. After Close it
+// returns errRetired without scoring.
+func (co *coalescer) Submit(row []float64) (float64, error) {
+	c := cellPool.Get().(*cell)
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		cellPool.Put(c)
+		return 0, errRetired
+	}
+	mb := co.cur
+	if mb == nil {
+		mb = co.newBatch()
+		co.cur = mb
+	}
+	idx := mb.n
+	for i, v := range row {
+		mb.cols[i][idx] = v
+	}
+	mb.cells[idx] = c
+	mb.n++
+	full := mb.n == co.cfg.maxRows
+	first := mb.n == 1
+	if full {
+		co.cur = nil
+	}
+	co.mu.Unlock()
+
+	if full {
+		// The submitter that completed the batch scores it: at
+		// saturation the size trigger dominates and scoring work rides
+		// request goroutines with no handoff latency.
+		co.flush(mb, flushSize)
+	} else if first {
+		select {
+		case co.kick <- struct{}{}:
+		default:
+		}
+	}
+
+	<-c.done
+	prob, err := c.prob, c.err
+	cellPool.Put(c)
+	return prob, err
+}
+
+// flusher ages out batches that never fill: each kick arms one maxAge
+// sleep, after which whatever batch is current gets flushed. A batch
+// whose kick was dropped is covered by the pending cycle that dropped
+// it, so no batch waits more than ~2×maxAge.
+func (co *coalescer) flusher() {
+	defer close(co.done)
+	timer := time.NewTimer(co.cfg.maxAge)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-co.kick:
+		}
+		timer.Reset(co.cfg.maxAge)
+		select {
+		case <-co.stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		case <-timer.C:
+		}
+		co.mu.Lock()
+		mb := co.cur
+		if mb != nil && mb.n > 0 {
+			co.cur = nil
+		} else {
+			mb = nil
+		}
+		co.mu.Unlock()
+		if mb != nil {
+			co.flush(mb, flushAge)
+		}
+	}
+}
+
+// flush scores a detached batch and delivers each row's result. The
+// batch is exclusively owned by the caller (it was removed from cur
+// under the lock), so scoring runs without the lock.
+func (co *coalescer) flush(mb *microbatch, trigger flushTrigger) {
+	n := mb.n
+	for i := range mb.view {
+		mb.view[i] = mb.cols[i][:n]
+	}
+	probs := mb.probs[:n]
+	err := co.cfg.score(mb.view, probs)
+	if co.cfg.onFlush != nil {
+		co.cfg.onFlush(n, trigger)
+	}
+	for i := 0; i < n; i++ {
+		c := mb.cells[i]
+		mb.cells[i] = nil
+		c.prob = probs[i]
+		c.err = err
+		c.done <- struct{}{}
+	}
+	co.mu.Lock()
+	if !co.closed {
+		co.free = append(co.free, mb)
+	}
+	co.mu.Unlock()
+}
+
+// Close drains the coalescer: the current partial batch (if any) is
+// flushed and scored, the flusher stops, and subsequent Submits get
+// errRetired. Idempotent.
+func (co *coalescer) Close() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	mb := co.cur
+	co.cur = nil
+	co.mu.Unlock()
+	close(co.stop)
+	<-co.done
+	if mb != nil && mb.n > 0 {
+		co.flush(mb, flushClose)
+	}
+}

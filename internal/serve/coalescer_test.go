@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sumScorer is a deterministic stand-in kernel: out[i] = sum of row i.
+// It exposes whether the coalescer keeps each request's row and
+// result correctly associated across batching.
+func sumScorer(cols [][]float64, out []float64) error {
+	for i := range out {
+		s := 0.0
+		for _, c := range cols {
+			s += c[i]
+		}
+		out[i] = s
+	}
+	return nil
+}
+
+func TestCoalescerSizeFlush(t *testing.T) {
+	var sizeFlushes atomic.Int64
+	co := newCoalescer(coalescerConfig{
+		nCols: 2, maxRows: 4, maxAge: time.Hour, // age never fires
+		score: sumScorer,
+		onFlush: func(rows int, trig flushTrigger) {
+			if trig == flushSize {
+				sizeFlushes.Add(1)
+			}
+		},
+	})
+	defer co.Close()
+	var wg sync.WaitGroup
+	results := make([]float64, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := co.Submit([]float64{float64(i), 1})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+			results[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range results {
+		if want := float64(i) + 1; p != want {
+			t.Errorf("row %d: prob %v, want %v", i, p, want)
+		}
+	}
+	if sizeFlushes.Load() != 2 {
+		t.Errorf("size flushes = %d, want 2", sizeFlushes.Load())
+	}
+}
+
+func TestCoalescerAgeFlush(t *testing.T) {
+	var ageFlushes atomic.Int64
+	co := newCoalescer(coalescerConfig{
+		nCols: 1, maxRows: 1024, maxAge: 2 * time.Millisecond,
+		score: sumScorer,
+		onFlush: func(rows int, trig flushTrigger) {
+			if trig == flushAge {
+				ageFlushes.Add(1)
+			}
+		},
+	})
+	defer co.Close()
+	start := time.Now()
+	p, err := co.Submit([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 42 {
+		t.Fatalf("prob = %v, want 42", p)
+	}
+	if ageFlushes.Load() == 0 {
+		t.Error("expected an age-triggered flush")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("single row waited %v for its age flush", waited)
+	}
+}
+
+func TestCoalescerCloseDrains(t *testing.T) {
+	co := newCoalescer(coalescerConfig{
+		nCols: 1, maxRows: 1024, maxAge: time.Hour,
+		score: sumScorer,
+	})
+	got := make(chan float64, 1)
+	go func() {
+		p, err := co.Submit([]float64{7})
+		if err != nil {
+			t.Errorf("queued submit failed across close: %v", err)
+		}
+		got <- p
+	}()
+	// Wait until the row is queued before closing.
+	for {
+		co.mu.Lock()
+		queued := co.cur != nil && co.cur.n == 1
+		co.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	co.Close()
+	select {
+	case p := <-got:
+		if p != 7 {
+			t.Fatalf("drained prob = %v, want 7", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request not drained by Close")
+	}
+	if _, err := co.Submit([]float64{1}); !errors.Is(err, errRetired) {
+		t.Fatalf("post-close submit error = %v, want errRetired", err)
+	}
+}
+
+func TestCoalescerConcurrentHammer(t *testing.T) {
+	co := newCoalescer(coalescerConfig{
+		nCols: 3, maxRows: 16, maxAge: 200 * time.Microsecond,
+		score: sumScorer,
+	})
+	defer co.Close()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			row := make([]float64, 3)
+			for i := 0; i < perG; i++ {
+				v := float64(g*perG + i)
+				row[0], row[1], row[2] = v, 2*v, 3*v
+				p, err := co.Submit(row)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if want := 6 * v; p != want {
+					t.Errorf("row %v: prob %v, want %v", v, p, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCoalescerScoreError delivers a kernel error to every queued
+// request rather than wedging them.
+func TestCoalescerScoreError(t *testing.T) {
+	kernelErr := errors.New("kernel exploded")
+	co := newCoalescer(coalescerConfig{
+		nCols: 1, maxRows: 2, maxAge: time.Hour,
+		score: func([][]float64, []float64) error { return kernelErr },
+	})
+	defer co.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := co.Submit([]float64{1}); !errors.Is(err, kernelErr) {
+				t.Errorf("error = %v, want kernel error", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCoalescerSubmitAllocs pins the tentpole's steady-state claim:
+// once the batch/cell pools are warm, a Submit on the hot path
+// performs no allocations. maxRows=1 keeps the flush synchronous in
+// the submitter, so the measurement covers the full request path.
+func TestCoalescerSubmitAllocs(t *testing.T) {
+	co := newCoalescer(coalescerConfig{
+		nCols: 4, maxRows: 1, maxAge: time.Hour,
+		score: sumScorer,
+	})
+	defer co.Close()
+	row := []float64{1, 2, 3, 4}
+	// Warm the pools.
+	for i := 0; i < 100; i++ {
+		if _, err := co.Submit(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := co.Submit(row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// GC during the measurement can clear sync.Pool and cost a
+	// handful of re-warm allocations; anything per-op-proportional
+	// fails.
+	if allocs > 0.1 {
+		t.Errorf("Submit allocates %.3f objects/op at steady state, want ~0", allocs)
+	}
+	if math.IsNaN(allocs) {
+		t.Error("AllocsPerRun returned NaN")
+	}
+}
+
+func BenchmarkCoalescerSubmit(b *testing.B) {
+	co := newCoalescer(coalescerConfig{
+		nCols: 8, maxRows: 256, maxAge: 500 * time.Microsecond,
+		score: sumScorer,
+	})
+	defer co.Close()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		row := make([]float64, 8)
+		for i := range row {
+			row[i] = float64(i)
+		}
+		for pb.Next() {
+			if _, err := co.Submit(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,535 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/smart"
+)
+
+// reqError is a client-attributable request failure: it maps to a 4xx
+// status and a structured {"error": ...} body, and by construction
+// leaves no trace in daemon state.
+type reqError struct {
+	code int
+	msg  string
+}
+
+func (e *reqError) Error() string { return e.msg }
+
+// ScoreRequest is the body of POST /v1/score: one drive-day to score.
+// Either Series carries the drive's telemetry inline (each column the
+// same length; the last day is scored, and at least the snapshot's
+// maximum feature window of history before it makes generated
+// statistics exact), or DriveID names a drive already in the store
+// (Day picks the scored day, default its last observed day).
+type ScoreRequest struct {
+	// Model is the registry artifact name to score with.
+	Model string `json:"model"`
+	// DriveID selects a store-backed drive (with optional Day).
+	DriveID *int `json:"drive_id,omitempty"`
+	// Day is the scored day for store-backed requests.
+	Day *int `json:"day,omitempty"`
+	// MWI overrides the wear index used for group routing; default is
+	// the MWI_N column at the scored day.
+	MWI *float64 `json:"mwi,omitempty"`
+	// Series is the inline telemetry, keyed by feature name (e.g.
+	// "UCE_R", "MWI_N").
+	Series map[string][]float64 `json:"series,omitempty"`
+}
+
+// ScoreResponse is one scored drive-day. Version and ConfigHash
+// identify the exact snapshot that produced the probability — during
+// a hot swap concurrent responses may carry either version, but every
+// response's pair is internally consistent.
+type ScoreResponse struct {
+	Model      string  `json:"model"`
+	Version    int     `json:"version"`
+	ConfigHash string  `json:"config_hash"`
+	DriveID    int     `json:"drive_id,omitempty"`
+	Day        int     `json:"day"`
+	Group      int     `json:"group"`
+	Prob       float64 `json:"prob"`
+	Threshold  float64 `json:"threshold"`
+	Alarm      bool    `json:"alarm"`
+}
+
+// BatchRequest is the body of POST /v1/score/batch: many drives
+// scored in one call, bypassing the coalescer.
+type BatchRequest struct {
+	Model  string       `json:"model"`
+	Drives []BatchDrive `json:"drives"`
+}
+
+// BatchDrive is one drive of a batch request; fields mirror
+// ScoreRequest minus the artifact name.
+type BatchDrive struct {
+	DriveID *int                 `json:"drive_id,omitempty"`
+	Day     *int                 `json:"day,omitempty"`
+	MWI     *float64             `json:"mwi,omitempty"`
+	Series  map[string][]float64 `json:"series,omitempty"`
+}
+
+// BatchResponse returns one result per requested drive, in order.
+type BatchResponse struct {
+	Model      string          `json:"model"`
+	Version    int             `json:"version"`
+	ConfigHash string          `json:"config_hash"`
+	Results    []ScoreResponse `json:"results"`
+}
+
+// FleetRequest is the body of POST /v1/score/fleet: score every drive
+// of the artifact's model on one store day through the pooled
+// whole-pass engine path.
+type FleetRequest struct {
+	Model string `json:"model"`
+	Day   int    `json:"day"`
+}
+
+// FleetResponse summarizes a fleet pass.
+type FleetResponse struct {
+	Model      string  `json:"model"`
+	Version    int     `json:"version"`
+	ConfigHash string  `json:"config_hash"`
+	Day        int     `json:"day"`
+	Drives     int     `json:"drives"`
+	Alarms     int     `json:"alarms"`
+	MeanProb   float64 `json:"mean_prob"`
+}
+
+// IngestRequest is the body of POST /v1/ingest: admit upstream fleet
+// telemetry through the given day into the store, making it visible
+// to store-backed scoring.
+type IngestRequest struct {
+	Day int `json:"day"`
+}
+
+// IngestResponse reports the store horizon after an admission.
+type IngestResponse struct {
+	Horizon       int   `json:"horizon"`
+	DaysIngested  int64 `json:"days_ingested"`
+	SeriesFetches int64 `json:"series_fetches"`
+}
+
+// ModelInfo describes one served artifact (GET /v1/models).
+type ModelInfo struct {
+	Name           string      `json:"name"`
+	Version        int         `json:"version"`
+	ConfigHash     string      `json:"config_hash"`
+	DriveModel     string      `json:"drive_model"`
+	TrainedThrough int         `json:"trained_through"`
+	Windows        []int       `json:"windows"`
+	Groups         []GroupInfo `json:"groups"`
+}
+
+// GroupInfo describes one wear group of a served artifact.
+type GroupInfo struct {
+	MWIBelow   float64  `json:"mwi_below,omitempty"`
+	MWIAtLeast float64  `json:"mwi_at_least,omitempty"`
+	Threshold  float64  `json:"threshold"`
+	Features   []string `json:"features"`
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/score", s.handleScore)
+	mux.HandleFunc("POST /v1/score/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/score/fleet", s.handleFleet)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// fail maps an error to its HTTP status: reqError carries its own
+// 4xx, everything else is a 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var re *reqError
+	if errors.As(err, &re) {
+		s.writeErr(w, re.code, "%s", re.msg)
+		return
+	}
+	s.writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
+// decodeBody decodes a JSON request body strictly: unknown fields,
+// trailing garbage, and oversized bodies are client errors.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &reqError{code: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)}
+		}
+		return &reqError{code: http.StatusBadRequest, msg: fmt.Sprintf("bad request body: %v", err)}
+	}
+	if dec.More() {
+		return &reqError{code: http.StatusBadRequest, msg: "trailing data after JSON body"}
+	}
+	return nil
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	out := make([]ModelInfo, 0, len(s.names))
+	for _, name := range s.names {
+		sv := s.arts[name].cur.Load()
+		mi := ModelInfo{
+			Name:           name,
+			Version:        sv.version,
+			ConfigHash:     sv.hash,
+			DriveModel:     sv.model.String(),
+			TrainedThrough: sv.snap.TrainedThrough,
+			Windows:        sv.windows,
+		}
+		for _, g := range sv.groups {
+			below, atLeast := sv.scorer.GroupMWIBounds(g.index)
+			names := make([]string, len(g.feats))
+			for i, ft := range g.feats {
+				names[i] = ft.String()
+			}
+			mi.Groups = append(mi.Groups, GroupInfo{
+				MWIBelow: below, MWIAtLeast: atLeast,
+				Threshold: g.threshold, Features: names,
+			})
+		}
+		out = append(out, mi)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req ScoreRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp, err := s.scoreOne(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreOne scores a single drive-day through the coalescer, retrying
+// transparently when a hot swap retires the serving state mid-flight.
+func (s *Server) scoreOne(req ScoreRequest) (ScoreResponse, error) {
+	art, ok := s.artifactByName(req.Model)
+	if !ok {
+		return ScoreResponse{}, &reqError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown model %q", req.Model)}
+	}
+	for attempt := 0; attempt < swapAttempts; attempt++ {
+		if attempt > 0 {
+			s.swapRetries.Add(1)
+		}
+		sv := art.cur.Load()
+		resp, err := s.scoreOn(sv, req)
+		if errors.Is(err, errRetired) {
+			continue
+		}
+		return resp, err
+	}
+	return ScoreResponse{}, &reqError{code: http.StatusServiceUnavailable, msg: "snapshot churn: retried past limit"}
+}
+
+// scoreOn scores the request against one captured serving state.
+func (s *Server) scoreOn(sv *serving, req ScoreRequest) (ScoreResponse, error) {
+	series, day, driveID, err := s.resolveSeries(sv, req.DriveID, req.Day, req.Series)
+	if err != nil {
+		return ScoreResponse{}, err
+	}
+	mwi := routeMWI(series, day, req.MWI)
+	g := sv.scorer.PickGroup(mwi)
+	if g < 0 {
+		return ScoreResponse{}, &reqError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf("no wear group admits MWI %v", mwi)}
+	}
+	rt := sv.groups[g]
+	fs := getScratch(rt.width, rt.nGen)
+	err = sv.driveRow(rt, series, day, fs)
+	if err != nil {
+		putScratch(fs)
+		return ScoreResponse{}, err
+	}
+	prob, err := rt.co.Submit(fs.row)
+	putScratch(fs)
+	if err != nil {
+		return ScoreResponse{}, err
+	}
+	return ScoreResponse{
+		Model: sv.name, Version: sv.version, ConfigHash: sv.hash,
+		DriveID: driveID, Day: day, Group: g,
+		Prob: prob, Threshold: rt.threshold, Alarm: prob >= rt.threshold,
+	}, nil
+}
+
+// resolveSeries produces the telemetry columns and scored day for a
+// request: inline series (scored day = last day) or a store lookup.
+func (s *Server) resolveSeries(sv *serving, driveID, day *int, inline map[string][]float64) (map[smart.Feature][]float64, int, int, error) {
+	if inline != nil {
+		if driveID != nil {
+			return nil, 0, 0, &reqError{code: http.StatusBadRequest, msg: "request has both series and drive_id; send one"}
+		}
+		cols, n, err := sv.checkSeries(inline, s.opts.MaxSeriesDays)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		d := n - 1
+		if day != nil {
+			if *day < 0 || *day >= n {
+				return nil, 0, 0, &reqError{code: http.StatusBadRequest, msg: fmt.Sprintf("day %d outside series span %d", *day, n)}
+			}
+			d = *day
+		}
+		return cols, d, 0, nil
+	}
+	if driveID == nil {
+		return nil, 0, 0, &reqError{code: http.StatusBadRequest, msg: "request needs series or drive_id"}
+	}
+	if s.opts.Store == nil {
+		return nil, 0, 0, &reqError{code: http.StatusNotImplemented, msg: "store-backed scoring is disabled: no store configured"}
+	}
+	snap := s.opts.Store.Snapshot()
+	ref, ok := snap.RefIndex(sv.model)[*driveID]
+	if !ok {
+		return nil, 0, 0, &reqError{code: http.StatusNotFound, msg: fmt.Sprintf("model %v has no drive %d", sv.model, *driveID)}
+	}
+	cols, lastDay, err := snap.Series(ref)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("serve: store series for drive %d: %w", *driveID, err)
+	}
+	d := lastDay
+	if day != nil {
+		if *day < 0 || *day > lastDay {
+			return nil, 0, 0, &reqError{code: http.StatusBadRequest, msg: fmt.Sprintf("day %d outside drive %d's observed span [0, %d]", *day, *driveID, lastDay)}
+		}
+		d = *day
+	}
+	return cols, d, *driveID, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req BatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	art, ok := s.artifactByName(req.Model)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	if len(req.Drives) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "batch has no drives")
+		return
+	}
+	if len(req.Drives) > s.opts.MaxBatchRequest {
+		s.writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d drives exceeds limit %d", len(req.Drives), s.opts.MaxBatchRequest)
+		return
+	}
+	sv := art.cur.Load()
+	resp, err := s.scoreBatchOn(sv, req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreBatchOn scores a whole batch on one captured serving state,
+// bypassing the coalescer: rows are bucketed by wear group, each
+// bucket scored in one kernel call, results returned in request
+// order. Validation is all-or-nothing — any bad drive fails the whole
+// batch before anything is scored.
+func (s *Server) scoreBatchOn(sv *serving, req BatchRequest) (BatchResponse, error) {
+	n := len(req.Drives)
+	type placed struct {
+		group int
+		slot  int // row within the group's bucket
+	}
+	place := make([]placed, n)
+	rows := make([][]float64, n)
+	buckets := make([][]int, len(sv.groups)) // group -> request indices
+	resp := BatchResponse{Model: sv.name, Version: sv.version, ConfigHash: sv.hash}
+
+	for i, d := range req.Drives {
+		series, day, driveID, err := s.resolveSeries(sv, d.DriveID, d.Day, d.Series)
+		if err != nil {
+			return resp, &reqError{code: errCode(err), msg: fmt.Sprintf("drive %d of batch: %v", i, err)}
+		}
+		mwi := routeMWI(series, day, d.MWI)
+		g := sv.scorer.PickGroup(mwi)
+		if g < 0 {
+			return resp, &reqError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf("drive %d of batch: no wear group admits MWI %v", i, mwi)}
+		}
+		rt := sv.groups[g]
+		fs := getScratch(rt.width, rt.nGen)
+		if err := sv.driveRow(rt, series, day, fs); err != nil {
+			putScratch(fs)
+			return resp, &reqError{code: errCode(err), msg: fmt.Sprintf("drive %d of batch: %v", i, err)}
+		}
+		row := make([]float64, rt.width)
+		copy(row, fs.row)
+		putScratch(fs)
+		rows[i] = row
+		place[i] = placed{group: g, slot: len(buckets[g])}
+		buckets[g] = append(buckets[g], i)
+		resp.Results = append(resp.Results, ScoreResponse{
+			Model: sv.name, Version: sv.version, ConfigHash: sv.hash,
+			DriveID: driveID, Day: day, Group: g, Threshold: rt.threshold,
+		})
+	}
+
+	probs := make([][]float64, len(sv.groups))
+	for g, idxs := range buckets {
+		if len(idxs) == 0 {
+			continue
+		}
+		rt := sv.groups[g]
+		cols := make([][]float64, rt.width)
+		for c := range cols {
+			cols[c] = make([]float64, len(idxs))
+		}
+		for slot, i := range idxs {
+			for c, v := range rows[i] {
+				cols[c][slot] = v
+			}
+		}
+		probs[g] = make([]float64, len(idxs))
+		if err := sv.scorer.ScoreBatch(g, cols, probs[g]); err != nil {
+			return resp, fmt.Errorf("serve: batch group %d: %w", g, err)
+		}
+	}
+	for i := range resp.Results {
+		p := probs[place[i].group][place[i].slot]
+		resp.Results[i].Prob = p
+		resp.Results[i].Alarm = p >= resp.Results[i].Threshold
+	}
+	return resp, nil
+}
+
+// errCode extracts a reqError's status, defaulting to 400.
+func errCode(err error) int {
+	var re *reqError
+	if errors.As(err, &re) {
+		return re.code
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req FleetRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	art, ok := s.artifactByName(req.Model)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	if s.opts.Store == nil {
+		s.writeErr(w, http.StatusNotImplemented, "fleet scoring is disabled: no store configured")
+		return
+	}
+	sv := art.cur.Load()
+	snap := s.opts.Store.Snapshot()
+	if req.Day < 0 || req.Day >= snap.Days() {
+		s.writeErr(w, http.StatusBadRequest, "day %d outside store horizon %d", req.Day, snap.Days())
+		return
+	}
+	sv.fleetMu.Lock()
+	outcomes, err := sv.scorer.ScoreInto(snap, req.Day, req.Day, &sv.fleetBuf)
+	if err != nil {
+		sv.fleetMu.Unlock()
+		s.writeErr(w, http.StatusInternalServerError, "fleet scoring: %v", err)
+		return
+	}
+	resp := FleetResponse{
+		Model: sv.name, Version: sv.version, ConfigHash: sv.hash,
+		Day: req.Day, Drives: len(outcomes),
+	}
+	var total float64
+	for _, o := range outcomes {
+		total += o.MaxProb
+		if o.Pred.FirstAlarmDay >= 0 {
+			resp.Alarms++
+		}
+	}
+	sv.fleetMu.Unlock()
+	if len(outcomes) > 0 {
+		resp.MeanProb = total / float64(resp.Drives)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req IngestRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if s.opts.Store == nil {
+		s.writeErr(w, http.StatusNotImplemented, "ingest is disabled: no store configured")
+		return
+	}
+	if req.Day < 0 || req.Day >= s.opts.Store.SourceDays() {
+		s.writeErr(w, http.StatusBadRequest, "day %d outside upstream span %d", req.Day, s.opts.Store.SourceDays())
+		return
+	}
+	for _, name := range s.names {
+		sv := s.arts[name].cur.Load()
+		if err := s.opts.Store.Track(sv.model); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, "track %v: %v", sv.model, err)
+			return
+		}
+	}
+	if err := s.opts.Store.AppendThrough(req.Day); err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "ingest day %d: %v", req.Day, err)
+		return
+	}
+	s.ingests.Add(1)
+	c := s.opts.Store.Counters()
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Horizon:       s.opts.Store.Horizon(),
+		DaysIngested:  c.DaysIngested,
+		SeriesFetches: c.SeriesFetches,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	swapped, err := s.Reload()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	if swapped == nil {
+		swapped = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"swapped": swapped})
+}

@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// loadgen.go is the open-loop load generator for the serving daemon:
+// a Poisson arrival process with diurnal (sinusoidal) rate modulation
+// and a per-cohort request mix — cohorts differ in artifact, path
+// (single / batch / fleet), and batch size, modeling distinct client
+// populations. Arrivals are open-loop: a slow server does not slow
+// the generator down, and each request's latency is measured from its
+// scheduled arrival time, so queueing delay under overload is charged
+// to the server (no coordinated omission).
+
+// Cohort is one client population in the mix.
+type Cohort struct {
+	// Name labels the cohort in the report.
+	Name string `json:"name"`
+	// Artifact is the served model the cohort scores against.
+	Artifact string `json:"artifact"`
+	// Weight is the cohort's share of arrivals (relative).
+	Weight float64 `json:"weight"`
+	// Path is the request shape: "single" (coalesced), "batch"
+	// (kernel-direct), or "fleet" (whole-store pass).
+	Path string `json:"path"`
+	// Batch is the drives per request for the batch path (default 64).
+	Batch int `json:"batch,omitempty"`
+}
+
+// LoadSpec configures one load-generation run.
+type LoadSpec struct {
+	// BaseQPS is the mean arrival rate.
+	BaseQPS float64 `json:"base_qps"`
+	// Duration is the generation span.
+	Duration time.Duration `json:"duration"`
+	// DiurnalPeriod is the modulation period (0 disables modulation).
+	DiurnalPeriod time.Duration `json:"diurnal_period,omitempty"`
+	// DiurnalAmp is the modulation amplitude in [0, 1): the rate swings
+	// between Base*(1-Amp) and Base*(1+Amp).
+	DiurnalAmp float64 `json:"diurnal_amp,omitempty"`
+	// Cohorts is the request mix (required, weights need not sum to 1).
+	Cohorts []Cohort `json:"cohorts"`
+	// Seed makes the arrival process and payloads reproducible.
+	Seed int64 `json:"seed"`
+	// HistoryDays is the telemetry history per generated drive payload
+	// (default 10 — enough for exact 7-day window statistics).
+	HistoryDays int `json:"history_days,omitempty"`
+	// Day is the store day scored by fleet-path requests.
+	Day int `json:"day,omitempty"`
+	// Workers is the request concurrency draining the arrival queue
+	// (default 64).
+	Workers int `json:"workers,omitempty"`
+}
+
+// PathStats is the latency/throughput report for one request path.
+type PathStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// LoadReport is the result of one load run.
+type LoadReport struct {
+	OfferedQPS  float64              `json:"offered_qps"`
+	AchievedQPS float64              `json:"achieved_qps"`
+	Requests    int                  `json:"requests"`
+	Errors      int                  `json:"errors"`
+	Paths       map[string]PathStats `json:"paths"`
+}
+
+// SatReport is the result of a saturation scan: escalating offered
+// rates until the SLO breaks or throughput stops following the offer.
+type SatReport struct {
+	Steps []LoadReport `json:"steps"`
+	// SaturationQPS is the last achieved rate that held the SLO.
+	SaturationQPS float64 `json:"saturation_qps"`
+	// Saturated reports whether the scan actually found the knee (the
+	// last step broke the SLO or fell behind the offer).
+	Saturated bool `json:"saturated"`
+}
+
+type arrival struct {
+	at     time.Duration // scheduled offset from run start
+	cohort int
+}
+
+type sample struct {
+	path string
+	lat  time.Duration
+	err  bool
+}
+
+// payloadPool pre-marshals request bodies per cohort so the hot loop
+// does no JSON encoding.
+type payloadPool struct {
+	path   string
+	bodies [][]byte
+	url    string
+}
+
+// buildPayloads fabricates drive telemetry for one cohort over the
+// artifact's actual selected features (learned from /v1/models).
+// Values are arbitrary but deterministic; each payload draws a random
+// wear level so every wear group sees traffic.
+func buildPayloads(spec LoadSpec, c Cohort, featNames []string, rng *rand.Rand, baseURL string) payloadPool {
+	const variants = 32
+	hist := spec.HistoryDays
+	if hist <= 0 {
+		hist = 10
+	}
+	batch := c.Batch
+	if batch <= 0 {
+		batch = 64
+	}
+	mkSeries := func() map[string][]float64 {
+		mwi := rng.Float64()
+		s := map[string][]float64{}
+		for _, name := range featNames {
+			col := make([]float64, hist)
+			for i := range col {
+				col[i] = rng.Float64()
+			}
+			if name == "MWI_N" {
+				for i := range col {
+					col[i] = mwi
+				}
+			}
+			s[name] = col
+		}
+		return s
+	}
+	pp := payloadPool{path: c.Path}
+	switch c.Path {
+	case "fleet":
+		pp.url = baseURL + "/v1/score/fleet"
+		body, _ := json.Marshal(FleetRequest{Model: c.Artifact, Day: spec.Day})
+		pp.bodies = [][]byte{body}
+	case "batch":
+		pp.url = baseURL + "/v1/score/batch"
+		for v := 0; v < variants; v++ {
+			req := BatchRequest{Model: c.Artifact}
+			for i := 0; i < batch; i++ {
+				req.Drives = append(req.Drives, BatchDrive{Series: mkSeries()})
+			}
+			body, _ := json.Marshal(req)
+			pp.bodies = append(pp.bodies, body)
+		}
+	default: // single
+		pp.url = baseURL + "/v1/score"
+		for v := 0; v < variants; v++ {
+			body, _ := json.Marshal(ScoreRequest{Model: c.Artifact, Series: mkSeries()})
+			pp.bodies = append(pp.bodies, body)
+		}
+	}
+	return pp
+}
+
+// genArrivals draws the full arrival schedule up front by thinning a
+// homogeneous Poisson process at the peak rate, so the run's hot loop
+// only sleeps and sends.
+func genArrivals(spec LoadSpec, rng *rand.Rand) []arrival {
+	lambdaMax := spec.BaseQPS * (1 + spec.DiurnalAmp)
+	if lambdaMax <= 0 {
+		return nil
+	}
+	var weights []float64
+	var total float64
+	for _, c := range spec.Cohorts {
+		total += c.Weight
+		weights = append(weights, total)
+	}
+	pickCohort := func() int {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			if x <= w {
+				return i
+			}
+		}
+		return len(weights) - 1
+	}
+	rate := func(t time.Duration) float64 {
+		if spec.DiurnalPeriod <= 0 || spec.DiurnalAmp <= 0 {
+			return spec.BaseQPS
+		}
+		phase := 2 * math.Pi * float64(t) / float64(spec.DiurnalPeriod)
+		return spec.BaseQPS * (1 + spec.DiurnalAmp*math.Sin(phase))
+	}
+	var out []arrival
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / lambdaMax * float64(time.Second))
+		t += gap
+		if t >= spec.Duration {
+			return out
+		}
+		if rng.Float64()*lambdaMax <= rate(t) {
+			out = append(out, arrival{at: t, cohort: pickCohort()})
+		}
+	}
+}
+
+// RunLoad drives one open-loop load run against a serving daemon at
+// baseURL and reports per-path latency percentiles and throughput.
+func RunLoad(client *http.Client, baseURL string, spec LoadSpec) (*LoadReport, error) {
+	if len(spec.Cohorts) == 0 {
+		return nil, fmt.Errorf("serve: load spec has no cohorts")
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	feats, err := fetchFeatures(client, baseURL)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	pools := make([]payloadPool, len(spec.Cohorts))
+	for i, c := range spec.Cohorts {
+		names, ok := feats[c.Artifact]
+		if !ok {
+			return nil, fmt.Errorf("serve: cohort %q targets unknown artifact %q", c.Name, c.Artifact)
+		}
+		pools[i] = buildPayloads(spec, c, names, rng, baseURL)
+	}
+	arrivals := genArrivals(spec, rng)
+	if len(arrivals) == 0 {
+		return &LoadReport{Paths: map[string]PathStats{}}, nil
+	}
+
+	// The queue holds every arrival so the dispatcher never blocks on
+	// slow workers: open-loop arrivals, closed-loop draining.
+	queue := make(chan arrival, len(arrivals))
+	samples := make([]sample, len(arrivals))
+	var next int
+	var nextMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for a := range queue {
+				pp := &pools[a.cohort]
+				body := pp.bodies[wrng.Intn(len(pp.bodies))]
+				errored := false
+				resp, err := client.Post(pp.url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errored = true
+				} else {
+					if resp.StatusCode != http.StatusOK {
+						errored = true
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				lat := time.Since(start.Add(a.at))
+				nextMu.Lock()
+				idx := next
+				next++
+				nextMu.Unlock()
+				samples[idx] = sample{path: pp.path, lat: lat, err: errored}
+			}
+		}(spec.Seed + int64(w) + 1)
+	}
+	for _, a := range arrivals {
+		if d := time.Until(start.Add(a.at)); d > 0 {
+			time.Sleep(d)
+		}
+		queue <- a
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		OfferedQPS:  float64(len(arrivals)) / spec.Duration.Seconds(),
+		AchievedQPS: float64(len(arrivals)) / elapsed.Seconds(),
+		Requests:    len(arrivals),
+		Paths:       map[string]PathStats{},
+	}
+	byPath := map[string][]time.Duration{}
+	for _, s := range samples[:next] {
+		ps := rep.Paths[s.path]
+		ps.Requests++
+		if s.err {
+			ps.Errors++
+			rep.Errors++
+		}
+		rep.Paths[s.path] = ps
+		byPath[s.path] = append(byPath[s.path], s.lat)
+	}
+	for path, lats := range byPath {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ps := rep.Paths[path]
+		ps.P50Ms = ms(pct(lats, 0.50))
+		ps.P99Ms = ms(pct(lats, 0.99))
+		ps.P999Ms = ms(pct(lats, 0.999))
+		ps.MaxMs = ms(lats[len(lats)-1])
+		rep.Paths[path] = ps
+	}
+	return rep, nil
+}
+
+// SaturationScan runs RunLoad at geometrically escalating rates until
+// the single-path p99 breaks sloP99, any request errors, or achieved
+// throughput falls under 90% of offered — then reports the last rate
+// that held. At most maxSteps rates are tried.
+func SaturationScan(client *http.Client, baseURL string, spec LoadSpec, growth float64, maxSteps int, sloP99 time.Duration) (*SatReport, error) {
+	if growth <= 1 {
+		growth = 1.6
+	}
+	if maxSteps <= 0 {
+		maxSteps = 6
+	}
+	out := &SatReport{}
+	qps := spec.BaseQPS
+	for step := 0; step < maxSteps; step++ {
+		s := spec
+		s.BaseQPS = qps
+		s.Seed = spec.Seed + int64(step)
+		rep, err := RunLoad(client, baseURL, s)
+		if err != nil {
+			return out, err
+		}
+		out.Steps = append(out.Steps, *rep)
+		single := rep.Paths["single"]
+		broke := rep.Errors > 0 ||
+			(sloP99 > 0 && single.Requests > 0 && single.P99Ms > ms(sloP99)) ||
+			rep.AchievedQPS < 0.9*rep.OfferedQPS
+		if broke {
+			out.Saturated = true
+			return out, nil
+		}
+		out.SaturationQPS = rep.AchievedQPS
+		qps *= growth
+	}
+	return out, nil
+}
+
+// fetchFeatures learns each served artifact's inline-series feature
+// set: the union of its groups' selected features plus the wear
+// column the router reads.
+func fetchFeatures(client *http.Client, baseURL string) (map[string][]string, error) {
+	resp, err := client.Get(baseURL + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("serve: loadgen models probe: %w", err)
+	}
+	defer resp.Body.Close()
+	var models []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		return nil, fmt.Errorf("serve: loadgen models probe: %w", err)
+	}
+	out := make(map[string][]string, len(models))
+	for _, m := range models {
+		seen := map[string]bool{"MWI_N": true}
+		names := []string{"MWI_N"}
+		for _, g := range m.Groups {
+			for _, f := range g.Features {
+				if !seen[f] {
+					seen[f] = true
+					names = append(names, f)
+				}
+			}
+		}
+		sort.Strings(names)
+		out[m.Name] = names
+	}
+	return out, nil
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,368 @@
+// Package serve is the online prediction service over the snapshot
+// registry: a long-running daemon that decodes ModelSnapshots once,
+// answers per-drive and batch scoring requests over HTTP/JSON, admits
+// new fleet days into the store, and hot-swaps to newly promoted
+// snapshot versions atomically with zero dropped requests.
+//
+// The performance core is a per-(artifact, wear-group) micro-batching
+// coalescer: single-drive requests are queued and flushed — on a
+// size or age trigger — through the compiled flat kernel in one
+// column-major batch, so the steady-state per-request hot path
+// performs no allocations. Batch and fleet requests bypass the
+// coalescer straight into the kernel.
+//
+// Hot swap: each artifact's active snapshot lives behind one atomic
+// pointer. A reload builds the new serving state (snapshot decode,
+// scorer, coalescers) off to the side, swaps the pointer, and only
+// then retires the old state by draining its coalescers. Requests
+// that captured the old pointer finish on the old snapshot and echo
+// its (version, config-hash); requests that lose the race to a
+// retired coalescer transparently re-resolve the pointer and score on
+// the new one. No request is dropped or mis-versioned by a swap.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/featgen"
+	"repro/internal/smart"
+	"repro/internal/store"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxBatch        = 256
+	DefaultMaxDelay        = 500 * time.Microsecond
+	DefaultMaxBatchRequest = 4096
+	DefaultMaxBodyBytes    = 8 << 20
+	DefaultMaxSeriesDays   = 4096
+)
+
+// swapAttempts bounds how many times a request re-resolves the active
+// snapshot after losing a race to a hot swap before giving up with
+// 503. Each attempt only fails if another swap landed during it, so
+// more than two in a row means the registry is churning faster than
+// requests complete.
+const swapAttempts = 8
+
+// Options configures a Server.
+type Options struct {
+	// Registry is the snapshot registry to serve from (required).
+	Registry *core.Registry
+	// Artifacts are the registry artifact names to load and serve;
+	// each must have at least one saved version (required).
+	Artifacts []string
+	// Store, when non-nil, enables store-backed scoring (requests that
+	// name a drive instead of inlining its series), the fleet scoring
+	// endpoint, and ingest admission.
+	Store *store.Store
+	// MaxBatch is the coalescer's flush size in rows (default 256).
+	MaxBatch int
+	// MaxDelay is the coalescer's flush age: the longest a queued
+	// request waits for co-travelers (default 500µs).
+	MaxDelay time.Duration
+	// Workers bounds fleet-scoring parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxBatchRequest caps the number of drives in one batch request
+	// (default 4096); larger requests get 413.
+	MaxBatchRequest int
+	// MaxBodyBytes caps a request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxSeriesDays caps the length of an inline series (default
+	// 4096); longer uploads get 413.
+	MaxSeriesDays int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = DefaultMaxDelay
+	}
+	if o.MaxBatchRequest <= 0 {
+		o.MaxBatchRequest = DefaultMaxBatchRequest
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.MaxSeriesDays <= 0 {
+		o.MaxSeriesDays = DefaultMaxSeriesDays
+	}
+	return o
+}
+
+// Stats is a snapshot of the server's request counters.
+type Stats struct {
+	Requests    int64 `json:"requests"`     // scoring requests answered (all paths)
+	Errors      int64 `json:"errors"`       // requests answered with an error status
+	Coalesced   int64 `json:"coalesced"`    // rows scored through the coalescers
+	Flushes     int64 `json:"flushes"`      // coalescer batches flushed
+	SizeFlushes int64 `json:"size_flushes"` // flushes triggered by a full batch
+	AgeFlushes  int64 `json:"age_flushes"`  // flushes triggered by the age timer
+	Swaps       int64 `json:"swaps"`        // snapshot hot swaps performed
+	SwapRetries int64 `json:"swap_retries"` // requests that re-resolved after losing to a swap
+	Ingests     int64 `json:"ingests"`      // ingest admissions accepted
+}
+
+// Server is the online prediction service. Create with New, expose
+// with Handler, and stop with Close.
+type Server struct {
+	opts  Options
+	names []string // sorted artifact names
+	arts  map[string]*artifact
+
+	reloadMu sync.Mutex // serializes Reload (swap + retire ordering)
+
+	requests    atomic.Int64
+	errors      atomic.Int64
+	coalesced   atomic.Int64
+	flushes     atomic.Int64
+	sizeFlushes atomic.Int64
+	ageFlushes  atomic.Int64
+	swaps       atomic.Int64
+	swapRetries atomic.Int64
+	ingests     atomic.Int64
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+	closeOnce sync.Once
+}
+
+// artifact is one served registry artifact; cur is the active
+// serving state, swapped atomically on reload.
+type artifact struct {
+	name string
+	cur  atomic.Pointer[serving]
+}
+
+// serving is the immutable runtime state of one loaded snapshot
+// version: the decoded scorer plus one coalescer per wear group. It
+// is replaced wholesale on hot swap, never mutated.
+type serving struct {
+	name      string
+	version   int
+	hash      string
+	model     smart.ModelID
+	snap      *engine.ModelSnapshot
+	scorer    *engine.Scorer
+	windows   []int
+	maxWindow int
+	groups    []*groupRT
+
+	// fleetBuf recycles the fleet-endpoint scoring scratch; fleetMu
+	// serializes its use (fleet scoring is a whole-pass operation, so
+	// serializing it per snapshot version costs nothing).
+	fleetMu  sync.Mutex
+	fleetBuf engine.ScoreBuf
+}
+
+// groupRT is one wear group's serving state.
+type groupRT struct {
+	index     int
+	feats     []smart.Feature
+	nGen      int // generated stats per original feature
+	width     int // model-input columns
+	threshold float64
+	co        *coalescer
+}
+
+// New loads the latest version of every configured artifact and
+// returns a ready server. The daemon owns the registry handle; the
+// store, when provided, may be shared with an ingest pipeline.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.Registry == nil {
+		return nil, errors.New("serve: Options.Registry is required")
+	}
+	if len(opts.Artifacts) == 0 {
+		return nil, errors.New("serve: Options.Artifacts is empty")
+	}
+	s := &Server{opts: opts, arts: make(map[string]*artifact)}
+	for _, name := range opts.Artifacts {
+		if _, dup := s.arts[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate artifact %q", name)
+		}
+		version, err := opts.Registry.LatestVersion(name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: artifact %q: %w", name, err)
+		}
+		sv, err := s.newServing(name, version)
+		if err != nil {
+			return nil, err
+		}
+		art := &artifact{name: name}
+		art.cur.Store(sv)
+		s.arts[name] = art
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	return s, nil
+}
+
+// newServing loads and decodes one snapshot version into runtime
+// serving state with fresh coalescers.
+func (s *Server) newServing(name string, version int) (*serving, error) {
+	snap, err := engine.LoadSnapshot(s.opts.Registry, name, version)
+	if err != nil {
+		return nil, fmt.Errorf("serve: artifact %q v%d: %w", name, version, err)
+	}
+	scorer, err := engine.NewScorer(snap, s.opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: artifact %q v%d: %w", name, version, err)
+	}
+	sv := &serving{
+		name:      name,
+		version:   version,
+		hash:      snap.ConfigHash,
+		model:     snap.Model,
+		snap:      snap,
+		scorer:    scorer,
+		windows:   scorer.Windows(),
+		maxWindow: scorer.MaxWindow(),
+	}
+	nGen := featgen.NumGenerated(sv.windows)
+	for g := 0; g < scorer.NumGroups(); g++ {
+		rt := &groupRT{
+			index:     g,
+			feats:     scorer.GroupFeatures(g),
+			nGen:      nGen,
+			width:     scorer.GroupInputWidth(g),
+			threshold: scorer.GroupThreshold(g),
+		}
+		gi := g
+		rt.co = newCoalescer(coalescerConfig{
+			nCols:   rt.width,
+			maxRows: s.opts.MaxBatch,
+			maxAge:  s.opts.MaxDelay,
+			score: func(cols [][]float64, out []float64) error {
+				return scorer.ScoreBatch(gi, cols, out)
+			},
+			onFlush: func(rows int, trigger flushTrigger) {
+				s.coalesced.Add(int64(rows))
+				s.flushes.Add(1)
+				switch trigger {
+				case flushSize:
+					s.sizeFlushes.Add(1)
+				case flushAge:
+					s.ageFlushes.Add(1)
+				}
+			},
+		})
+		sv.groups = append(sv.groups, rt)
+	}
+	return sv, nil
+}
+
+// retire drains the serving state's coalescers: queued rows are
+// flushed and scored (on the old snapshot — they captured it before
+// the swap), and later submitters get errRetired, which sends them
+// back to re-resolve the artifact pointer.
+func (sv *serving) retire() {
+	for _, g := range sv.groups {
+		g.co.Close()
+	}
+}
+
+// Reload checks every artifact for a newer registry version and
+// atomically swaps any that advanced. It returns the names of the
+// artifacts that were swapped. Safe to call concurrently with
+// request traffic; concurrent Reloads serialize.
+func (s *Server) Reload() ([]string, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	var swapped []string
+	for _, name := range s.names {
+		art := s.arts[name]
+		version, err := s.opts.Registry.LatestVersion(name)
+		if err != nil {
+			return swapped, fmt.Errorf("serve: reload %q: %w", name, err)
+		}
+		cur := art.cur.Load()
+		if cur != nil && cur.version == version {
+			continue
+		}
+		sv, err := s.newServing(name, version)
+		if err != nil {
+			return swapped, err
+		}
+		old := art.cur.Swap(sv)
+		s.swaps.Add(1)
+		swapped = append(swapped, name)
+		if old != nil {
+			old.retire()
+		}
+	}
+	return swapped, nil
+}
+
+// Watch polls the registry for new versions every interval until
+// Close, hot-swapping as they appear — this is how controller
+// promotions go live without a restart. Reload errors are reported
+// through onErr (which may be nil) and do not stop the watcher.
+func (s *Server) Watch(interval time.Duration, onErr func(error)) {
+	if s.watchStop != nil {
+		return
+	}
+	s.watchStop = make(chan struct{})
+	s.watchDone = make(chan struct{})
+	go func() {
+		defer close(s.watchDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.watchStop:
+				return
+			case <-t.C:
+				if _, err := s.Reload(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the watcher and drains every coalescer. In-flight
+// requests finish; new Submits fail. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.watchStop != nil {
+			close(s.watchStop)
+			<-s.watchDone
+		}
+		for _, name := range s.names {
+			if sv := s.arts[name].cur.Load(); sv != nil {
+				sv.retire()
+			}
+		}
+	})
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:    s.requests.Load(),
+		Errors:      s.errors.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Flushes:     s.flushes.Load(),
+		SizeFlushes: s.sizeFlushes.Load(),
+		AgeFlushes:  s.ageFlushes.Load(),
+		Swaps:       s.swaps.Load(),
+		SwapRetries: s.swapRetries.Load(),
+		Ingests:     s.ingests.Load(),
+	}
+}
+
+// artifactByName resolves a request's model name.
+func (s *Server) artifactByName(name string) (*artifact, bool) {
+	art, ok := s.arts[name]
+	return art, ok
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, out any) (int, string) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %s response %q: %v", url, buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// TestServeParity is the end-to-end bit-identity check: scoring a
+// drive-day over HTTP — through featurization, group routing, and
+// the micro-batching coalescer — must produce exactly the probability
+// the offline engine pass assigns that drive-day, for both the
+// store-backed and inline-series request forms.
+func TestServeParity(t *testing.T) {
+	s, _, st := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, snapA, _ := testFleet(t)
+	scorer, err := engine.NewScorer(snapA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := snapA.TrainedThrough + 3
+	offline, err := scorer.Score(st.Snapshot(), day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offline) == 0 {
+		t.Fatal("offline pass scored no drives")
+	}
+
+	snap := st.Snapshot()
+	refs := snap.RefIndex(testModel)
+	checked := 0
+	for _, o := range offline {
+		if checked >= 25 {
+			break
+		}
+		id := o.Pred.DriveID
+
+		var got ScoreResponse
+		code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score",
+			ScoreRequest{Model: "serving", DriveID: &id, Day: &day}, &got)
+		if code != http.StatusOK {
+			t.Fatalf("drive %d: HTTP %d: %s", id, code, body)
+		}
+		if got.Prob != o.MaxProb {
+			t.Errorf("drive %d: online prob %v != offline %v", id, got.Prob, o.MaxProb)
+		}
+		if got.Alarm != (o.Pred.FirstAlarmDay >= 0) {
+			t.Errorf("drive %d: online alarm %v != offline %v", id, got.Alarm, o.Pred.FirstAlarmDay >= 0)
+		}
+		if got.Version != 1 || got.ConfigHash != snapA.ConfigHash {
+			t.Errorf("drive %d: response identity (v%d, %s), want (v1, %s)", id, got.Version, got.ConfigHash, snapA.ConfigHash)
+		}
+
+		// Same drive-day as an inline upload: slice the store series to
+		// end at the scored day; generated window statistics then see
+		// the same trailing history and must match bit for bit.
+		cols, _, err := snap.Series(refs[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inline := make(map[string][]float64, len(cols))
+		for ft, col := range cols {
+			inline[ft.String()] = col[:day+1]
+		}
+		req := ScoreRequest{Model: "serving", Series: inline}
+		if data, err := json.Marshal(req); err != nil || !json.Valid(data) {
+			continue // series contains NaN; not expressible as JSON
+		}
+		var in ScoreResponse
+		code, body = postJSON(t, ts.Client(), ts.URL+"/v1/score", req, &in)
+		if code != http.StatusOK {
+			t.Fatalf("drive %d inline: HTTP %d: %s", id, code, body)
+		}
+		if in.Prob != o.MaxProb {
+			t.Errorf("drive %d: inline prob %v != offline %v", id, in.Prob, o.MaxProb)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d drives checked end to end", checked)
+	}
+	if st := s.Stats(); st.Coalesced == 0 {
+		t.Error("no rows went through the coalescer")
+	}
+}
+
+// TestServeBatchParity: the kernel-direct batch path must agree with
+// both the coalesced single path and the offline engine.
+func TestServeBatchParity(t *testing.T) {
+	s, _, st := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, snapA, _ := testFleet(t)
+	scorer, err := engine.NewScorer(snapA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := snapA.TrainedThrough + 5
+	offline, err := scorer.Score(st.Snapshot(), day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{}
+	req := BatchRequest{Model: "serving"}
+	for i, o := range offline {
+		if i >= 200 {
+			break
+		}
+		id := o.Pred.DriveID
+		d := day
+		req.Drives = append(req.Drives, BatchDrive{DriveID: &id, Day: &d})
+		want[id] = o.MaxProb
+	}
+	var resp BatchResponse
+	code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	if len(resp.Results) != len(req.Drives) {
+		t.Fatalf("%d results for %d drives", len(resp.Results), len(req.Drives))
+	}
+	for i, r := range resp.Results {
+		if r.DriveID != *req.Drives[i].DriveID {
+			t.Fatalf("result %d is for drive %d, want %d (order must be preserved)", i, r.DriveID, *req.Drives[i].DriveID)
+		}
+		if r.Prob != want[r.DriveID] {
+			t.Errorf("drive %d: batch prob %v != offline %v", r.DriveID, r.Prob, want[r.DriveID])
+		}
+	}
+}
+
+// TestServeFleet: the whole-store path agrees with the offline engine
+// pass in aggregate.
+func TestServeFleet(t *testing.T) {
+	s, _, st := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, snapA, _ := testFleet(t)
+	scorer, err := engine.NewScorer(snapA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := snapA.TrainedThrough + 1
+	offline, err := scorer.Score(st.Snapshot(), day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for _, o := range offline {
+		if o.Pred.FirstAlarmDay >= 0 {
+			alarms++
+		}
+	}
+	for pass := 0; pass < 3; pass++ { // repeated passes exercise ScoreBuf reuse
+		var resp FleetResponse
+		code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score/fleet",
+			FleetRequest{Model: "serving", Day: day}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", code, body)
+		}
+		if resp.Drives != len(offline) || resp.Alarms != alarms {
+			t.Fatalf("fleet pass %d: %d drives / %d alarms, offline %d / %d",
+				pass, resp.Drives, resp.Alarms, len(offline), alarms)
+		}
+	}
+}
+
+// TestServeIngest: admission advances the store horizon and newly
+// visible days become scoreable; days beyond the horizon are not.
+func TestServeIngest(t *testing.T) {
+	src, snapA, _ := testFleet(t)
+	reg := newRegistryWith(t, snapA)
+	st := store.Open(src, store.Options{})
+	s, err := New(Options{Registry: reg, Artifacts: []string{"serving"}, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	day := snapA.TrainedThrough
+	// Beyond-horizon fleet scoring fails before ingest...
+	code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score/fleet", FleetRequest{Model: "serving", Day: day}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("pre-ingest fleet score: HTTP %d, want 400", code)
+	}
+	var ing IngestResponse
+	code, body := postJSON(t, ts.Client(), ts.URL+"/v1/ingest", IngestRequest{Day: day}, &ing)
+	if code != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", code, body)
+	}
+	if ing.Horizon != day+1 {
+		t.Fatalf("horizon %d after ingesting day %d", ing.Horizon, day)
+	}
+	// ...and succeeds after.
+	var fr FleetResponse
+	code, body = postJSON(t, ts.Client(), ts.URL+"/v1/score/fleet", FleetRequest{Model: "serving", Day: day}, &fr)
+	if code != http.StatusOK {
+		t.Fatalf("post-ingest fleet score: HTTP %d: %s", code, body)
+	}
+	if fr.Drives == 0 {
+		t.Fatal("no drives visible after ingest")
+	}
+	// Re-admitting an older day is a no-op, not a retreat.
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/ingest", IngestRequest{Day: day - 10}, &ing)
+	if code != http.StatusOK || ing.Horizon != day+1 {
+		t.Fatalf("re-ingest: HTTP %d horizon %d", code, ing.Horizon)
+	}
+}
+
+func newRegistryWith(t *testing.T, snap *engine.ModelSnapshot) *core.Registry {
+	t.Helper()
+	reg := &core.Registry{Dir: t.TempDir()}
+	if _, err := engine.SaveSnapshot(reg, "serving", snap); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestServeScorerScoreIntoParity pins the satellite reuse path at the
+// engine level: ScoreInto with a warm buffer returns bit-identical
+// outcomes to Score, and repeated passes stop allocating
+// fleet-proportional state.
+func TestServeScorerScoreIntoParity(t *testing.T) {
+	_, snapA, _ := testFleet(t)
+	s, _, st := newTestServer(t, Options{})
+	defer s.Close()
+	scorer, err := engine.NewScorer(snapA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	day := snapA.TrainedThrough + 2
+	plain, err := scorer.Score(snap, day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf engine.ScoreBuf
+	for pass := 0; pass < 3; pass++ {
+		got, err := scorer.ScoreInto(snap, day, day, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(plain) {
+			t.Fatalf("pass %d: %d outcomes, want %d", pass, len(got), len(plain))
+		}
+		for i := range got {
+			if got[i] != plain[i] {
+				t.Fatalf("pass %d outcome %d: %+v != %+v", pass, i, got[i], plain[i])
+			}
+		}
+	}
+}
