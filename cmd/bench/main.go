@@ -21,7 +21,9 @@
 // -fleet-drives, default 1,000,000 or 50,000 under -quick), and the
 // online prediction service at saturation (serve-load: an open-loop
 // load scan over a loopback daemon, reporting p50/p99/p999 latency
-// per request path and QPS at saturation).
+// per request path and QPS at saturation), and the ranker-evaluation
+// harness (rank-eval: internal/rankeval over every registered ranker
+// plus the WEFR ensemble on a small fleet).
 //
 // After a run, the report is diffed against the most recent prior
 // BENCH_*.json in the working directory (by modification time) and a
@@ -44,10 +46,12 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/flat"
 	"repro/internal/forest"
 	"repro/internal/gbdt"
 	"repro/internal/hist"
+	"repro/internal/rankeval"
 	"repro/internal/simulate"
 	"repro/internal/smart"
 	"repro/internal/store"
@@ -362,6 +366,7 @@ var benches = []bench{
 	{name: "series-gen-batch", fn: benchSeriesGenBatch},
 	{name: "fleet-score", fn: benchFleetScore},
 	{name: "serve-load", special: benchServeLoad},
+	{name: "rank-eval", fn: benchRankEval},
 }
 
 // cleanups are teardown hooks registered by benchmark setup (temp
@@ -752,6 +757,51 @@ func fleetSetup() error {
 		}()
 	})
 	return fleetState.err
+}
+
+// rankEvalState caches the rank-eval fixture (a small simulated fleet)
+// across testing.Benchmark's calibration re-runs.
+var rankEvalState struct {
+	once sync.Once
+	err  error
+	src  dataset.Source
+}
+
+// benchRankEval measures one full ranker-evaluation harness pass
+// (internal/rankeval): bootstrap stability, cross-seed similarity, and
+// AUC-vs-k for every registered ranker plus the WEFR ensemble on a
+// small fleet — the cost of `experiments -rank-eval` per model.
+func benchRankEval(b *testing.B) {
+	rankEvalState.once.Do(func() {
+		f, err := simulate.New(simulate.Config{
+			TotalDrives: 500, Seed: 5, AFRScale: 4,
+			Models: []smart.ModelID{smart.MC1},
+		})
+		if err != nil {
+			rankEvalState.err = err
+			return
+		}
+		rankEvalState.src = dataset.NewCachedSource(dataset.FleetSource{Fleet: f})
+	})
+	if rankEvalState.err != nil {
+		b.Fatal(rankEvalState.err)
+	}
+	ph := engine.StandardPhases(rankEvalState.src.Days())[2]
+	cfg := engine.Config{Forest: forest.Config{NumTrees: 8, MaxDepth: 6, Seed: 1}, NegEvery: 40, Seed: 1}
+	opts := rankeval.Options{Seed: 3, Bootstraps: 3, Seeds: 2, TopK: []int{3, 6}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rankeval.Run(rankEvalState.src, smart.MC1, ph, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if len(row.Errors) > 0 {
+				b.Fatalf("%s: %v", row.Name, row.Errors)
+			}
+		}
+	}
 }
 
 // benchFleetScore measures the full daily fleet-scoring path at

@@ -56,7 +56,7 @@ func TestGoldenOutput(t *testing.T) {
 	cfg.Workers = 3
 	cfg.Models = []smart.ModelID{smart.MC1}
 	got := captureStdout(t, func() error {
-		return run(cfg, "table3,table6", 5, "", false)
+		return run(cfg, "table3,table6", 5, "", false, rankEvalFlags{})
 	})
 	goldenPath := filepath.Join("testdata", "golden_mc1_t3t6.txt")
 	want, err := os.ReadFile(goldenPath)

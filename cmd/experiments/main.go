@@ -21,6 +21,19 @@
 // With -faults the pipelines run in robust mode; -report writes a JSON
 // accounting of injected defects, detected defects, and degradations
 // ("-" for stdout). -robust enables robust mode without injection.
+//
+// Ranker registry (see internal/selection):
+//
+//	experiments -exp table6 -rankers pearson,mutual-info,svm-margin
+//	experiments -rank-eval                      # evaluate every registered ranker
+//	experiments -rank-eval -rank-eval-json -    # plus the JSON report on stdout
+//
+// -rankers names the preliminary approaches by their registry specs
+// (unknown names exit nonzero listing the registered ones); -rank-eval
+// runs the internal/rankeval harness — stability under bootstrap
+// resampling, cross-seed rank similarity, and AUC-vs-k curves for every
+// registered ranker plus the WEFR ensemble. When -rank-eval is given
+// without an explicit -exp, the regular experiments are skipped.
 package main
 
 import (
@@ -34,6 +47,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/hist"
+	"repro/internal/rankeval"
+	"repro/internal/selection"
 	"repro/internal/smart"
 )
 
@@ -54,8 +69,17 @@ func main() {
 		robust    = flag.Bool("robust", false, "run pipelines in robust (sanitizing, degrading) mode")
 		report    = flag.String("report", "", `write the robustness run report as JSON to this path ("-" = stdout)`)
 		stageRep  = flag.Bool("stage-report", false, "print per-stage timing and row counts after the experiments")
+		rankers   = flag.String("rankers", "", "comma-separated registry specs of the preliminary approaches (empty = the paper's five)")
+		rankEval  = flag.Bool("rank-eval", false, "run the ranker-evaluation harness (every registered ranker + WEFR, or the -rankers subset)")
+		rankJSON  = flag.String("rank-eval-json", "", `write the ranker-evaluation report as JSON to this path ("-" = stdout; requires -rank-eval)`)
 	)
 	flag.Parse()
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
 
 	cfg := experiments.DefaultConfig()
 	if *fast {
@@ -78,13 +102,21 @@ func main() {
 		drives: *drives, rounds: *rounds, trees: *trees, depth: *depth,
 		phases: *phases, workers: *workers,
 		models: *models, faults: *faultSpec, report: *report, robust: *robust,
-		splitMethod: *splitStr,
+		splitMethod: *splitStr, rankers: *rankers,
+		rankEval: *rankEval, rankEvalJSON: *rankJSON,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 
-	if err := run(cfg, *exp, *rounds, *report, *stageRep); err != nil {
+	expList := *exp
+	if *rankEval && !expSet {
+		// -rank-eval without an explicit -exp runs only the harness.
+		expList = "none"
+	}
+	if err := run(cfg, expList, *rounds, *report, *stageRep, rankEvalFlags{
+		enabled: *rankEval, jsonPath: *rankJSON, fast: *fast,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
@@ -96,6 +128,17 @@ type flagValues struct {
 	drives, rounds, trees, depth, phases, workers int
 	models, faults, report, splitMethod           string
 	robust                                        bool
+	rankers, rankEvalJSON                         string
+	rankEval                                      bool
+}
+
+// rankEvalFlags carries the ranker-evaluation request into run.
+type rankEvalFlags struct {
+	enabled  bool
+	jsonPath string
+	// fast shrinks the harness (fewer bootstraps/seeds, a shorter
+	// AUC-vs-k grid) to CI-smoke scale.
+	fast bool
 }
 
 // applyFlags validates the raw flag values and folds the fault/model
@@ -139,7 +182,39 @@ func applyFlags(cfg *experiments.Config, fv flagValues) error {
 	if fv.report != "" && fv.faults == "" && !fv.robust {
 		return fmt.Errorf("-report requires -faults or -robust (nothing to report otherwise)")
 	}
+	if fv.rankers != "" {
+		specs, err := parseRankers(fv.rankers)
+		if err != nil {
+			return err
+		}
+		cfg.RankerSpecs = specs
+	}
+	if fv.rankEvalJSON != "" && !fv.rankEval {
+		return fmt.Errorf("-rank-eval-json requires -rank-eval")
+	}
 	return nil
+}
+
+// parseRankers parses a comma-separated ranker spec list and resolves
+// every name against the selection registry, so an unknown ranker
+// fails fast here — before any fleet simulation — with the registered
+// names in the error.
+func parseRankers(list string) ([]string, error) {
+	var out []string
+	for _, raw := range strings.Split(list, ",") {
+		spec := strings.TrimSpace(raw)
+		if spec == "" {
+			continue
+		}
+		if _, err := selection.Resolve(spec, 0, hist.SplitExact); err != nil {
+			return nil, fmt.Errorf("-rankers: %w", err)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rankers: no rankers in %q", list)
+	}
+	return out, nil
 }
 
 // parseModels parses a comma-separated drive-model list.
@@ -162,7 +237,7 @@ func parseModels(list string) ([]smart.ModelID, error) {
 	return out, nil
 }
 
-func run(cfg experiments.Config, expList string, rounds int, reportPath string, stageReport bool) error {
+func run(cfg experiments.Config, expList string, rounds int, reportPath string, stageReport bool, re rankEvalFlags) error {
 	ids, err := parseIDs(expList)
 	if err != nil {
 		return err
@@ -196,6 +271,22 @@ func run(cfg experiments.Config, expList string, rounds int, reportPath string, 
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(out)
+	}
+	if re.enabled {
+		opts := rankeval.Options{}
+		if re.fast {
+			opts = rankeval.Options{Bootstraps: 4, Seeds: 2, TopK: []int{4, 8}}
+		}
+		res, err := h.RankEval(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if re.jsonPath != "" {
+			if err := writeReport(res, re.jsonPath); err != nil {
+				return fmt.Errorf("rank-eval report: %w", err)
+			}
+		}
 	}
 	if reportPath != "" {
 		if err := writeReport(h.ReportSnapshot(), reportPath); err != nil {
@@ -272,6 +363,11 @@ var aliases = map[string]string{
 func parseIDs(list string) ([]string, error) {
 	if list == "all" {
 		return order, nil
+	}
+	if list == "none" {
+		// Used by -rank-eval without an explicit -exp: only the
+		// ranker-evaluation harness runs.
+		return nil, nil
 	}
 	var out []string
 	for _, raw := range strings.Split(list, ",") {

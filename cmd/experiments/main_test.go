@@ -37,6 +37,14 @@ func TestParseIDs(t *testing.T) {
 	if _, err := parseIDs(",,"); err == nil {
 		t.Error("empty list should fail")
 	}
+	// "none" (the -rank-eval-only sentinel) is valid and runs nothing.
+	got, err = parseIDs("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("none = %v", got)
+	}
 }
 
 // validFlags is a baseline flagValues that passes validation.
@@ -58,6 +66,9 @@ func TestApplyFlagsValidation(t *testing.T) {
 		{"fault rate out of range", func(fv *flagValues) { fv.faults = "gaps=1.5" }},
 		{"unknown fault key", func(fv *flagValues) { fv.faults = "warp=0.1" }},
 		{"report without robust", func(fv *flagValues) { fv.report = "r.json" }},
+		{"unknown ranker", func(fv *flagValues) { fv.rankers = "pearson,no-such-ranker" }},
+		{"empty ranker list", func(fv *flagValues) { fv.rankers = ",," }},
+		{"rank-eval-json without rank-eval", func(fv *flagValues) { fv.rankEvalJSON = "re.json" }},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,6 +94,38 @@ func TestApplyFlagsValidation(t *testing.T) {
 	}
 	if !cfg.Faults.Enabled() || cfg.Faults.GapRate != 0.02 || cfg.Faults.Seed != 7 {
 		t.Errorf("faults = %+v", cfg.Faults)
+	}
+}
+
+func TestApplyFlagsRankers(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	fv := validFlags()
+	fv.rankers = "pearson, MUTUAL-INFO ,svm"
+	if err := applyFlags(&cfg, fv); err != nil {
+		t.Fatalf("valid rankers rejected: %v", err)
+	}
+	want := []string{"pearson", "MUTUAL-INFO", "svm"}
+	if len(cfg.RankerSpecs) != len(want) {
+		t.Fatalf("RankerSpecs = %v, want %v", cfg.RankerSpecs, want)
+	}
+	for i, spec := range want {
+		if cfg.RankerSpecs[i] != spec {
+			t.Errorf("RankerSpecs[%d] = %q, want %q", i, cfg.RankerSpecs[i], spec)
+		}
+	}
+
+	// The unknown-ranker error must carry the registered-name menu.
+	cfg = experiments.DefaultConfig()
+	fv = validFlags()
+	fv.rankers = "bogus"
+	err := applyFlags(&cfg, fv)
+	if err == nil {
+		t.Fatal("unknown ranker accepted")
+	}
+	for _, name := range []string{"bogus", "pearson", "svm-margin"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %q", err, name)
+		}
 	}
 }
 

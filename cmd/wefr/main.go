@@ -15,17 +15,26 @@
 // dropped like outliers):
 //
 //	wefr -model MC1 -faults "gaps=0.02,nan=0.01"
+//
+// -rankers swaps the ensemble's preliminary approaches for any set of
+// registered rankers (see internal/selection's registry); empty keeps
+// the paper's five. Unknown names exit nonzero listing the registered
+// ones:
+//
+//	wefr -model MC1 -rankers pearson,mutual-info,svm-margin
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/hist"
+	"repro/internal/selection"
 	"repro/internal/simulate"
 	"repro/internal/smart"
 	"repro/internal/store"
@@ -45,21 +54,26 @@ func main() {
 		noUpdate  = flag.Bool("no-update", false, "skip the wear-out-updating step")
 		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "gaps=0.02,nan=0.01" (enables robust mode)`)
 		splitStr  = flag.String("split-method", "exact", "tree split search for the ranker ensembles: exact (presorted, bit-stable) or hist (histogram-binned, faster)")
+		rankers   = flag.String("rankers", "", "comma-separated registry specs of the preliminary approaches (empty = the paper's five)")
 	)
 	flag.Parse()
 
-	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate, *faultSpec, *splitStr); err != nil {
+	if err := run(*model, *drives, *seed, *afrScale, *smartCSV, *tickets, *negEvery, *noUpdate, *faultSpec, *splitStr, *rankers); err != nil {
 		fmt.Fprintf(os.Stderr, "wefr: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool, faultSpec, splitMethod string) error {
+func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, ticketCSV string, negEvery int, noUpdate bool, faultSpec, splitMethod, rankerList string) error {
 	model, err := smart.ParseModel(modelName)
 	if err != nil {
 		return err
 	}
 	sm, err := hist.ParseSplitMethod(splitMethod)
+	if err != nil {
+		return err
+	}
+	rankerSpecs, err := parseRankers(rankerList, sm)
 	if err != nil {
 		return err
 	}
@@ -90,7 +104,7 @@ func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, t
 	}
 
 	var injector *faults.Injector
-	coreCfg := core.Config{Seed: seed, SplitMethod: sm}
+	coreCfg := core.Config{Seed: seed, SplitMethod: sm, RankerSpecs: rankerSpecs}
 	frameOpts := dataset.FrameOpts{Model: model, NegEvery: negEvery}
 	var counter dataset.DefectCounter
 	if faultCfg.Enabled() {
@@ -140,6 +154,31 @@ func run(modelName string, drives int, seed int64, afrScale float64, smartCSV, t
 	printSelection(fmt.Sprintf("Low wear group (MWI_N < %.0f)", res.Split.ThresholdMWI), res.Split.Low)
 	printSelection(fmt.Sprintf("High wear group (MWI_N >= %.0f)", res.Split.ThresholdMWI), res.Split.High)
 	return nil
+}
+
+// parseRankers parses the -rankers list and resolves every spec
+// against the selection registry, so an unknown ranker fails the run
+// before any dataset work with the registered names in the error. An
+// empty list returns nil — the paper's five.
+func parseRankers(list string, sm hist.SplitMethod) ([]string, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, raw := range strings.Split(list, ",") {
+		spec := strings.TrimSpace(raw)
+		if spec == "" {
+			continue
+		}
+		if _, err := selection.Resolve(spec, 0, sm); err != nil {
+			return nil, fmt.Errorf("-rankers: %w", err)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rankers: no rankers in %q", list)
+	}
+	return out, nil
 }
 
 func loadCSV(smartCSV, ticketCSV string) (*dataset.Logs, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/dataset"
@@ -12,27 +13,49 @@ import (
 
 func TestRunSynthetic(t *testing.T) {
 	// Small synthetic fleet end to end through the CLI path.
-	if err := run("MB2", 400, 1, 6, "", "", 20, true, "", "exact"); err != nil {
+	if err := run("MB2", 400, 1, 6, "", "", 20, true, "", "exact", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadModel(t *testing.T) {
-	if err := run("NOPE", 400, 1, 1, "", "", 20, true, "", "exact"); err == nil {
+	if err := run("NOPE", 400, 1, 1, "", "", 20, true, "", "exact", ""); err == nil {
 		t.Error("bad model should fail")
 	}
 }
 
 func TestRunWithFaults(t *testing.T) {
 	// The faulted CLI path must complete in robust mode.
-	if err := run("MB2", 400, 1, 6, "", "", 20, true, "seed=3,gaps=0.02,nan=0.01", "exact"); err != nil {
+	if err := run("MB2", 400, 1, 6, "", "", 20, true, "seed=3,gaps=0.02,nan=0.01", "exact", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadFaultSpec(t *testing.T) {
-	if err := run("MB2", 400, 1, 6, "", "", 20, true, "gaps=2", "exact"); err == nil {
+	if err := run("MB2", 400, 1, 6, "", "", 20, true, "gaps=2", "exact", ""); err == nil {
 		t.Error("out-of-range fault rate should fail")
+	}
+}
+
+func TestRunCustomRankers(t *testing.T) {
+	// A registry-resolved ensemble (including the new entrants) must
+	// run end to end through the CLI path.
+	if err := run("MB2", 400, 1, 6, "", "", 20, true, "", "exact", "pearson, mutual-info,svm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownRanker(t *testing.T) {
+	// Unknown ranker names fail fast — before any dataset work — with
+	// the registered names in the error.
+	err := run("MB2", 400, 1, 6, "", "", 20, true, "", "exact", "pearson,bogus")
+	if err == nil {
+		t.Fatal("unknown ranker should fail")
+	}
+	for _, want := range []string{"bogus", "svm-margin"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -71,11 +94,11 @@ func TestLoadCSV(t *testing.T) {
 		t.Errorf("model = %v", logs.Model())
 	}
 	// The CLI path over CSV input.
-	if err := run("MC1", 0, 2, 0, logPath, ticketPath, 20, true, "", "hist"); err != nil {
+	if err := run("MC1", 0, 2, 0, logPath, ticketPath, 20, true, "", "hist", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Model mismatch is rejected.
-	if err := run("MA1", 0, 2, 0, logPath, ticketPath, 20, true, "", "exact"); err == nil {
+	if err := run("MA1", 0, 2, 0, logPath, ticketPath, 20, true, "", "exact", ""); err == nil {
 		t.Error("model mismatch should fail")
 	}
 }

@@ -1,10 +1,14 @@
 // Customranker: extending WEFR with a user-defined feature-selection
-// approach. The core API accepts any selection.Ranker, so a deployment
-// can add site-specific criteria to the ensemble; WEFR's Kendall-tau
-// outlier removal automatically protects the ensemble from a ranker
-// that turns out to be garbage — demonstrated here by adding both a
-// sensible custom ranker (variance ratio) and an adversarial one
-// (alphabetical order).
+// approach through the ranker registry. A deployment registers its
+// criterion once (selection.Register) and then selects it by name in
+// core.Config.RankerSpecs — exactly how the built-in approaches are
+// wired — so the custom ranker also becomes addressable from every
+// spec-driven surface (the -rankers CLI flags, the rank-eval harness).
+// WEFR's Kendall-tau outlier removal automatically protects the
+// ensemble from a ranker that turns out to be garbage — demonstrated
+// here by adding both a sensible custom ranker (variance ratio,
+// registered and selected by name) and an adversarial one
+// (alphabetical order, passed as a raw Ranker instance).
 package main
 
 import (
@@ -83,6 +87,12 @@ func (AlphabeticalRanker) Rank(fr *frame.Frame) (selection.Result, error) {
 }
 
 func main() {
+	// The third-party extension path: register the custom criterion
+	// under a name, making it resolvable everywhere specs are.
+	selection.Register("variance-ratio", func(selection.Params) selection.Ranker {
+		return VarianceRatioRanker{}
+	}, "vr")
+
 	fleet, err := simulate.New(simulate.Config{TotalDrives: 1000, Seed: 3, AFRScale: 5})
 	if err != nil {
 		log.Fatal(err)
@@ -93,23 +103,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run 1: the paper's five approaches plus a sensible custom
-	// criterion — it joins the ensemble as a peer.
+	// Run 1: the paper's five approaches plus the registered custom
+	// criterion, selected purely by name — it joins the ensemble as a
+	// peer.
 	report(fr, "with VarianceRatio (a sensible custom ranker)",
-		append(selection.DefaultRankers(3), VarianceRatioRanker{}))
+		core.Config{
+			RankerSpecs: append(selection.DefaultSpecs(), "variance-ratio"),
+			Seed:        3,
+		})
 
 	// Run 2: the five approaches plus a garbage criterion — the
 	// Kendall-tau robustness step discards it. (Note: outlier removal
 	// flags *one* aberrant ranking reliably; several simultaneous
 	// aberrant rankings inflate the deviation baseline and can shield
 	// each other, which is why the two custom rankers are demonstrated
-	// separately.)
+	// separately.) This one is passed as a raw Ranker instance — the
+	// pre-registry extension path still works.
 	report(fr, "with Alphabetical (an adversarial ranker)",
-		append(selection.DefaultRankers(3), AlphabeticalRanker{}))
+		core.Config{
+			Rankers: append(selection.DefaultRankers(3), AlphabeticalRanker{}),
+			Seed:    3,
+		})
 }
 
-func report(fr *frame.Frame, title string, rankers []selection.Ranker) {
-	sel, err := core.SelectFeatures(fr, core.Config{Rankers: rankers, Seed: 3})
+func report(fr *frame.Frame, title string, cfg core.Config) {
+	sel, err := core.SelectFeatures(fr, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/selection"
+)
+
+// TestRankerSpecsDefaultBitIdentical pins the refactor's core promise:
+// a nil RankerSpecs resolves the paper's five through the registry and
+// selects exactly what the pre-registry hardwired slice selected.
+func TestRankerSpecsDefaultBitIdentical(t *testing.T) {
+	fr := labFrame(t, 900, 3, 9, false, 7)
+	base, err := SelectFeatures(fr, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Seed: 7, RankerSpecs: selection.DefaultSpecs()},
+		{Seed: 7, RankerSpecs: []string{"Pearson", "SPEARMAN", "j_index", "rf", "xgb"}},
+	} {
+		sel, err := SelectFeatures(fr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sel, base) {
+			t.Errorf("specs %v selection differs from default:\n got %+v\nwant %+v",
+				cfg.RankerSpecs, sel, base)
+		}
+	}
+}
+
+func TestRankerSpecsResolved(t *testing.T) {
+	fr := labFrame(t, 900, 3, 9, false, 7)
+	sel, err := SelectFeatures(fr, Config{Seed: 7, RankerSpecs: []string{
+		"pearson", "spearman", "mutual-info", "svm-margin",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Rankers) != 4 {
+		t.Fatalf("ranker reports = %d, want 4", len(sel.Rankers))
+	}
+	names := map[string]bool{}
+	for _, r := range sel.Rankers {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"Mutual Information", "SVM-margin"} {
+		if !names[want] {
+			t.Errorf("report for %q missing (got %v)", want, names)
+		}
+	}
+	if sel.Count < 1 {
+		t.Errorf("no features selected")
+	}
+}
+
+func TestRankerSpecsUnknown(t *testing.T) {
+	fr := labFrame(t, 100, 1, 1, false, 2)
+	_, err := SelectFeatures(fr, Config{RankerSpecs: []string{"pearson", "no-such-ranker"}})
+	if !errors.Is(err, selection.ErrUnknownRanker) {
+		t.Fatalf("error = %v, want ErrUnknownRanker", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-ranker") {
+		t.Errorf("error does not name the bad spec: %v", err)
+	}
+	if !strings.Contains(err.Error(), "pearson") {
+		t.Errorf("error does not list registered rankers: %v", err)
+	}
+}
+
+func TestRankerSpecsEmptySlice(t *testing.T) {
+	fr := labFrame(t, 100, 1, 1, false, 2)
+	if _, err := SelectFeatures(fr, Config{RankerSpecs: []string{}}); !errors.Is(err, ErrNoRankers) {
+		t.Errorf("empty specs error = %v, want ErrNoRankers", err)
+	}
+}

@@ -91,9 +91,15 @@ func (a Aggregation) String() string {
 // Config parameterizes WEFR. The zero value selects the paper's
 // settings through withDefaults.
 type Config struct {
-	// Rankers are the preliminary approaches; nil means the paper's
-	// five (selection.DefaultRankers with Seed).
+	// Rankers are the preliminary approaches; nil means RankerSpecs
+	// resolved through the selection registry.
 	Rankers []selection.Ranker
+	// RankerSpecs names registered approaches (selection.Register /
+	// selection.Resolve keys) to build with Seed and SplitMethod when
+	// Rankers is nil; nil means the paper's five
+	// (selection.DefaultSpecs), bit-identical to earlier releases.
+	// Unknown names surface as errors from SelectFeatures and Select.
+	RankerSpecs []string
 	// OutlierZ is the Kendall-tau outlier threshold in standard
 	// deviations; 0 means DefaultOutlierZ (1.96).
 	OutlierZ float64
@@ -144,7 +150,7 @@ type RobustConfig struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Rankers == nil {
+	if c.Rankers == nil && c.RankerSpecs == nil {
 		c.Rankers = selection.DefaultRankersSplit(c.Seed, c.SplitMethod)
 	}
 	if c.OutlierZ <= 0 {
@@ -249,6 +255,13 @@ func (r Result) FeaturesFor(mwi float64) []string {
 // aggregation, and the automated complexity cutoff.
 func SelectFeatures(fr *frame.Frame, cfg Config) (Selection, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Rankers == nil && cfg.RankerSpecs != nil {
+		rankers, err := selection.ResolveAll(cfg.RankerSpecs, cfg.Seed, cfg.SplitMethod)
+		if err != nil {
+			return Selection{}, fmt.Errorf("core: %w", err)
+		}
+		cfg.Rankers = rankers
+	}
 	if len(cfg.Rankers) == 0 {
 		return Selection{}, ErrNoRankers
 	}

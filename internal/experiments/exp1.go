@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
-	"repro/internal/selection"
 	"repro/internal/smart"
 	"repro/internal/textplot"
 )
@@ -48,7 +47,10 @@ type Exp1Result struct {
 func (h *Harness) Exp1() (Exp1Result, error) {
 	cfg := h.pipelineConfig()
 	phases := h.phases()
-	rankers := selection.DefaultRankers(h.cfg.Seed)
+	rankers, err := h.rankers()
+	if err != nil {
+		return Exp1Result{}, err
+	}
 
 	methods := []string{"No feature selection"}
 	for _, rk := range rankers {
@@ -140,7 +142,11 @@ func (h *Harness) Exp1() (Exp1Result, error) {
 
 // wefrConfig assembles the WEFR core configuration from the harness.
 func (h *Harness) wefrConfig() core.Config {
-	cfg := core.Config{Seed: h.cfg.Seed, SplitMethod: h.cfg.SplitMethod}
+	cfg := core.Config{
+		Seed:        h.cfg.Seed,
+		SplitMethod: h.cfg.SplitMethod,
+		RankerSpecs: h.cfg.RankerSpecs,
+	}
 	if h.cfg.Robust {
 		cfg.Robust = &core.RobustConfig{}
 	}

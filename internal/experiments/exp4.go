@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/selection"
 	"repro/internal/smart"
 	"repro/internal/textplot"
 )
@@ -36,7 +35,11 @@ func (h *Harness) Exp4(rounds int) (Exp4Result, error) {
 	}
 	res := Exp4Result{Model: smart.MC1, Rounds: rounds}
 
-	for _, rk := range selection.DefaultRankers(h.cfg.Seed) {
+	rankers, err := h.rankers()
+	if err != nil {
+		return Exp4Result{}, err
+	}
+	for _, rk := range rankers {
 		var total time.Duration
 		for i := 0; i < rounds; i++ {
 			start := time.Now()
@@ -51,7 +54,7 @@ func (h *Harness) Exp4(rounds int) (Exp4Result, error) {
 
 	// WEFR end to end (parallel rankers), then the serial ablation.
 	for _, serial := range []bool{false, true} {
-		cfg := core.Config{Seed: h.cfg.Seed, Serial: serial}
+		cfg := core.Config{Seed: h.cfg.Seed, Serial: serial, RankerSpecs: h.cfg.RankerSpecs}
 		var total time.Duration
 		for i := 0; i < rounds; i++ {
 			start := time.Now()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/hist"
 	"repro/internal/pipeline"
+	"repro/internal/selection"
 	"repro/internal/simulate"
 	"repro/internal/smart"
 	"repro/internal/store"
@@ -54,6 +55,12 @@ type Config struct {
 	// tree-based rankers (exact default, histogram-binned opt-in; see
 	// internal/hist).
 	SplitMethod hist.SplitMethod
+	// RankerSpecs names the preliminary approaches (selection registry
+	// keys) used by the ranker-driven experiments (Exp#1, Exp#4,
+	// Table IV) and by WEFR everywhere the harness runs it; nil means
+	// the paper's five (selection.DefaultSpecs), bit-identical to
+	// earlier releases. Unknown names fail New.
+	RankerSpecs []string
 	// Workers bounds the parallelism of frame extraction, forest
 	// fitting, and scoring; 0 means GOMAXPROCS. Results are identical
 	// for any value.
@@ -141,9 +148,16 @@ type Harness struct {
 	src      *store.Snapshot
 }
 
-// New builds the fleet and the harness.
+// New builds the fleet and the harness. Unknown RankerSpecs names are
+// rejected here, before any fleet simulation, so CLI surfaces fail fast
+// with the registered-ranker menu.
 func New(cfg Config) (*Harness, error) {
 	cfg = cfg.withDefaults()
+	if cfg.RankerSpecs != nil {
+		if _, err := selection.ResolveAll(cfg.RankerSpecs, cfg.Seed, cfg.SplitMethod); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
 	fleet, err := simulate.New(simulate.Config{
 		TotalDrives: cfg.TotalDrives,
 		Days:        cfg.Days,
@@ -227,6 +241,23 @@ func (h *Harness) phases() []pipeline.Phase {
 		return all[len(all)-h.cfg.PhaseCount:]
 	}
 	return all
+}
+
+// rankers resolves the harness's preliminary approaches through the
+// selection registry. A nil RankerSpecs resolves the paper's five with
+// exact splits — bit-identical to the pre-registry hardwired set, under
+// any SplitMethod (the golden tables pinned that behaviour); explicit
+// specs inherit the harness's SplitMethod.
+func (h *Harness) rankers() ([]selection.Ranker, error) {
+	specs, method := h.cfg.RankerSpecs, h.cfg.SplitMethod
+	if specs == nil {
+		specs, method = selection.DefaultSpecs(), hist.SplitExact
+	}
+	rankers, err := selection.ResolveAll(specs, h.cfg.Seed, method)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rankers, nil
 }
 
 // selectionFrame builds the full-period original-feature frame used by

@@ -102,7 +102,11 @@ func (h *Harness) Table4() (Table4Result, error) {
 		return Table4Result{}, err
 	}
 	res := Table4Result{Model: model, K: k}
-	for _, ranker := range selection.DefaultRankers(h.cfg.Seed) {
+	rankers, err := h.rankers()
+	if err != nil {
+		return Table4Result{}, err
+	}
+	for _, ranker := range rankers {
 		r, err := ranker.Rank(fwm.fr)
 		if err != nil {
 			return Table4Result{}, fmt.Errorf("experiments: table4 %s: %w", ranker.Name(), err)

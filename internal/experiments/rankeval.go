@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/rankeval"
+)
+
+// RankEval runs the ranker-evaluation harness (internal/rankeval) on
+// the harness's fleet: the first configured model, the latest testing
+// phase, and the shared pipeline configuration, so rankers are judged
+// under exactly the downstream training the experiments use. A nil
+// opts.Specs evaluates every registered ranker; opts.Seed 0 inherits
+// the harness seed.
+func (h *Harness) RankEval(opts rankeval.Options) (rankeval.Result, error) {
+	if len(h.cfg.Models) == 0 {
+		return rankeval.Result{}, fmt.Errorf("experiments: rank-eval: no models configured")
+	}
+	model := h.cfg.Models[0]
+	phases := h.phases()
+	ph := phases[len(phases)-1]
+	if opts.Seed == 0 {
+		opts.Seed = h.cfg.Seed
+	}
+	if opts.Specs == nil && h.cfg.RankerSpecs != nil {
+		opts.Specs = h.cfg.RankerSpecs
+	}
+	res, err := rankeval.Run(h.src, model, ph, h.pipelineConfig(), opts)
+	if err != nil {
+		return rankeval.Result{}, fmt.Errorf("experiments: rank-eval: %w", err)
+	}
+	return res, nil
+}

@@ -1,9 +1,15 @@
-// Package selection implements the five preliminary feature-selection
-// approaches WEFR ensembles (Section II-C of the paper): Pearson
+// Package selection implements the preliminary feature-selection
+// approaches WEFR ensembles (Section II-C of the paper) — Pearson
 // correlation, Spearman correlation, J-index (Youden), Random Forest
-// feature importance, and XGBoost feature importance — all behind a
-// common Ranker interface, plus truncation helpers used by the
+// feature importance, and XGBoost feature importance, plus the
+// mutual-information and SVM-margin entrants — all behind a common
+// Ranker interface, with truncation helpers used by the
 // fixed-percentage baselines of Exp#1 and Exp#2.
+//
+// Rankers are looked up through a string-keyed registry (Register /
+// Resolve): every spec-driven surface — core.Config.RankerSpecs, the
+// -rankers CLI flags, the rank-eval harness — resolves names through
+// it, and third-party rankers plug in by registering a factory.
 package selection
 
 import (
@@ -366,15 +372,16 @@ func DefaultRankers(seed int64) []Ranker {
 }
 
 // DefaultRankersSplit is DefaultRankers with the tree-based approaches
-// using the given split search method.
+// using the given split search method. The set is DefaultSpecs
+// resolved through the registry.
 func DefaultRankersSplit(seed int64, m hist.SplitMethod) []Ranker {
-	return []Ranker{
-		Pearson{},
-		Spearman{},
-		JIndex{},
-		RandomForest{Seed: seed, SplitMethod: m},
-		XGBoost{SplitMethod: m},
+	rankers, err := ResolveAll(DefaultSpecs(), seed, m)
+	if err != nil {
+		// Unreachable: the default specs are registered in this
+		// package's init.
+		panic(err)
 	}
+	return rankers
 }
 
 func abs(x float64) float64 {
