@@ -127,9 +127,20 @@ func benchServeLoad() (Result, error) {
 	}
 
 	requests, errors := 0, 0
+	shed, deadline := 0, 0
 	for _, step := range sat.Steps {
 		requests += step.Requests
 		errors += step.Errors
+		shed += step.Shed
+		deadline += step.Deadline
+	}
+	// The overload envelope joins the latency trajectory: shed rate and
+	// deadline-exceeded rate cover the whole scan (the knee steps are
+	// where shedding happens), goodput is the held step's accepted QPS.
+	shedRate, deadlineRate := 0.0, 0.0
+	if requests > 0 {
+		shedRate = float64(shed) / float64(requests)
+		deadlineRate = float64(deadline) / float64(requests)
 	}
 	out := Result{
 		NsPerOp: int64(single.P50Ms * 1e6),
@@ -141,6 +152,9 @@ func benchServeLoad() (Result, error) {
 			"p999_single_ms": single.P999Ms,
 			"errors":         float64(errors),
 			"saturated":      b2f(sat.Saturated),
+			"goodput_qps":    rep.GoodputQPS,
+			"shed_rate":      shedRate,
+			"deadline_rate":  deadlineRate,
 		},
 	}
 	if ps, ok := rep.Paths["batch"]; ok {

@@ -71,6 +71,13 @@ type options struct {
 	Batch     int
 	MaxDelay  time.Duration
 
+	MaxInflight      int
+	DefaultDeadline  time.Duration
+	DegradedOK       bool
+	DrainTimeout     time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
 	Loadgen  bool
 	QPS      float64
 	LoadFor  time.Duration
@@ -99,6 +106,12 @@ func main() {
 	flag.DurationVar(&o.Watch, "watch", 0, "poll the registry at this interval and hot-swap new versions (0 = manual /v1/reload only)")
 	flag.IntVar(&o.Batch, "batch", 0, "coalescer flush size in rows (0 = default)")
 	flag.DurationVar(&o.MaxDelay, "max-delay", 0, "coalescer flush age (0 = default)")
+	flag.IntVar(&o.MaxInflight, "max-inflight", 0, "concurrent single-drive requests admitted (0 = default 256); batch/fleet/ingest caps scale from defaults")
+	flag.DurationVar(&o.DefaultDeadline, "default-deadline", 0, "per-request deadline when the client sends no X-Deadline-Ms (0 = default 2s)")
+	flag.BoolVar(&o.DegradedOK, "degraded-ok", false, "report ready on /readyz even while degraded (breaker open or registry stale)")
+	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 10*time.Second, "bound on draining in-flight requests at SIGTERM/SIGINT")
+	flag.IntVar(&o.BreakerThreshold, "breaker-threshold", 0, "consecutive store failures that trip the circuit breaker (0 = default 5)")
+	flag.DurationVar(&o.BreakerCooldown, "breaker-cooldown", 0, "breaker open interval before a half-open probe (0 = default 2s)")
 
 	flag.BoolVar(&o.Loadgen, "loadgen", false, "serve on loopback, generate load against self, print a JSON report, and exit")
 	flag.Float64Var(&o.QPS, "qps", 500, "loadgen mean arrival rate")
@@ -169,6 +182,12 @@ func run(o options, out io.Writer) error {
 	s, err := serve.New(serve.Options{
 		Registry: reg, Artifacts: names, Store: st,
 		MaxBatch: o.Batch, MaxDelay: o.MaxDelay, Workers: o.Workers,
+		MaxInflightSingle: o.MaxInflight,
+		DefaultDeadline:   o.DefaultDeadline,
+		DegradedOK:        o.DegradedOK,
+		BreakerThreshold:  o.BreakerThreshold,
+		BreakerCooldown:   o.BreakerCooldown,
+		BreakerSeed:       o.Seed,
 	})
 	if err != nil {
 		return err
@@ -197,9 +216,21 @@ func run(o options, out io.Writer) error {
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: stop accepting, let in-flight requests (and
+		// their coalescer flushes) finish within the drain budget, then
+		// exit 0. The deferred s.Close drains the coalescers after the
+		// HTTP layer quiesces.
+		if o.DrainTimeout <= 0 {
+			o.DrainTimeout = 10 * time.Second
+		}
+		fmt.Fprintf(os.Stderr, "serve: signal received, draining (timeout %s)\n", o.DrainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
 		defer cancel()
-		return srv.Shutdown(sctx)
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: drained, exiting\n")
+		return nil
 	case err := <-errc:
 		return err
 	}

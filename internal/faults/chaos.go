@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Serve-layer fault injection: op sites.
+//
+// An op site is a named injection point on a long-running service's
+// request path (registered with RegisterOpSite) that a chaos harness
+// arms at runtime with an arbitrary fault function — transient
+// errors, delays, or hangs — without restarting the process. Unlike
+// crash and degrade points, op sites are armed programmatically
+// (ArmOp/DisarmOp), not via the environment: chaos tests flip faults
+// on and off mid-traffic and must observe the service degrade and
+// recover within one process lifetime.
+//
+// The armed function receives the request's context, so an injected
+// hang is bounded by the caller's deadline exactly like a hung
+// dependency would be, and a 1-based hit counter, so deterministic
+// "every n-th request" schedules need no shared state in the test.
+//
+// With no site armed anywhere in the process, Op is a single atomic
+// load — cheap enough to leave compiled into response hot paths. The
+// unregistered-site panic is therefore only enforced while at least
+// one site is armed; the chaos suites that arm sites are what keeps
+// the registry and the call sites from drifting apart.
+
+var (
+	opMu    sync.Mutex
+	opSites = make(map[string]*opSite)
+
+	// opArmedCount gates the Op fast path: zero means no site in the
+	// process is armed and every Op call is a no-op.
+	opArmedCount atomic.Int32
+)
+
+type opSite struct {
+	fn   func(ctx context.Context, hit int) error
+	hits int
+}
+
+// RegisterOpSite declares a named op site and returns the name for
+// use at the site. Registering the same name twice panics: site names
+// are global and a collision would make a chaos matrix silently
+// ambiguous.
+func RegisterOpSite(name string) string {
+	opMu.Lock()
+	defer opMu.Unlock()
+	if name == "" {
+		panic("faults: empty op site name")
+	}
+	if _, dup := opSites[name]; dup {
+		panic(fmt.Sprintf("faults: op site %q registered twice", name))
+	}
+	opSites[name] = &opSite{}
+	return name
+}
+
+// OpSites returns every registered op site name, sorted.
+func OpSites() []string {
+	opMu.Lock()
+	defer opMu.Unlock()
+	out := make([]string, 0, len(opSites))
+	for name := range opSites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArmOp arms the named site with a fault function, replacing any
+// previous arming. The function runs on every subsequent Op call at
+// the site with the caller's context and the site's 1-based hit
+// count; a non-nil return is surfaced to the site's caller as the
+// dependency's failure. Panics on unregistered sites.
+func ArmOp(site string, fn func(ctx context.Context, hit int) error) {
+	if fn == nil {
+		panic("faults: ArmOp with nil function (use DisarmOp)")
+	}
+	opMu.Lock()
+	defer opMu.Unlock()
+	st, ok := opSites[site]
+	if !ok {
+		panic(fmt.Sprintf("faults: arming unregistered op site %q", site))
+	}
+	if st.fn == nil {
+		opArmedCount.Add(1)
+	}
+	st.fn = fn
+}
+
+// DisarmOp disarms the named site; subsequent Op calls there are
+// no-ops again. The hit counter keeps its value so a later re-arm
+// observes total traffic through the site. Panics on unregistered
+// sites; disarming an unarmed site is a no-op.
+func DisarmOp(site string) {
+	opMu.Lock()
+	defer opMu.Unlock()
+	st, ok := opSites[site]
+	if !ok {
+		panic(fmt.Sprintf("faults: disarming unregistered op site %q", site))
+	}
+	if st.fn != nil {
+		opArmedCount.Add(-1)
+		st.fn = nil
+	}
+}
+
+// OpHits returns how many Op calls reached the named site while it
+// was armed. Panics on unregistered sites.
+func OpHits(site string) int {
+	opMu.Lock()
+	defer opMu.Unlock()
+	st, ok := opSites[site]
+	if !ok {
+		panic(fmt.Sprintf("faults: querying unregistered op site %q", site))
+	}
+	return st.hits
+}
+
+// Op marks the named site: with the site armed, its fault function
+// runs and its error (if any) is returned for the caller to treat as
+// the dependency's failure. With no site armed in the process the
+// call is a single atomic load.
+func Op(ctx context.Context, site string) error {
+	if opArmedCount.Load() == 0 {
+		return nil
+	}
+	opMu.Lock()
+	st, ok := opSites[site]
+	if !ok {
+		opMu.Unlock()
+		panic(fmt.Sprintf("faults: op point at unregistered site %q", site))
+	}
+	fn := st.fn
+	if fn == nil {
+		opMu.Unlock()
+		return nil
+	}
+	st.hits++
+	hit := st.hits
+	opMu.Unlock()
+	return fn(ctx, hit)
+}
+
+// OpFailEveryN returns an arm function that fails every n-th hit with
+// ErrTransient and passes the rest — a deterministic flaky dependency.
+func OpFailEveryN(n int) func(ctx context.Context, hit int) error {
+	return func(ctx context.Context, hit int) error {
+		if n > 0 && hit%n == 0 {
+			return fmt.Errorf("%w: injected at hit %d", ErrTransient, hit)
+		}
+		return nil
+	}
+}
+
+// OpHang returns an arm function that blocks until the release
+// channel closes or the caller's context expires — a hung dependency
+// that only a deadline can step around. Pass nil to hang until the
+// context alone releases it.
+func OpHang(release <-chan struct{}) func(ctx context.Context, hit int) error {
+	return func(ctx context.Context, hit int) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// OpDelay returns an arm function that sleeps for d (bounded by the
+// caller's context) and then succeeds — a slow but live dependency,
+// or a slow consumer holding its admission slot.
+func OpDelay(d time.Duration) func(ctx context.Context, hit int) error {
+	return func(ctx context.Context, hit int) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -38,7 +38,16 @@ type FlakyConfig struct {
 	// until ReleaseHung is called (or forever) — a hung backend that
 	// only a per-attempt deadline can step around.
 	HangFirst int
+	// HangRate additionally hangs each attempt with this probability,
+	// drawn from a per-(drive, attempt) stream independent of
+	// FailRate's — a backend that wedges intermittently under load
+	// rather than on a fixed schedule.
+	HangRate float64
 }
+
+// opFlakyHang seeds the per-attempt hang stream, a distinct op plane
+// from opFlaky so FailRate and HangRate draw independently.
+const opFlakyHang uint64 = 1 << 33
 
 // Flaky wraps a dataset.Source with transient fetch errors, added
 // latency, and hangs per FlakyConfig. The inventory (DrivesOf) and day
@@ -98,7 +107,12 @@ func (f *Flaky) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, 
 	attempt := f.attempts[ref.ID]
 	f.mu.Unlock()
 
-	if attempt <= f.cfg.HangFirst {
+	hang := attempt <= f.cfg.HangFirst
+	if !hang && f.cfg.HangRate > 0 {
+		rng := rand.New(rand.NewSource(mixSeed(f.cfg.Seed, ref.ID, opFlakyHang+uint64(attempt))))
+		hang = rng.Float64() < f.cfg.HangRate
+	}
+	if hang {
 		<-f.releaseC
 	}
 	if f.cfg.Delay > 0 {

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// pathClass partitions the admission-controlled request paths. Each
+// class has its own concurrency cap and bounded wait queue: a fleet
+// pass must not starve single-drive scoring, and a flood of cheap
+// singles must not crowd out the one ingest admission that advances
+// the horizon.
+type pathClass int
+
+const (
+	pathSingle pathClass = iota
+	pathBatch
+	pathFleet
+	pathIngest
+	numPathClasses
+)
+
+func (p pathClass) String() string {
+	switch p {
+	case pathSingle:
+		return "single"
+	case pathBatch:
+		return "batch"
+	case pathFleet:
+		return "fleet"
+	case pathIngest:
+		return "ingest"
+	}
+	return "unknown"
+}
+
+// errShed is returned by gate.acquire when the path's wait queue is
+// full: the request is rejected immediately (429 + Retry-After)
+// rather than queued — the queue bound is what keeps overload from
+// turning into unbounded latency.
+var errShed = errors.New("serve: overloaded, request shed")
+
+// gate is one path class's admission gate: a concurrency cap
+// (inflight) plus a bounded wait queue (waiters). Admission is
+// two-stage — a non-blocking waiter-slot reserve that sheds on a full
+// queue, then a context-bounded wait for an inflight slot — so the
+// number of goroutines parked on a saturated path never exceeds the
+// queue bound, and a request whose deadline expires while queued
+// leaves promptly without consuming capacity.
+type gate struct {
+	inflight chan struct{} // concurrency slots
+	waiters  chan struct{} // bounded wait-queue slots
+}
+
+// newGate builds a gate admitting maxInflight concurrent requests
+// with at most maxQueue more waiting.
+func newGate(maxInflight, maxQueue int) *gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{
+		inflight: make(chan struct{}, maxInflight),
+		waiters:  make(chan struct{}, maxInflight+maxQueue),
+	}
+}
+
+// acquire admits the request or reports why it can't: errShed when
+// the wait queue is full, the context's error when the deadline
+// expires before a slot frees. A nil return must be paired with
+// release.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.waiters <- struct{}{}:
+	default:
+		return errShed
+	}
+	defer func() { <-g.waiters }()
+	select {
+	case g.inflight <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the inflight slot taken by a successful acquire.
+func (g *gate) release() { <-g.inflight }

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine
+// guarding the store fetch path.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // healthy: all requests pass
+	breakerOpen                         // tripped: fast-fail until cooldown
+	breakerHalfOpen                     // probing: one request through
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breakerConfig parameterizes the store circuit breaker.
+type breakerConfig struct {
+	// threshold is the consecutive-failure count that trips the
+	// breaker open.
+	threshold int
+	// cooldown is the base open interval before a half-open probe is
+	// allowed; each trip waits cooldown plus deterministic jitter.
+	cooldown time.Duration
+	// seed drives the jitter stream, so chaos tests replay the exact
+	// same open intervals run to run.
+	seed int64
+}
+
+// breaker is a consecutive-failure circuit breaker with seeded
+// deterministic jitter on its cooldown. Store fetch failures count
+// through failure(); once threshold consecutive failures accumulate
+// the breaker opens and allow() fast-fails until the cooldown
+// elapses, at which point exactly one caller is admitted half-open as
+// a probe — its success closes the breaker, its failure re-opens it
+// for another cooldown. Jitter (up to 20% of the cooldown, drawn from
+// the seeded stream) staggers probe times so that replicas tripped by
+// a shared dependency don't re-probe it in lockstep.
+type breaker struct {
+	cfg breakerConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	state breakerState
+	fails int       // consecutive failures while closed
+	until time.Time // open until (state == breakerOpen)
+	trips int64     // cumulative open transitions
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.threshold <= 0 {
+		cfg.threshold = DefaultBreakerThreshold
+	}
+	if cfg.cooldown <= 0 {
+		cfg.cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{cfg: cfg, rng: rand.New(rand.NewSource(cfg.seed))}
+}
+
+// allow reports whether a store call may proceed. In the open state
+// it flips to half-open once the cooldown has elapsed, admitting the
+// caller as the probe; concurrent callers during the probe are
+// rejected until the probe resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	case breakerHalfOpen:
+		return false
+	}
+	return false
+}
+
+// success records a healthy store call: the failure streak resets and
+// a half-open probe closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state = breakerClosed
+}
+
+// failure records a failed store call, tripping the breaker when the
+// consecutive streak reaches the threshold or a half-open probe
+// fails.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker for cooldown plus jitter. Caller holds mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.fails = 0
+	b.trips++
+	jitter := time.Duration(b.rng.Int63n(int64(b.cfg.cooldown)/5 + 1))
+	b.until = time.Now().Add(b.cfg.cooldown + jitter)
+}
+
+// snapshot returns the current state and cumulative trip count.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

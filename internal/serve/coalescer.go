@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -120,6 +121,18 @@ func (co *coalescer) newBatch() *microbatch {
 // the row's probability. len(row) must be nCols. After Close it
 // returns errRetired without scoring.
 func (co *coalescer) Submit(row []float64) (float64, error) {
+	return co.SubmitCtx(context.Background(), row)
+}
+
+// SubmitCtx is Submit bounded by a context: a caller whose deadline
+// expires while its row is queued abandons the wait and returns the
+// context's error. The row itself still flushes and scores with its
+// batch — only the delivery is abandoned. The abandoned cell is NOT
+// returned to the pool: the flusher's buffered send into it can race
+// an early return, and a recycled cell with a pending token would
+// corrupt a later request's result. The orphan is garbage-collected
+// once the flusher's send lands.
+func (co *coalescer) SubmitCtx(ctx context.Context, row []float64) (float64, error) {
 	c := cellPool.Get().(*cell)
 	co.mu.Lock()
 	if co.closed {
@@ -157,7 +170,11 @@ func (co *coalescer) Submit(row []float64) (float64, error) {
 		}
 	}
 
-	<-c.done
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
 	prob, err := c.prob, c.err
 	cellPool.Put(c)
 	return prob, err

@@ -1,19 +1,37 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/smart"
 )
 
-// reqError is a client-attributable request failure: it maps to a 4xx
-// status and a structured {"error": ...} body, and by construction
-// leaves no trace in daemon state.
+// Machine-readable error kinds carried in the "code" field of error
+// bodies, so load generators and clients can tell overload rejections
+// (retry later, elsewhere) from genuine failures.
+const (
+	kindShed             = "shed"              // 429: admission queue full
+	kindDeadlineExceeded = "deadline_exceeded" // 503: request deadline ran out
+	kindStoreUnavailable = "store_unavailable" // 503: store breaker open or fetch failed
+	kindRegistryDown     = "registry_unavailable"
+	kindBadRequest       = "bad_request"
+)
+
+// reqError is a request failure the daemon classified: it maps to an
+// HTTP status, a structured {"error", "code"} body, and by
+// construction leaves no trace in daemon state. kind is the
+// machine-readable code; empty means kindBadRequest.
 type reqError struct {
 	code int
+	kind string
 	msg  string
 }
 
@@ -54,6 +72,11 @@ type ScoreResponse struct {
 	Prob       float64 `json:"prob"`
 	Threshold  float64 `json:"threshold"`
 	Alarm      bool    `json:"alarm"`
+	// Degraded marks a response produced while the daemon is in a
+	// brownout (store breaker open or registry stale): the score is
+	// exact for the data it saw, but store-backed context may be
+	// unavailable or the snapshot may lag the registry.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/score/batch: many drives
@@ -77,6 +100,7 @@ type BatchResponse struct {
 	Model      string          `json:"model"`
 	Version    int             `json:"version"`
 	ConfigHash string          `json:"config_hash"`
+	Degraded   bool            `json:"degraded,omitempty"`
 	Results    []ScoreResponse `json:"results"`
 }
 
@@ -97,6 +121,7 @@ type FleetResponse struct {
 	Drives     int     `json:"drives"`
 	Alarms     int     `json:"alarms"`
 	MeanProb   float64 `json:"mean_prob"`
+	Degraded   bool    `json:"degraded,omitempty"`
 }
 
 // IngestRequest is the body of POST /v1/ingest: admit upstream fleet
@@ -115,13 +140,17 @@ type IngestResponse struct {
 
 // ModelInfo describes one served artifact (GET /v1/models).
 type ModelInfo struct {
-	Name           string      `json:"name"`
-	Version        int         `json:"version"`
-	ConfigHash     string      `json:"config_hash"`
-	DriveModel     string      `json:"drive_model"`
-	TrainedThrough int         `json:"trained_through"`
-	Windows        []int       `json:"windows"`
-	Groups         []GroupInfo `json:"groups"`
+	Name           string `json:"name"`
+	Version        int    `json:"version"`
+	ConfigHash     string `json:"config_hash"`
+	DriveModel     string `json:"drive_model"`
+	TrainedThrough int    `json:"trained_through"`
+	Windows        []int  `json:"windows"`
+	// Stale marks an artifact served past a failed registry reload:
+	// the listed version is the last good one and may lag the
+	// registry's latest.
+	Stale  bool        `json:"stale,omitempty"`
+	Groups []GroupInfo `json:"groups"`
 }
 
 // GroupInfo describes one wear group of a served artifact.
@@ -138,16 +167,52 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("POST /v1/score", s.handleScore)
-	mux.HandleFunc("POST /v1/score/batch", s.handleBatch)
-	mux.HandleFunc("POST /v1/score/fleet", s.handleFleet)
-	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/score", s.overload(pathSingle, s.handleScore))
+	mux.HandleFunc("POST /v1/score/batch", s.overload(pathBatch, s.handleBatch))
+	mux.HandleFunc("POST /v1/score/fleet", s.overload(pathFleet, s.handleFleet))
+	mux.HandleFunc("POST /v1/ingest", s.overload(pathIngest, s.handleIngest))
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	return mux
+}
+
+// ReadyResponse is the body of GET /readyz: whether the daemon wants
+// traffic, and why not if it doesn't. Liveness (/healthz) stays dumb
+// — a degraded daemon is alive; readiness is the load balancer's
+// signal.
+type ReadyResponse struct {
+	Ready           bool   `json:"ready"`
+	Degraded        bool   `json:"degraded"`
+	Breaker         string `json:"breaker"`
+	BreakerTrips    int64  `json:"breaker_trips"`
+	RegistryStale   bool   `json:"registry_stale"`
+	ReloadFailures  int64  `json:"reload_failures"`
+	LastReloadError string `json:"last_reload_error,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state, trips := s.brk.snapshot()
+	degraded := state != breakerClosed || s.registryStale()
+	resp := ReadyResponse{
+		Ready:          !degraded || s.opts.DegradedOK,
+		Degraded:       degraded,
+		Breaker:        state.String(),
+		BreakerTrips:   trips,
+		RegistryStale:  s.registryStale(),
+		ReloadFailures: s.reloadFails.Load(),
+	}
+	if msg := s.lastReloadErr.Load(); msg != nil {
+		resp.LastReloadError = *msg
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -157,25 +222,43 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeErrKind(w, code, kindBadRequest, format, args...)
+}
+
+func (s *Server) writeErrKind(w http.ResponseWriter, code int, kind string, format string, args ...any) {
 	s.errors.Add(1)
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...), "code": kind})
 }
 
 // fail maps an error to its HTTP status: reqError carries its own
-// 4xx, everything else is a 500.
+// status and kind, a blown request deadline is a 503
+// deadline_exceeded, everything else is a 500.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	var re *reqError
 	if errors.As(err, &re) {
-		s.writeErr(w, re.code, "%s", re.msg)
+		kind := re.kind
+		if kind == "" {
+			kind = kindBadRequest
+		}
+		if kind == kindDeadlineExceeded {
+			s.deadlineExceeded.Add(1)
+		}
+		s.writeErrKind(w, re.code, kind, "%s", re.msg)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.deadlineExceeded.Add(1)
+		s.writeErrKind(w, http.StatusServiceUnavailable, kindDeadlineExceeded, "%v", err)
 		return
 	}
 	s.writeErr(w, http.StatusInternalServerError, "%v", err)
 }
 
 // decodeBody decodes a JSON request body strictly: unknown fields,
-// trailing garbage, and oversized bodies are client errors.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+// trailing garbage, and bodies over the per-path limit are client
+// errors.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -185,13 +268,76 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 		}
 		return &reqError{code: http.StatusBadRequest, msg: fmt.Sprintf("bad request body: %v", err)}
 	}
-	if dec.More() {
+	// Token (not More) for the trailing check: More swallows read
+	// errors, which would let an over-limit body whose excess is
+	// trailing bytes slip past the cap.
+	if _, err := dec.Token(); err != io.EOF {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &reqError{code: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)}
+		}
 		return &reqError{code: http.StatusBadRequest, msg: "trailing data after JSON body"}
 	}
 	return nil
 }
 
+// requestDeadline resolves a request's deadline: the optional
+// X-Deadline-Ms header (capped at Options.MaxDeadline) or the server
+// default. A malformed header is a 400.
+func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return s.opts.DefaultDeadline, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, &reqError{code: http.StatusBadRequest, msg: fmt.Sprintf("bad X-Deadline-Ms %q: want a positive integer", h)}
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.opts.MaxDeadline {
+		d = s.opts.MaxDeadline
+	}
+	return d, nil
+}
+
+// overload wraps a handler with the path's admission gate and the
+// request deadline. A full wait queue sheds with 429 + Retry-After; a
+// deadline that expires while queued is a 503 deadline_exceeded.
+// Admitted requests run under a context that featurization and store
+// fetches observe, so a hung dependency cancels instead of wedging
+// the slot forever.
+func (s *Server) overload(pc pathClass, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		deadline, err := s.requestDeadline(r)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), deadline)
+		defer cancel()
+		if err := s.gates[pc].acquire(ctx); err != nil {
+			if errors.Is(err, errShed) {
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeErrKind(w, http.StatusTooManyRequests, kindShed, "%s path overloaded: admission queue full", pc)
+				return
+			}
+			s.deadlineExceeded.Add(1)
+			s.writeErrKind(w, http.StatusServiceUnavailable, kindDeadlineExceeded, "%s path: deadline expired in admission queue", pc)
+			return
+		}
+		defer s.gates[pc].release()
+		s.accepted.Add(1)
+		if err := faults.Op(ctx, SiteSlowWrite); err != nil {
+			s.fail(w, err)
+			return
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	stale := s.registryStale()
 	out := make([]ModelInfo, 0, len(s.names))
 	for _, name := range s.names {
 		sv := s.arts[name].cur.Load()
@@ -202,6 +348,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			DriveModel:     sv.model.String(),
 			TrainedThrough: sv.snap.TrainedThrough,
 			Windows:        sv.windows,
+			Stale:          stale,
 		}
 		for _, g := range sv.groups {
 			below, atLeast := sv.scorer.GroupMWIBounds(g.index)
@@ -222,21 +369,24 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req ScoreRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, s.opts.MaxBodyBytes, &req); err != nil {
 		s.fail(w, err)
 		return
 	}
-	resp, err := s.scoreOne(req)
+	resp, err := s.scoreOne(r.Context(), req)
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	if resp.Degraded {
+		s.degraded.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // scoreOne scores a single drive-day through the coalescer, retrying
 // transparently when a hot swap retires the serving state mid-flight.
-func (s *Server) scoreOne(req ScoreRequest) (ScoreResponse, error) {
+func (s *Server) scoreOne(ctx context.Context, req ScoreRequest) (ScoreResponse, error) {
 	art, ok := s.artifactByName(req.Model)
 	if !ok {
 		return ScoreResponse{}, &reqError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown model %q", req.Model)}
@@ -246,18 +396,18 @@ func (s *Server) scoreOne(req ScoreRequest) (ScoreResponse, error) {
 			s.swapRetries.Add(1)
 		}
 		sv := art.cur.Load()
-		resp, err := s.scoreOn(sv, req)
+		resp, err := s.scoreOn(ctx, sv, req)
 		if errors.Is(err, errRetired) {
 			continue
 		}
 		return resp, err
 	}
-	return ScoreResponse{}, &reqError{code: http.StatusServiceUnavailable, msg: "snapshot churn: retried past limit"}
+	return ScoreResponse{}, &reqError{code: http.StatusServiceUnavailable, kind: kindRegistryDown, msg: "snapshot churn: retried past limit"}
 }
 
 // scoreOn scores the request against one captured serving state.
-func (s *Server) scoreOn(sv *serving, req ScoreRequest) (ScoreResponse, error) {
-	series, day, driveID, err := s.resolveSeries(sv, req.DriveID, req.Day, req.Series)
+func (s *Server) scoreOn(ctx context.Context, sv *serving, req ScoreRequest) (ScoreResponse, error) {
+	series, day, driveID, err := s.resolveSeries(ctx, sv, req.DriveID, req.Day, req.Series)
 	if err != nil {
 		return ScoreResponse{}, err
 	}
@@ -273,7 +423,7 @@ func (s *Server) scoreOn(sv *serving, req ScoreRequest) (ScoreResponse, error) {
 		putScratch(fs)
 		return ScoreResponse{}, err
 	}
-	prob, err := rt.co.Submit(fs.row)
+	prob, err := rt.co.SubmitCtx(ctx, fs.row)
 	putScratch(fs)
 	if err != nil {
 		return ScoreResponse{}, err
@@ -282,12 +432,20 @@ func (s *Server) scoreOn(sv *serving, req ScoreRequest) (ScoreResponse, error) {
 		Model: sv.name, Version: sv.version, ConfigHash: sv.hash,
 		DriveID: driveID, Day: day, Group: g,
 		Prob: prob, Threshold: rt.threshold, Alarm: prob >= rt.threshold,
+		Degraded: s.degradedNow(),
 	}, nil
 }
 
 // resolveSeries produces the telemetry columns and scored day for a
 // request: inline series (scored day = last day) or a store lookup.
-func (s *Server) resolveSeries(sv *serving, driveID, day *int, inline map[string][]float64) (map[smart.Feature][]float64, int, int, error) {
+//
+// The store-backed branch is the breaker-guarded dependency edge:
+// with the breaker open it fast-fails 503 store_unavailable without
+// touching the store (inline-series requests are unaffected — that is
+// the brownout), and every real fetch outcome feeds the breaker.
+// Unknown-drive 404s bypass breaker accounting: they are client
+// errors, not store health.
+func (s *Server) resolveSeries(ctx context.Context, sv *serving, driveID, day *int, inline map[string][]float64) (map[smart.Feature][]float64, int, int, error) {
 	if inline != nil {
 		if driveID != nil {
 			return nil, 0, 0, &reqError{code: http.StatusBadRequest, msg: "request has both series and drive_id; send one"}
@@ -311,15 +469,24 @@ func (s *Server) resolveSeries(sv *serving, driveID, day *int, inline map[string
 	if s.opts.Store == nil {
 		return nil, 0, 0, &reqError{code: http.StatusNotImplemented, msg: "store-backed scoring is disabled: no store configured"}
 	}
+	if !s.brk.allow() {
+		return nil, 0, 0, &reqError{code: http.StatusServiceUnavailable, kind: kindStoreUnavailable, msg: "store circuit breaker open; retry with inline series"}
+	}
 	snap := s.opts.Store.Snapshot()
 	ref, ok := snap.RefIndex(sv.model)[*driveID]
 	if !ok {
 		return nil, 0, 0, &reqError{code: http.StatusNotFound, msg: fmt.Sprintf("model %v has no drive %d", sv.model, *driveID)}
 	}
-	cols, lastDay, err := snap.Series(ref)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("serve: store series for drive %d: %w", *driveID, err)
+	if err := faults.Op(ctx, SiteStoreSeries); err != nil {
+		s.brk.failure()
+		return nil, 0, 0, storeErr(*driveID, err)
 	}
+	cols, lastDay, err := snap.SeriesCtx(ctx, ref)
+	if err != nil {
+		s.brk.failure()
+		return nil, 0, 0, storeErr(*driveID, err)
+	}
+	s.brk.success()
 	d := lastDay
 	if day != nil {
 		if *day < 0 || *day > lastDay {
@@ -330,10 +497,20 @@ func (s *Server) resolveSeries(sv *serving, driveID, day *int, inline map[string
 	return cols, d, *driveID, nil
 }
 
+// storeErr classifies a store fetch failure: a blown deadline is a
+// 503 deadline_exceeded, anything else a 503 store_unavailable. Both
+// feed the circuit breaker at the call site.
+func storeErr(driveID int, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &reqError{code: http.StatusServiceUnavailable, kind: kindDeadlineExceeded, msg: fmt.Sprintf("store series for drive %d: %v", driveID, err)}
+	}
+	return &reqError{code: http.StatusServiceUnavailable, kind: kindStoreUnavailable, msg: fmt.Sprintf("store series for drive %d: %v", driveID, err)}
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req BatchRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, s.opts.MaxBodyBytes, &req); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -351,10 +528,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sv := art.cur.Load()
-	resp, err := s.scoreBatchOn(sv, req)
+	resp, err := s.scoreBatchOn(r.Context(), sv, req)
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	if resp.Degraded {
+		s.degraded.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -364,7 +544,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // bucket scored in one kernel call, results returned in request
 // order. Validation is all-or-nothing — any bad drive fails the whole
 // batch before anything is scored.
-func (s *Server) scoreBatchOn(sv *serving, req BatchRequest) (BatchResponse, error) {
+func (s *Server) scoreBatchOn(ctx context.Context, sv *serving, req BatchRequest) (BatchResponse, error) {
 	n := len(req.Drives)
 	type placed struct {
 		group int
@@ -376,9 +556,13 @@ func (s *Server) scoreBatchOn(sv *serving, req BatchRequest) (BatchResponse, err
 	resp := BatchResponse{Model: sv.name, Version: sv.version, ConfigHash: sv.hash}
 
 	for i, d := range req.Drives {
-		series, day, driveID, err := s.resolveSeries(sv, d.DriveID, d.Day, d.Series)
+		if err := ctx.Err(); err != nil {
+			return resp, &reqError{code: http.StatusServiceUnavailable, kind: kindDeadlineExceeded,
+				msg: fmt.Sprintf("deadline exceeded after featurizing %d of %d drives", i, n)}
+		}
+		series, day, driveID, err := s.resolveSeries(ctx, sv, d.DriveID, d.Day, d.Series)
 		if err != nil {
-			return resp, &reqError{code: errCode(err), msg: fmt.Sprintf("drive %d of batch: %v", i, err)}
+			return resp, &reqError{code: errCode(err), kind: errKind(err), msg: fmt.Sprintf("drive %d of batch: %v", i, err)}
 		}
 		mwi := routeMWI(series, day, d.MWI)
 		g := sv.scorer.PickGroup(mwi)
@@ -428,6 +612,7 @@ func (s *Server) scoreBatchOn(sv *serving, req BatchRequest) (BatchResponse, err
 		resp.Results[i].Prob = p
 		resp.Results[i].Alarm = p >= resp.Results[i].Threshold
 	}
+	resp.Degraded = s.degradedNow()
 	return resp, nil
 }
 
@@ -440,10 +625,20 @@ func errCode(err error) int {
 	return http.StatusBadRequest
 }
 
+// errKind extracts a reqError's machine-readable kind, defaulting to
+// bad_request.
+func errKind(err error) string {
+	var re *reqError
+	if errors.As(err, &re) && re.kind != "" {
+		return re.kind
+	}
+	return kindBadRequest
+}
+
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req FleetRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, s.opts.MaxSmallBodyBytes, &req); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -456,9 +651,14 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotImplemented, "fleet scoring is disabled: no store configured")
 		return
 	}
+	if !s.brk.allow() {
+		s.writeErrKind(w, http.StatusServiceUnavailable, kindStoreUnavailable, "store circuit breaker open: fleet scoring shed")
+		return
+	}
 	sv := art.cur.Load()
 	snap := s.opts.Store.Snapshot()
 	if req.Day < 0 || req.Day >= snap.Days() {
+		s.brk.success()
 		s.writeErr(w, http.StatusBadRequest, "day %d outside store horizon %d", req.Day, snap.Days())
 		return
 	}
@@ -466,9 +666,11 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	outcomes, err := sv.scorer.ScoreInto(snap, req.Day, req.Day, &sv.fleetBuf)
 	if err != nil {
 		sv.fleetMu.Unlock()
-		s.writeErr(w, http.StatusInternalServerError, "fleet scoring: %v", err)
+		s.brk.failure()
+		s.writeErrKind(w, http.StatusServiceUnavailable, kindStoreUnavailable, "fleet scoring: %v", err)
 		return
 	}
+	s.brk.success()
 	resp := FleetResponse{
 		Model: sv.name, Version: sv.version, ConfigHash: sv.hash,
 		Day: req.Day, Drives: len(outcomes),
@@ -484,13 +686,16 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if len(outcomes) > 0 {
 		resp.MeanProb = total / float64(resp.Drives)
 	}
+	if resp.Degraded = s.degradedNow(); resp.Degraded {
+		s.degraded.Add(1)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req IngestRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, s.opts.MaxSmallBodyBytes, &req); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -502,17 +707,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "day %d outside upstream span %d", req.Day, s.opts.Store.SourceDays())
 		return
 	}
+	if !s.brk.allow() {
+		s.writeErrKind(w, http.StatusServiceUnavailable, kindStoreUnavailable, "store circuit breaker open: ingest shed")
+		return
+	}
 	for _, name := range s.names {
 		sv := s.arts[name].cur.Load()
 		if err := s.opts.Store.Track(sv.model); err != nil {
-			s.writeErr(w, http.StatusInternalServerError, "track %v: %v", sv.model, err)
+			s.brk.failure()
+			s.fail(w, storeIngestErr(fmt.Errorf("track %v: %w", sv.model, err)))
 			return
 		}
 	}
-	if err := s.opts.Store.AppendThrough(req.Day); err != nil {
-		s.writeErr(w, http.StatusInternalServerError, "ingest day %d: %v", req.Day, err)
+	if err := s.opts.Store.AppendThroughCtx(r.Context(), req.Day); err != nil {
+		s.brk.failure()
+		s.fail(w, storeIngestErr(fmt.Errorf("ingest day %d: %w", req.Day, err)))
 		return
 	}
+	s.brk.success()
 	s.ingests.Add(1)
 	c := s.opts.Store.Counters()
 	writeJSON(w, http.StatusOK, IngestResponse{
@@ -522,10 +734,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// storeIngestErr classifies an ingest failure: a cancelled or
+// deadline-blown append is a 503 deadline_exceeded, anything else a
+// 503 store_unavailable — an unreachable upstream must not read as a
+// daemon bug.
+func storeIngestErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &reqError{code: http.StatusServiceUnavailable, kind: kindDeadlineExceeded, msg: err.Error()}
+	}
+	return &reqError{code: http.StatusServiceUnavailable, kind: kindStoreUnavailable, msg: err.Error()}
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	swapped, err := s.Reload()
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, "reload: %v", err)
+		s.writeErrKind(w, http.StatusServiceUnavailable, kindRegistryDown, "reload: %v", err)
 		return
 	}
 	if swapped == nil {

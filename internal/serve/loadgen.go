@@ -63,22 +63,46 @@ type LoadSpec struct {
 }
 
 // PathStats is the latency/throughput report for one request path.
+// Latency percentiles cover accepted (2xx) responses only: a shed is
+// a fast constant-time rejection, and folding those into the
+// percentiles would make an overloaded server look faster as it sheds
+// harder.
 type PathStats struct {
-	Requests int     `json:"requests"`
-	Errors   int     `json:"errors"`
-	P50Ms    float64 `json:"p50_ms"`
-	P99Ms    float64 `json:"p99_ms"`
-	P999Ms   float64 `json:"p999_ms"`
-	MaxMs    float64 `json:"max_ms"`
+	Requests int `json:"requests"`
+	// Accepted counts 2xx responses.
+	Accepted int `json:"accepted"`
+	// Shed counts 429 admission rejections.
+	Shed int `json:"shed"`
+	// Deadline counts 503s whose error code is deadline_exceeded.
+	Deadline int `json:"deadline"`
+	// Unavailable counts other 503s (breaker open, store down).
+	Unavailable int `json:"unavailable"`
+	// Errors counts everything else — transport failures and any
+	// status outside {200, 429, 503}. Under pure overload this must
+	// stay zero; a non-zero value is a daemon bug, not load.
+	Errors int     `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
 }
 
 // LoadReport is the result of one load run.
 type LoadReport struct {
-	OfferedQPS  float64              `json:"offered_qps"`
-	AchievedQPS float64              `json:"achieved_qps"`
-	Requests    int                  `json:"requests"`
-	Errors      int                  `json:"errors"`
-	Paths       map[string]PathStats `json:"paths"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	// GoodputQPS is the accepted-response rate — the throughput that
+	// actually served clients.
+	GoodputQPS  float64 `json:"goodput_qps"`
+	Requests    int     `json:"requests"`
+	Accepted    int     `json:"accepted"`
+	Shed        int     `json:"shed"`
+	Deadline    int     `json:"deadline"`
+	Unavailable int     `json:"unavailable"`
+	Errors      int     `json:"errors"`
+	// ShedRate is Shed / Requests.
+	ShedRate float64              `json:"shed_rate"`
+	Paths    map[string]PathStats `json:"paths"`
 }
 
 // SatReport is the result of a saturation scan: escalating offered
@@ -97,10 +121,41 @@ type arrival struct {
 	cohort int
 }
 
+// outcome classifies one response for the shed-aware report.
+type outcome int
+
+const (
+	outAccepted    outcome = iota // 2xx
+	outShed                       // 429
+	outDeadline                   // 503 deadline_exceeded
+	outUnavailable                // other 503
+	outError                      // transport failure or unexpected status
+)
+
 type sample struct {
 	path string
 	lat  time.Duration
-	err  bool
+	out  outcome
+}
+
+// classify maps one response to its outcome. The 503 split reads the
+// structured "code" field the daemon puts in every error body.
+func classify(status int, body []byte) outcome {
+	switch {
+	case status >= 200 && status < 300:
+		return outAccepted
+	case status == http.StatusTooManyRequests:
+		return outShed
+	case status == http.StatusServiceUnavailable:
+		var e struct {
+			Code string `json:"code"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Code == "deadline_exceeded" {
+			return outDeadline
+		}
+		return outUnavailable
+	}
+	return outError
 }
 
 // payloadPool pre-marshals request bodies per cohort so the hot loop
@@ -257,23 +312,22 @@ func RunLoad(client *http.Client, baseURL string, spec LoadSpec) (*LoadReport, e
 			for a := range queue {
 				pp := &pools[a.cohort]
 				body := pp.bodies[wrng.Intn(len(pp.bodies))]
-				errored := false
+				var out outcome
 				resp, err := client.Post(pp.url, "application/json", bytes.NewReader(body))
 				if err != nil {
-					errored = true
+					out = outError
 				} else {
-					if resp.StatusCode != http.StatusOK {
-						errored = true
-					}
+					rb, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 					_, _ = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
+					out = classify(resp.StatusCode, rb)
 				}
 				lat := time.Since(start.Add(a.at))
 				nextMu.Lock()
 				idx := next
 				next++
 				nextMu.Unlock()
-				samples[idx] = sample{path: pp.path, lat: lat, err: errored}
+				samples[idx] = sample{path: pp.path, lat: lat, out: out}
 			}
 		}(spec.Seed + int64(w) + 1)
 	}
@@ -297,12 +351,29 @@ func RunLoad(client *http.Client, baseURL string, spec LoadSpec) (*LoadReport, e
 	for _, s := range samples[:next] {
 		ps := rep.Paths[s.path]
 		ps.Requests++
-		if s.err {
+		switch s.out {
+		case outAccepted:
+			ps.Accepted++
+			rep.Accepted++
+			byPath[s.path] = append(byPath[s.path], s.lat)
+		case outShed:
+			ps.Shed++
+			rep.Shed++
+		case outDeadline:
+			ps.Deadline++
+			rep.Deadline++
+		case outUnavailable:
+			ps.Unavailable++
+			rep.Unavailable++
+		default:
 			ps.Errors++
 			rep.Errors++
 		}
 		rep.Paths[s.path] = ps
-		byPath[s.path] = append(byPath[s.path], s.lat)
+	}
+	rep.GoodputQPS = float64(rep.Accepted) / elapsed.Seconds()
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
 	}
 	for path, lats := range byPath {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -317,9 +388,13 @@ func RunLoad(client *http.Client, baseURL string, spec LoadSpec) (*LoadReport, e
 }
 
 // SaturationScan runs RunLoad at geometrically escalating rates until
-// the single-path p99 breaks sloP99, any request errors, or achieved
+// the single-path p99 breaks sloP99, any request fails to be fully
+// served (error, shed, deadline, or unavailable), or achieved
 // throughput falls under 90% of offered — then reports the last rate
-// that held. At most maxSteps rates are tried.
+// that held. At most maxSteps rates are tried. Sheds count as
+// breaking the SLO here: a saturation scan asks for the rate the
+// daemon serves everything, and admission control kicking in IS the
+// knee it is looking for.
 func SaturationScan(client *http.Client, baseURL string, spec LoadSpec, growth float64, maxSteps int, sloP99 time.Duration) (*SatReport, error) {
 	if growth <= 1 {
 		growth = 1.6
@@ -339,7 +414,7 @@ func SaturationScan(client *http.Client, baseURL string, spec LoadSpec, growth f
 		}
 		out.Steps = append(out.Steps, *rep)
 		single := rep.Paths["single"]
-		broke := rep.Errors > 0 ||
+		broke := rep.Errors > 0 || rep.Shed > 0 || rep.Deadline > 0 || rep.Unavailable > 0 ||
 			(sloP99 > 0 && single.Requests > 0 && single.P99Ms > ms(sloP99)) ||
 			rep.AchievedQPS < 0.9*rep.OfferedQPS
 		if broke {

@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/featgen"
 	"repro/internal/smart"
 	"repro/internal/store"
@@ -43,6 +45,34 @@ const (
 	DefaultMaxBatchRequest = 4096
 	DefaultMaxBodyBytes    = 8 << 20
 	DefaultMaxSeriesDays   = 4096
+
+	DefaultMaxInflightSingle = 256
+	DefaultMaxInflightBatch  = 16
+	DefaultMaxInflightFleet  = 2
+	DefaultMaxInflightIngest = 1
+	DefaultDeadline          = 2 * time.Second
+	DefaultMaxDeadline       = 30 * time.Second
+	DefaultBreakerThreshold  = 5
+	DefaultBreakerCooldown   = 2 * time.Second
+	DefaultSmallBodyBytes    = 4096
+)
+
+// Chaos-harness injection sites on the serving request path. Tests
+// arm them via faults.ArmOp; in production they compile down to one
+// atomic load each.
+var (
+	// SiteStoreSeries fires before every store-backed series fetch —
+	// arming it simulates a flaky or hung store without touching the
+	// store's cache state.
+	SiteStoreSeries = faults.RegisterOpSite("serve-store-series")
+	// SiteRegistryLoad fires before a reload decodes a new snapshot
+	// version — arming it simulates registry corruption or an
+	// unreadable artifact mid-watch.
+	SiteRegistryLoad = faults.RegisterOpSite("serve-registry-load")
+	// SiteSlowWrite fires after admission, before the handler runs —
+	// arming it with a delay simulates slow request consumers holding
+	// their admission slots.
+	SiteSlowWrite = faults.RegisterOpSite("serve-slow-write")
 )
 
 // swapAttempts bounds how many times a request re-resolves the active
@@ -78,6 +108,44 @@ type Options struct {
 	// MaxSeriesDays caps the length of an inline series (default
 	// 4096); longer uploads get 413.
 	MaxSeriesDays int
+
+	// MaxInflightSingle caps concurrent single-drive scoring requests
+	// (default 256). Each path's wait queue holds 4× its cap; beyond
+	// that, requests are shed with 429.
+	MaxInflightSingle int
+	// MaxInflightBatch caps concurrent batch requests (default 16).
+	MaxInflightBatch int
+	// MaxInflightFleet caps concurrent fleet passes (default 2).
+	MaxInflightFleet int
+	// MaxInflightIngest caps concurrent ingest admissions (default 1:
+	// the store serializes appends anyway).
+	MaxInflightIngest int
+
+	// DefaultDeadline is the per-request deadline applied when the
+	// client sends no X-Deadline-Ms header (default 2s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps a client-requested deadline (default 30s).
+	MaxDeadline time.Duration
+
+	// BreakerThreshold is the consecutive store-failure count that
+	// trips the store circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's base open interval before a
+	// half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// BreakerSeed seeds the breaker's deterministic cooldown jitter.
+	BreakerSeed int64
+
+	// DegradedOK makes /readyz report 200 even while degraded
+	// (breaker open or registry stale) — for fleets that prefer a
+	// brownout replica in rotation over losing capacity.
+	DegradedOK bool
+
+	// MaxSmallBodyBytes caps bodies on the fixed-shape POST endpoints
+	// (/v1/score/fleet, /v1/ingest), whose valid payloads are tens of
+	// bytes (default 4096). Score and batch bodies carry inline series
+	// and use MaxBodyBytes.
+	MaxSmallBodyBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +164,33 @@ func (o Options) withDefaults() Options {
 	if o.MaxSeriesDays <= 0 {
 		o.MaxSeriesDays = DefaultMaxSeriesDays
 	}
+	if o.MaxInflightSingle <= 0 {
+		o.MaxInflightSingle = DefaultMaxInflightSingle
+	}
+	if o.MaxInflightBatch <= 0 {
+		o.MaxInflightBatch = DefaultMaxInflightBatch
+	}
+	if o.MaxInflightFleet <= 0 {
+		o.MaxInflightFleet = DefaultMaxInflightFleet
+	}
+	if o.MaxInflightIngest <= 0 {
+		o.MaxInflightIngest = DefaultMaxInflightIngest
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = DefaultDeadline
+	}
+	if o.MaxDeadline <= 0 {
+		o.MaxDeadline = DefaultMaxDeadline
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.MaxSmallBodyBytes <= 0 {
+		o.MaxSmallBodyBytes = DefaultSmallBodyBytes
+	}
 	return o
 }
 
@@ -110,6 +205,14 @@ type Stats struct {
 	Swaps       int64 `json:"swaps"`        // snapshot hot swaps performed
 	SwapRetries int64 `json:"swap_retries"` // requests that re-resolved after losing to a swap
 	Ingests     int64 `json:"ingests"`      // ingest admissions accepted
+
+	Accepted         int64  `json:"accepted"`          // requests admitted past the gates
+	Shed             int64  `json:"shed"`              // requests rejected 429 by a full admission queue
+	DeadlineExceeded int64  `json:"deadline_exceeded"` // requests that ran out of deadline (503)
+	Degraded         int64  `json:"degraded"`          // responses served degraded (breaker open)
+	BreakerTrips     int64  `json:"breaker_trips"`     // store circuit-breaker open transitions
+	BreakerState     string `json:"breaker_state"`     // "closed", "open", or "half-open"
+	ReloadFailures   int64  `json:"reload_failures"`   // consecutive registry reload failures
 }
 
 // Server is the online prediction service. Create with New, expose
@@ -130,6 +233,22 @@ type Server struct {
 	swaps       atomic.Int64
 	swapRetries atomic.Int64
 	ingests     atomic.Int64
+
+	accepted         atomic.Int64
+	shed             atomic.Int64
+	deadlineExceeded atomic.Int64
+	degraded         atomic.Int64
+
+	gates [numPathClasses]*gate
+	brk   *breaker
+
+	// reloadFails counts consecutive Reload failures (reset on any
+	// success); lastReloadErr keeps the most recent failure's message
+	// for /readyz. Together they surface registry staleness: the
+	// daemon keeps serving the last good snapshots while the watcher
+	// retries.
+	reloadFails   atomic.Int64
+	lastReloadErr atomic.Pointer[string]
 
 	watchStop chan struct{}
 	watchDone chan struct{}
@@ -186,6 +305,20 @@ func New(opts Options) (*Server, error) {
 		return nil, errors.New("serve: Options.Artifacts is empty")
 	}
 	s := &Server{opts: opts, arts: make(map[string]*artifact)}
+	caps := [numPathClasses]int{
+		pathSingle: opts.MaxInflightSingle,
+		pathBatch:  opts.MaxInflightBatch,
+		pathFleet:  opts.MaxInflightFleet,
+		pathIngest: opts.MaxInflightIngest,
+	}
+	for pc, capacity := range caps {
+		s.gates[pc] = newGate(capacity, 4*capacity)
+	}
+	s.brk = newBreaker(breakerConfig{
+		threshold: opts.BreakerThreshold,
+		cooldown:  opts.BreakerCooldown,
+		seed:      opts.BreakerSeed,
+	})
 	for _, name := range opts.Artifacts {
 		if _, dup := s.arts[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate artifact %q", name)
@@ -210,6 +343,9 @@ func New(opts Options) (*Server, error) {
 // newServing loads and decodes one snapshot version into runtime
 // serving state with fresh coalescers.
 func (s *Server) newServing(name string, version int) (*serving, error) {
+	if err := faults.Op(context.Background(), SiteRegistryLoad); err != nil {
+		return nil, fmt.Errorf("serve: artifact %q v%d: %w", name, version, err)
+	}
 	snap, err := engine.LoadSnapshot(s.opts.Registry, name, version)
 	if err != nil {
 		return nil, fmt.Errorf("serve: artifact %q v%d: %w", name, version, err)
@@ -275,9 +411,27 @@ func (sv *serving) retire() {
 // atomically swaps any that advanced. It returns the names of the
 // artifacts that were swapped. Safe to call concurrently with
 // request traffic; concurrent Reloads serialize.
+//
+// A failed reload never disturbs the active serving state: the last
+// good snapshots keep answering traffic, the consecutive-failure
+// count and last error surface through Stats and /readyz, and the
+// next successful reload clears both.
 func (s *Server) Reload() ([]string, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	swapped, err := s.reloadLocked()
+	if err != nil {
+		msg := err.Error()
+		s.reloadFails.Add(1)
+		s.lastReloadErr.Store(&msg)
+	} else {
+		s.reloadFails.Store(0)
+		s.lastReloadErr.Store(nil)
+	}
+	return swapped, err
+}
+
+func (s *Server) reloadLocked() ([]string, error) {
 	var swapped []string
 	for _, name := range s.names {
 		art := s.arts[name]
@@ -348,6 +502,7 @@ func (s *Server) Close() {
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
+	state, trips := s.brk.snapshot()
 	return Stats{
 		Requests:    s.requests.Load(),
 		Errors:      s.errors.Load(),
@@ -358,7 +513,28 @@ func (s *Server) Stats() Stats {
 		Swaps:       s.swaps.Load(),
 		SwapRetries: s.swapRetries.Load(),
 		Ingests:     s.ingests.Load(),
+
+		Accepted:         s.accepted.Load(),
+		Shed:             s.shed.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
+		Degraded:         s.degraded.Load(),
+		BreakerTrips:     trips,
+		BreakerState:     state.String(),
+		ReloadFailures:   s.reloadFails.Load(),
 	}
+}
+
+// registryStale reports whether the most recent reload attempt failed
+// — the served snapshots may lag the registry until the watcher's
+// next successful pass.
+func (s *Server) registryStale() bool { return s.reloadFails.Load() > 0 }
+
+// degradedNow reports whether the server is in a brownout: store
+// breaker not closed, or serving stale snapshots past a failed
+// reload.
+func (s *Server) degradedNow() bool {
+	state, _ := s.brk.snapshot()
+	return state != breakerClosed || s.registryStale()
 }
 
 // artifactByName resolves a request's model name.

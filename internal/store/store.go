@@ -14,6 +14,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -259,6 +260,15 @@ func (st *Store) AppendDay() error {
 // Drives fetched before the failure stay cached, so retrying the
 // append redoes only the failed fetches.
 func (st *Store) AppendThrough(day int) error {
+	return st.AppendThroughCtx(context.Background(), day)
+}
+
+// AppendThroughCtx is AppendThrough under a context: cancellation or
+// an expired deadline abandons the append promptly — mid-backoff and
+// mid-fetch included — with the same nothing-visible guarantee as any
+// other failed append. Drives fetched before the cancellation stay
+// cached for the next attempt.
+func (st *Store) AppendThroughCtx(ctx context.Context, day int) error {
 	if day < 0 {
 		return fmt.Errorf("%w: day %d", ErrHorizonRetreat, day)
 	}
@@ -275,7 +285,7 @@ func (st *Store) AppendThrough(day int) error {
 	}
 
 	for _, p := range parts {
-		if err := st.fetchPartition(p); err != nil {
+		if err := st.fetchPartition(ctx, p); err != nil {
 			return err
 		}
 	}
@@ -304,7 +314,7 @@ func (st *Store) ingest(p *partition, horizon int) error {
 	if horizon <= 0 {
 		return nil
 	}
-	if err := st.fetchPartition(p); err != nil {
+	if err := st.fetchPartition(context.Background(), p); err != nil {
 		return err
 	}
 	st.accountPartition(p, horizon)
@@ -343,8 +353,10 @@ func (st *Store) accountPartition(p *partition, horizon int) {
 // fetchPartition brings every drive of the partition into the store
 // (already-fetched drives are skipped), in parallel per Options.
 // Workers. Spill-backed partitions already hold everything on disk.
-// It does not touch visibility accounting.
-func (st *Store) fetchPartition(p *partition) error {
+// It does not touch visibility accounting. A cancelled context stops
+// the sweep promptly: workers abandon their remaining drives and the
+// first context error is returned.
+func (st *Store) fetchPartition(ctx context.Context, p *partition) error {
 	if p.sp.Load() != nil {
 		return nil
 	}
@@ -357,7 +369,7 @@ func (st *Store) fetchPartition(p *partition) error {
 	}
 	if workers <= 1 {
 		for i := range p.drives {
-			if err := st.fetchDrive(p.refs[i], p.drives[i]); err != nil {
+			if err := st.fetchDrive(ctx, p.refs[i], p.drives[i]); err != nil {
 				return err
 			}
 		}
@@ -375,7 +387,7 @@ func (st *Store) fetchPartition(p *partition) error {
 				if i >= len(p.drives) {
 					return
 				}
-				errs[i] = st.fetchDrive(p.refs[i], p.drives[i])
+				errs[i] = st.fetchDrive(ctx, p.refs[i], p.drives[i])
 			}
 		}()
 	}
@@ -391,12 +403,17 @@ func (st *Store) fetchPartition(p *partition) error {
 // fetchDrive ensures the drive's series is in the store, retrying
 // transient upstream errors with bounded exponential backoff and a
 // per-attempt deadline (Options). A drive whose fetch ultimately fails
-// is left unfetched, so the next ingest attempts it again.
-func (st *Store) fetchDrive(ref dataset.DriveRef, dc *driveCols) error {
+// is left unfetched, so the next ingest attempts it again. A context
+// cancellation aborts promptly — it cuts a backoff sleep short and is
+// returned unretried without counting as an upstream fetch error.
+func (st *Store) fetchDrive(ctx context.Context, ref dataset.DriveRef, dc *driveCols) error {
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
 	if dc.fetched {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("store: fetch drive %d (model %v): %w", ref.ID, ref.Model, err)
 	}
 	attempts := st.opts.MaxFetchAttempts
 	if attempts <= 0 {
@@ -413,17 +430,24 @@ func (st *Store) fetchDrive(ref dataset.DriveRef, dc *driveCols) error {
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return fmt.Errorf("store: fetch drive %d (model %v): %w", ref.ID, ref.Model, err)
+			}
 			st.fetchRetries.Add(1)
-			time.Sleep(backoff)
 			backoff = min(backoff*2, maxBackoff)
 		}
-		cols, lastDay, err := st.fetchSeries(ref)
+		cols, lastDay, err := st.fetchSeries(ctx, ref)
 		st.seriesFetches.Add(1)
 		if err == nil {
 			dc.cols = cols
 			dc.lastDay = lastDay
 			dc.fetched = true
 			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller gave up, not the upstream: surface the context
+			// error without counting or retrying an upstream failure.
+			return fmt.Errorf("store: fetch drive %d (model %v): %w", ref.ID, ref.Model, ctx.Err())
 		}
 		st.fetchErrors.Add(1)
 		lastErr = err
@@ -432,11 +456,32 @@ func (st *Store) fetchDrive(ref dataset.DriveRef, dc *driveCols) error {
 		ref.ID, ref.Model, attempts, lastErr)
 }
 
+// sleepCtx sleeps for d or until the context is done, whichever is
+// first, returning the context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // fetchSeries runs one upstream Series attempt under the per-attempt
-// deadline, when one is configured.
-func (st *Store) fetchSeries(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+// deadline (when one is configured) and the caller's context. The
+// dataset.Source interface has no cancellation, so an abandoned
+// attempt's goroutine is left to finish in the background; a truly
+// hung upstream therefore leaks one goroutine per abandoned attempt
+// until it unwedges.
+func (st *Store) fetchSeries(ctx context.Context, ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
 	timeout := st.opts.FetchTimeout
-	if timeout <= 0 {
+	if timeout <= 0 && ctx.Done() == nil {
 		return st.src.Series(ref)
 	}
 	type result struct {
@@ -449,13 +494,19 @@ func (st *Store) fetchSeries(ref dataset.DriveRef) (map[smart.Feature][]float64,
 		cols, lastDay, err := st.src.Series(ref)
 		ch <- result{cols, lastDay, err}
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
 	select {
 	case r := <-ch:
 		return r.cols, r.lastDay, r.err
-	case <-timer.C:
+	case <-timerC:
 		return nil, 0, fmt.Errorf("%w: drive %d after %v", ErrFetchTimeout, ref.ID, timeout)
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
 	}
 }
 
@@ -554,6 +605,20 @@ func (s *Snapshot) part(m smart.ModelID) (*partition, error) {
 // alias the store's append-only buffers; treat them as read-only (as
 // with every other Source).
 func (s *Snapshot) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	return s.SeriesCtx(context.Background(), ref)
+}
+
+// SeriesCtx is Series under a context: when the drive is not yet in
+// the store and the upstream fetch hangs or retries, cancellation (or
+// an expired deadline) abandons the lookup promptly instead of
+// stalling the caller. An already-dead context fails the read up
+// front — even for a cached drive — so cancelled callers never get a
+// result they will discard; the context error is never counted as a
+// fetch failure.
+func (s *Snapshot) SeriesCtx(ctx context.Context, ref dataset.DriveRef) (map[smart.Feature][]float64, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("store: series drive %d (model %v): %w", ref.ID, ref.Model, err)
+	}
 	p, err := s.part(ref.Model)
 	if err != nil {
 		return nil, 0, err
@@ -565,7 +630,7 @@ func (s *Snapshot) Series(ref dataset.DriveRef) (map[smart.Feature][]float64, in
 	// Idempotent: serves from the store after the first fetch (the
 	// fetch only happens here when the partition was tracked after the
 	// last append).
-	if err := s.st.fetchDrive(ref, dc); err != nil {
+	if err := s.st.fetchDrive(ctx, ref, dc); err != nil {
 		return nil, 0, err
 	}
 	s.st.accountVisible(dc, s.days)
@@ -634,7 +699,7 @@ func (st *Store) Spill() error {
 		if p.sp.Load() != nil || len(p.refs) == 0 {
 			continue
 		}
-		if err := st.fetchPartition(p); err != nil {
+		if err := st.fetchPartition(context.Background(), p); err != nil {
 			return err
 		}
 		nDays := make([]int, len(p.drives))
@@ -723,7 +788,7 @@ func (s *Snapshot) DayColumns(m smart.ModelID, day int) ([]smart.Feature, [][]fl
 		}
 		return sf.feats, cols, alive, nil
 	}
-	if err := s.st.fetchPartition(p); err != nil {
+	if err := s.st.fetchPartition(context.Background(), p); err != nil {
 		return nil, nil, nil, err
 	}
 	if len(p.drives) == 0 {
