@@ -94,12 +94,36 @@ func (b *breaker) allow() bool {
 }
 
 // success records a healthy store call: the failure streak resets and
-// a half-open probe closes the breaker.
+// a half-open probe closes the breaker. A success landing while the
+// breaker is open is a straggler — a slow call admitted before the
+// trip completed — and is ignored: it predates the trip, so it says
+// nothing about current health, and closing on it would bypass the
+// half-open single-probe discipline.
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.fails = 0
-	b.state = breakerClosed
+	switch b.state {
+	case breakerClosed:
+		b.fails = 0
+	case breakerHalfOpen:
+		b.fails = 0
+		b.state = breakerClosed
+	}
+}
+
+// release hands back a half-open probe slot without recording a
+// health verdict. Exits that never produced a store outcome — client
+// errors, cancelled contexts — must neither close the breaker (no
+// success signal) nor re-open it for a full cooldown (no failure
+// signal); re-entering the open state with the already-elapsed
+// deadline makes the next store-backed caller the probe immediately.
+// No-op in any other state.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+	}
 }
 
 // failure records a failed store call, tripping the breaker when the

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// breaker_test.go covers the state-machine edges the chaos suite's
+// happy-path walk does not: probe release on verdict-free exits,
+// stale successes while open, and the HTTP paths that must never
+// consume or resolve the half-open probe slot.
+
+func tripBreaker(b *breaker) {
+	for i := 0; i < b.cfg.threshold; i++ {
+		b.failure()
+	}
+}
+
+// TestBreakerReleaseHandsBackProbe: a half-open probe that exits with
+// no store verdict releases the slot, and the next caller probes
+// immediately — the breaker cannot wedge half-open forever.
+func TestBreakerReleaseHandsBackProbe(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 2, cooldown: time.Millisecond, seed: 1})
+	tripBreaker(b)
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+		t.Fatalf("after %d failures: %v, trips %d; want open, 1", b.cfg.threshold, st, trips)
+	}
+	time.Sleep(3 * time.Millisecond) // past cooldown + ≤20% jitter
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	b.release() // probe exits without store contact
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+		t.Fatalf("after release: %v, trips %d; want open (not a new trip), 1", st, trips)
+	}
+	if !b.allow() {
+		t.Fatal("released probe slot not immediately re-available")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatal("clean probe after release did not close the breaker")
+	}
+}
+
+// TestBreakerReleaseOutsideHalfOpenIsNoop: release never disturbs a
+// closed breaker's streak or lets callers through an open one early.
+func TestBreakerReleaseOutsideHalfOpenIsNoop(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 2, cooldown: time.Hour, seed: 1})
+	b.failure() // streak 1 of 2
+	b.release()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("release while closed: %v; want closed", st)
+	}
+	b.failure() // completes the streak only if release left it intact
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatal("release while closed reset the failure streak")
+	}
+	b.release()
+	if b.allow() {
+		t.Fatal("release while open granted a probe before the cooldown")
+	}
+}
+
+// TestBreakerStaleSuccessWhileOpenIgnored: a slow store call admitted
+// before the trip that completes successfully mid-cooldown must not
+// close the breaker and bypass the single-probe discipline.
+func TestBreakerStaleSuccessWhileOpenIgnored(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 2, cooldown: time.Hour, seed: 1})
+	tripBreaker(b)
+	b.success() // straggler lands while open
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("stale success closed an open breaker mid-cooldown: %v", st)
+	}
+	if b.allow() {
+		t.Fatal("stale success made the open breaker admit before cooldown")
+	}
+}
+
+// TestBreakerClientErrorsDoNotConsumeProbe: with the breaker's
+// cooldown spent, client errors on breaker-guarded paths — an
+// unknown-drive 404, a fleet request for an out-of-range day — must
+// neither consume the half-open probe slot (wedging every later
+// store-backed request) nor resolve it (closing the breaker with no
+// store contact). The first real store-backed request is the probe.
+func TestBreakerClientErrorsDoNotConsumeProbe(t *testing.T) {
+	s, _, st := newTestServer(t, Options{
+		BreakerThreshold: 1,
+		BreakerCooldown:  10 * time.Millisecond,
+		BreakerSeed:      1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, snapA, _ := testFleet(t)
+	day := snapA.TrainedThrough + 3
+	driveID := anyDriveID(t, st, day)
+
+	faults.ArmOp(SiteStoreSeries, faults.OpFailEveryN(1))
+	t.Cleanup(disarmAll)
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score",
+		ScoreRequest{Model: "serving", DriveID: &driveID, Day: &day}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("faulted fetch: HTTP %d: %s", code, body)
+	}
+	if st := s.Stats(); st.BreakerState != "open" {
+		t.Fatalf("breaker %q after trip; want open", st.BreakerState)
+	}
+	disarmAll()
+	time.Sleep(15 * time.Millisecond) // cooldown + ≤20% jitter elapses
+
+	// Unknown drive: 404, and the probe slot stays available.
+	unknown := 1 << 30
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score",
+		ScoreRequest{Model: "serving", DriveID: &unknown, Day: &day}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown drive past cooldown: HTTP %d: %s", code, body)
+	}
+	// Fleet with a bad day: 400, and the breaker is neither consumed
+	// nor closed by the old success-on-client-error path.
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score/fleet",
+		FleetRequest{Model: "serving", Day: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("fleet bad day past cooldown: HTTP %d: %s", code, body)
+	}
+	if st := s.Stats(); st.BreakerState != "open" {
+		t.Fatalf("breaker %q after client errors; want still open", st.BreakerState)
+	}
+
+	// The first store-backed request is the probe and closes it.
+	var ok ScoreResponse
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score",
+		ScoreRequest{Model: "serving", DriveID: &driveID, Day: &day}, &ok); code != http.StatusOK {
+		t.Fatalf("probe after client errors: HTTP %d: %s", code, body)
+	}
+	if st := s.Stats(); st.BreakerState != "closed" {
+		t.Errorf("breaker %q after clean probe; want closed", st.BreakerState)
+	}
+}
+
+// TestBreakerDeadlineExpiryNotAFailure: client deadlines blowing on a
+// hung fetch are the client's impatience, not store health — however
+// many land, the breaker must stay closed, and one of them holding
+// the half-open probe slot must hand it back.
+func TestBreakerDeadlineExpiryNotAFailure(t *testing.T) {
+	s, _, st := newTestServer(t, Options{
+		DefaultDeadline:  10 * time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Millisecond,
+		BreakerSeed:      1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, snapA, _ := testFleet(t)
+	day := snapA.TrainedThrough + 3
+	driveID := anyDriveID(t, st, day)
+	reqBody, err := json.Marshal(ScoreRequest{Model: "serving", DriveID: &driveID, Day: &day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlined := func() (int, string) {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/score", strings.NewReader(string(reqBody)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Deadline-Ms", "30")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, e.Code
+	}
+
+	faults.ArmOp(SiteStoreSeries, faults.OpHang(nil))
+	t.Cleanup(disarmAll)
+
+	// Twice the threshold in blown deadlines: every one a 503
+	// deadline_exceeded, none a breaker failure.
+	for i := 0; i < 6; i++ {
+		if code, kind := deadlined(); code != http.StatusServiceUnavailable || kind != "deadline_exceeded" {
+			t.Fatalf("hung fetch %d: HTTP %d code %q", i, code, kind)
+		}
+	}
+	if st := s.Stats(); st.BreakerState != "closed" || st.BreakerTrips != 0 {
+		t.Fatalf("blown client deadlines tripped the breaker: %q, trips %d", st.BreakerState, st.BreakerTrips)
+	}
+
+	// Now trip it for real, wait out the cooldown, and let a blown
+	// deadline take the probe slot: it must hand the slot back so the
+	// next request probes immediately.
+	faults.ArmOp(SiteStoreSeries, faults.OpFailEveryN(1))
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.Client(), ts.URL+"/v1/score",
+			ScoreRequest{Model: "serving", DriveID: &driveID, Day: &day}, nil)
+	}
+	if st := s.Stats(); st.BreakerState != "open" {
+		t.Fatalf("breaker %q after real failures; want open", st.BreakerState)
+	}
+	faults.ArmOp(SiteStoreSeries, faults.OpHang(nil))
+	time.Sleep(15 * time.Millisecond)
+	if code, kind := deadlined(); code != http.StatusServiceUnavailable || kind != "deadline_exceeded" {
+		t.Fatalf("hung probe: HTTP %d code %q", code, kind)
+	}
+	disarmAll()
+	var ok ScoreResponse
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/score",
+		ScoreRequest{Model: "serving", DriveID: &driveID, Day: &day}, &ok); code != http.StatusOK {
+		t.Fatalf("probe after released slot: HTTP %d: %s", code, body)
+	}
+	if st := s.Stats(); st.BreakerState != "closed" {
+		t.Errorf("breaker %q after clean probe; want closed", st.BreakerState)
+	}
+}

@@ -443,8 +443,11 @@ func (s *Server) scoreOn(ctx context.Context, sv *serving, req ScoreRequest) (Sc
 // with the breaker open it fast-fails 503 store_unavailable without
 // touching the store (inline-series requests are unaffected — that is
 // the brownout), and every real fetch outcome feeds the breaker.
-// Unknown-drive 404s bypass breaker accounting: they are client
-// errors, not store health.
+// Unknown-drive 404s are checked before the breaker is consulted:
+// they are client errors, not store health, and must not consume a
+// half-open probe slot. Likewise a cancelled or deadline-blown fetch
+// is the client's deadline, not the store's failure — it releases the
+// probe slot instead of counting against the streak.
 func (s *Server) resolveSeries(ctx context.Context, sv *serving, driveID, day *int, inline map[string][]float64) (map[smart.Feature][]float64, int, int, error) {
 	if inline != nil {
 		if driveID != nil {
@@ -469,21 +472,21 @@ func (s *Server) resolveSeries(ctx context.Context, sv *serving, driveID, day *i
 	if s.opts.Store == nil {
 		return nil, 0, 0, &reqError{code: http.StatusNotImplemented, msg: "store-backed scoring is disabled: no store configured"}
 	}
-	if !s.brk.allow() {
-		return nil, 0, 0, &reqError{code: http.StatusServiceUnavailable, kind: kindStoreUnavailable, msg: "store circuit breaker open; retry with inline series"}
-	}
 	snap := s.opts.Store.Snapshot()
 	ref, ok := snap.RefIndex(sv.model)[*driveID]
 	if !ok {
 		return nil, 0, 0, &reqError{code: http.StatusNotFound, msg: fmt.Sprintf("model %v has no drive %d", sv.model, *driveID)}
 	}
+	if !s.brk.allow() {
+		return nil, 0, 0, &reqError{code: http.StatusServiceUnavailable, kind: kindStoreUnavailable, msg: "store circuit breaker open; retry with inline series"}
+	}
 	if err := faults.Op(ctx, SiteStoreSeries); err != nil {
-		s.brk.failure()
+		s.brkFetchFailed(err)
 		return nil, 0, 0, storeErr(*driveID, err)
 	}
 	cols, lastDay, err := snap.SeriesCtx(ctx, ref)
 	if err != nil {
-		s.brk.failure()
+		s.brkFetchFailed(err)
 		return nil, 0, 0, storeErr(*driveID, err)
 	}
 	s.brk.success()
@@ -495,6 +498,20 @@ func (s *Server) resolveSeries(ctx context.Context, sv *serving, driveID, day *i
 		d = *day
 	}
 	return cols, d, *driveID, nil
+}
+
+// brkFetchFailed feeds a failed store fetch to the circuit breaker.
+// Cancellation and deadline expiry are the request's deadline, not
+// the store's health — the store never answered, for better or worse
+// — so they never count toward the failure streak; if the request
+// held the half-open probe slot they hand it back so the next
+// store-backed request can probe. Everything else is a real failure.
+func (s *Server) brkFetchFailed(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.brk.release()
+		return
+	}
+	s.brk.failure()
 }
 
 // storeErr classifies a store fetch failure: a blown deadline is a
@@ -651,15 +668,14 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotImplemented, "fleet scoring is disabled: no store configured")
 		return
 	}
-	if !s.brk.allow() {
-		s.writeErrKind(w, http.StatusServiceUnavailable, kindStoreUnavailable, "store circuit breaker open: fleet scoring shed")
-		return
-	}
 	sv := art.cur.Load()
 	snap := s.opts.Store.Snapshot()
 	if req.Day < 0 || req.Day >= snap.Days() {
-		s.brk.success()
 		s.writeErr(w, http.StatusBadRequest, "day %d outside store horizon %d", req.Day, snap.Days())
+		return
+	}
+	if !s.brk.allow() {
+		s.writeErrKind(w, http.StatusServiceUnavailable, kindStoreUnavailable, "store circuit breaker open: fleet scoring shed")
 		return
 	}
 	sv.fleetMu.Lock()
@@ -720,7 +736,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.opts.Store.AppendThroughCtx(r.Context(), req.Day); err != nil {
-		s.brk.failure()
+		s.brkFetchFailed(err)
 		s.fail(w, storeIngestErr(fmt.Errorf("ingest day %d: %w", req.Day, err)))
 		return
 	}
